@@ -1,0 +1,421 @@
+// Package repro's root benchmark suite regenerates every table and figure
+// of the paper's evaluation as `go test -bench` targets, reporting the
+// paper's metrics (normalized computation, MSV) through b.ReportMetric so
+// the numbers appear directly in the benchmark output:
+//
+//	go test -bench=Table1 -benchmem .
+//	go test -bench=Fig5 .
+//	go test -bench=Fig7 .
+//	go test -bench=Exec .        # wall-clock baseline vs reordered
+//	go test -bench=Ablation .    # design-choice ablations
+//
+// The benchmarks use reduced trial counts so the whole suite completes in
+// minutes; cmd/repro -full regenerates the figures at the paper's scale.
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/circuit"
+	"repro/internal/device"
+	"repro/internal/gate"
+	"repro/internal/harness"
+	"repro/internal/noise"
+	"repro/internal/reorder"
+	"repro/internal/sim"
+	"repro/internal/transpile"
+	"repro/internal/trial"
+)
+
+const benchSeed = 20200720
+
+// BenchmarkTable1Characteristics measures the build-and-map pipeline that
+// produces Table I: all 12 benchmarks generated and transpiled onto the
+// Yorktown coupling graph.
+func BenchmarkTable1Characteristics(b *testing.B) {
+	d := device.Yorktown()
+	for i := 0; i < b.N; i++ {
+		for name, c := range bench.Suite(benchSeed) {
+			if _, err := transpile.ToDevice(c, d); err != nil {
+				b.Fatalf("%s: %v", name, err)
+			}
+		}
+	}
+}
+
+// mapped returns a Table I benchmark transpiled onto Yorktown.
+func mapped(b *testing.B, name string) *circuit.Circuit {
+	b.Helper()
+	c, err := bench.Build(name, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := transpile.ToDevice(c, device.Yorktown())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res.Circuit
+}
+
+// BenchmarkFig5NormalizedComputation regenerates Figure 5: for every
+// benchmark and trial count, generate the Monte Carlo trials, reorder, and
+// statically analyze. The normalized computation (the figure's y-axis) is
+// reported as the "normcomp" metric.
+func BenchmarkFig5NormalizedComputation(b *testing.B) {
+	for _, ref := range bench.TableI {
+		c := mapped(b, ref.Name)
+		model := device.Yorktown().Model()
+		gen, err := trial.NewGenerator(c, model)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, n := range []int{1024, 8192} {
+			b.Run(fmt.Sprintf("%s/trials=%d", ref.Name, n), func(b *testing.B) {
+				var norm float64
+				for i := 0; i < b.N; i++ {
+					rng := rand.New(rand.NewSource(benchSeed + int64(n)))
+					trials := gen.Generate(rng, n)
+					a, err := reorder.Analyze(c, trials)
+					if err != nil {
+						b.Fatal(err)
+					}
+					norm = a.Normalized
+				}
+				b.ReportMetric(norm, "normcomp")
+			})
+		}
+	}
+}
+
+// BenchmarkFig6MSV regenerates Figure 6: peak Maintained State Vectors per
+// benchmark at 1024 trials, reported as the "MSV" metric.
+func BenchmarkFig6MSV(b *testing.B) {
+	for _, ref := range bench.TableI {
+		c := mapped(b, ref.Name)
+		model := device.Yorktown().Model()
+		gen, err := trial.NewGenerator(c, model)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(ref.Name, func(b *testing.B) {
+			var msv int
+			for i := 0; i < b.N; i++ {
+				rng := rand.New(rand.NewSource(benchSeed + 1024))
+				trials := gen.Generate(rng, 1024)
+				a, err := reorder.Analyze(c, trials)
+				if err != nil {
+					b.Fatal(err)
+				}
+				msv = a.MSV
+			}
+			b.ReportMetric(float64(msv), "MSV")
+		})
+	}
+}
+
+// scalabilityCase runs one Figure 7/8 cell at reduced trial count and
+// reports both paper metrics.
+func scalabilityCase(b *testing.B, n, d int, p1 float64, trials int) {
+	crng := rand.New(rand.NewSource(benchSeed ^ int64(n*1000+d)))
+	c := bench.QV(n, d, crng)
+	m := noise.Uniform("artificial", n, p1, 10*p1, 10*p1)
+	gen, err := trial.NewGenerator(c, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var norm float64
+	var msv int
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(benchSeed + int64(float64(n)*1e6*p1)))
+		ts := gen.Generate(rng, trials)
+		a, err := reorder.Analyze(c, ts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		norm, msv = a.Normalized, a.MSV
+	}
+	b.ReportMetric(norm, "normcomp")
+	b.ReportMetric(float64(msv), "MSV")
+}
+
+// BenchmarkFig7Scalability regenerates Figure 7's normalized-computation
+// sweep (and Figure 8's MSVs, which come from the same analysis): quantum
+// volume circuits from 10x5 to 40x20 under four error-rate settings.
+func BenchmarkFig7Scalability(b *testing.B) {
+	for _, sc := range harness.ScalabilityConfigs {
+		for _, p1 := range harness.ScalabilityRates {
+			b.Run(fmt.Sprintf("n%d_d%d/p1=%g", sc.N, sc.D, p1), func(b *testing.B) {
+				scalabilityCase(b, sc.N, sc.D, p1, 10000)
+			})
+		}
+	}
+}
+
+// BenchmarkFig8MSV regenerates Figure 8 standalone at the largest shapes,
+// reporting the MSV metric (memory overhead of the scheme).
+func BenchmarkFig8MSV(b *testing.B) {
+	for _, sc := range []struct{ N, D int }{{10, 20}, {40, 20}} {
+		for _, p1 := range []float64{1e-3, 1e-4} {
+			b.Run(fmt.Sprintf("n%d_d%d/p1=%g", sc.N, sc.D, p1), func(b *testing.B) {
+				scalabilityCase(b, sc.N, sc.D, p1, 10000)
+			})
+		}
+	}
+}
+
+// execCase prepares a mapped benchmark with a fixed trial set for the
+// wall-clock execution benchmarks.
+func execCase(b *testing.B, name string, trials int) (*circuit.Circuit, []*trial.Trial) {
+	b.Helper()
+	c := mapped(b, name)
+	gen, err := trial.NewGenerator(c, device.Yorktown().Model())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c, gen.Generate(rand.New(rand.NewSource(benchSeed)), trials)
+}
+
+// BenchmarkExecBaseline measures the real state-vector execution time of
+// the unordered baseline simulation — what Rigetti QVM/QX-style simulators
+// spend.
+func BenchmarkExecBaseline(b *testing.B) {
+	for _, name := range []string{"bv5", "grover", "qft5", "qv_n5d5"} {
+		c, trials := execCase(b, name, 1024)
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Baseline(c, trials, sim.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExecReordered measures the same workloads through the reordered
+// plan executor; comparing against BenchmarkExecBaseline shows the
+// wall-clock realization of the paper's op-count savings.
+func BenchmarkExecReordered(b *testing.B) {
+	for _, name := range []string{"bv5", "grover", "qft5", "qv_n5d5"} {
+		c, trials := execCase(b, name, 1024)
+		plan, err := reorder.BuildPlan(c, trials)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.ExecutePlan(c, plan, sim.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPlanConstruction isolates the overhead the scheme adds before
+// any amplitude math: sorting the trials and building the plan.
+func BenchmarkPlanConstruction(b *testing.B) {
+	c, trials := execCase(b, "qft5", 8192)
+	b.Run("sort", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			reorder.Sort(trials)
+		}
+	})
+	b.Run("plan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := reorder.BuildPlan(c, trials); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("analyze-stream", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := reorder.Analyze(c, trials); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkTrialGeneration measures the thinning-accelerated Monte Carlo
+// trial sampler at scalability-study scale (the cost of the paper's
+// "statically generate all trials" step).
+func BenchmarkTrialGeneration(b *testing.B) {
+	for _, sc := range []struct {
+		n, d int
+		p1   float64
+	}{{10, 10, 1e-3}, {40, 20, 1e-3}, {40, 20, 1e-4}} {
+		c := bench.QV(sc.n, sc.d, rand.New(rand.NewSource(1)))
+		m := noise.Uniform("a", sc.n, sc.p1, 10*sc.p1, 10*sc.p1)
+		gen, err := trial.NewGenerator(c, m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("n%d_d%d/p1=%g", sc.n, sc.d, sc.p1), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(2))
+			for i := 0; i < b.N; i++ {
+				gen.Sample(rng, i)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationReorderDepth quantifies how much of the saving each
+// recursion level of Algorithm 1 contributes, by capping the exploited
+// shared-prefix depth: cap 0 = no sharing (baseline), cap 1 = group by the
+// first error only, cap 2 = first two errors, full = unbounded recursion.
+func BenchmarkAblationReorderDepth(b *testing.B) {
+	c, trials := execCase(b, "qft5", 4096)
+	caps := []struct {
+		name string
+		cap  int
+	}{
+		{"cap0-baseline", 0},
+		{"cap1-first-error", 1},
+		{"cap2", 2},
+		{"full", 1 << 30},
+	}
+	for _, tc := range caps {
+		b.Run(tc.name, func(b *testing.B) {
+			var norm float64
+			var msv int
+			for i := 0; i < b.N; i++ {
+				a, err := reorder.AnalyzeCapped(c, trials, tc.cap)
+				if err != nil {
+					b.Fatal(err)
+				}
+				norm, msv = a.Normalized, a.MSV
+			}
+			b.ReportMetric(norm, "normcomp")
+			b.ReportMetric(float64(msv), "MSV")
+		})
+	}
+}
+
+// BenchmarkAblationErrorMode compares the paper's per-gate injection model
+// against the denser per-qubit variant on the same benchmark.
+func BenchmarkAblationErrorMode(b *testing.B) {
+	c := mapped(b, "qft5")
+	model := device.Yorktown().Model()
+	for _, mode := range []trial.ErrorMode{trial.PerGate, trial.PerQubit} {
+		gen, err := trial.NewGeneratorMode(c, model, mode)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(mode.String(), func(b *testing.B) {
+			var norm float64
+			for i := 0; i < b.N; i++ {
+				trials := gen.Generate(rand.New(rand.NewSource(benchSeed)), 2048)
+				a, err := reorder.Analyze(c, trials)
+				if err != nil {
+					b.Fatal(err)
+				}
+				norm = a.Normalized
+			}
+			b.ReportMetric(norm, "normcomp")
+		})
+	}
+}
+
+// BenchmarkExecTableau measures the reordering scheme on the stabilizer
+// backend: wide Clifford circuits where no state vector fits, baseline vs
+// reordered.
+func BenchmarkExecTableau(b *testing.B) {
+	const n = 60
+	c := circuit.New("clifford60", n)
+	rng := rand.New(rand.NewSource(benchSeed))
+	for d := 0; d < 4; d++ {
+		for q := 0; q < n; q++ {
+			if rng.Intn(2) == 0 {
+				c.Append(gateH(), q)
+			} else {
+				c.Append(gateS(), q)
+			}
+		}
+		for q := d % 2; q+1 < n; q += 2 {
+			c.Append(gateCX(), q, q+1)
+		}
+	}
+	for q := 0; q < 60; q++ {
+		c.Measure(q, q)
+	}
+	m := noise.Uniform("u", n, 1e-4, 1e-3, 1e-3)
+	gen, err := trial.NewGenerator(c, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	trials := gen.Generate(rand.New(rand.NewSource(benchSeed)), 512)
+	plan, err := reorder.BuildPlan(c, trials)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("baseline", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.BaselineBackend(c, trials, sim.NewTableauBackend(n)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reordered", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.ExecutePlanBackend(c, plan, sim.NewTableauBackend(n)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkParallelWorkers measures the chunked parallel executor against
+// the sequential plan on the same workload.
+func BenchmarkParallelWorkers(b *testing.B) {
+	c, trials := execCase(b, "qv_n5d5", 2048)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var ops int64
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Parallel(c, trials, workers, sim.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ops = res.Ops
+			}
+			b.ReportMetric(float64(ops), "ops")
+		})
+	}
+}
+
+// Tiny aliases keep the tableau bench readable without a gate import dance.
+func gateH() gate.Gate  { return gate.H() }
+func gateS() gate.Gate  { return gate.S() }
+func gateCX() gate.Gate { return gate.CX() }
+
+// BenchmarkAblationLayering compares ASAP against ALAP layering: layer
+// assignment moves the error-injection positions, which changes how much
+// prefix sharing the reorder can harvest.
+func BenchmarkAblationLayering(b *testing.B) {
+	model := device.Yorktown().Model()
+	for _, name := range []string{"qft5", "grover", "qv_n5d5"} {
+		for _, pol := range []circuit.Layering{circuit.ASAP, circuit.ALAP} {
+			c := mapped(b, name)
+			c.SetLayering(pol)
+			gen, err := trial.NewGenerator(c, model)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(fmt.Sprintf("%s/%s", name, pol), func(b *testing.B) {
+				var norm float64
+				for i := 0; i < b.N; i++ {
+					trials := gen.Generate(rand.New(rand.NewSource(benchSeed)), 2048)
+					a, err := reorder.Analyze(c, trials)
+					if err != nil {
+						b.Fatal(err)
+					}
+					norm = a.Normalized
+				}
+				b.ReportMetric(norm, "normcomp")
+			})
+		}
+	}
+}

@@ -1,0 +1,222 @@
+// Command qsim is a noisy Monte Carlo quantum circuit simulator with the
+// paper's trial-reordering optimization.
+//
+// It simulates an OpenQASM 2.0 file (or a built-in benchmark) under a
+// device error model, reports the measured output distribution, and prints
+// the computation-saving statistics of the reordered execution against the
+// baseline.
+//
+// Usage:
+//
+//	qsim -qasm circuit.qasm [flags]
+//	qsim -bench bv5 [flags]
+//
+// Flags:
+//
+//	-qasm file      OpenQASM 2.0 input file
+//	-bench name     built-in benchmark (rb, grover, wstate, 7x1mod15,
+//	                bv4, bv5, qft4, qft5, qv_n5d2..qv_n5d5)
+//	-device name    yorktown (default) or artificial
+//	-p1 rate        1q error rate for -device artificial (default 1e-3)
+//	-qubits n       width for -device artificial (default: circuit width)
+//	-trials n       Monte Carlo trials (default 1024)
+//	-seed n         RNG seed (default 1)
+//	-mode m         reordered (default), baseline, both, static
+//	-transpile      map the circuit onto the device coupling graph
+//	-top k          show the k most likely outcomes (default 8)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trial"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "qsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	qasmPath := flag.String("qasm", "", "OpenQASM 2.0 input file")
+	benchName := flag.String("bench", "", "built-in benchmark name")
+	deviceName := flag.String("device", "yorktown", "device model: yorktown or artificial")
+	p1 := flag.Float64("p1", 1e-3, "single-qubit error rate for -device artificial")
+	qubits := flag.Int("qubits", 0, "width for -device artificial (default: circuit width)")
+	trials := flag.Int("trials", 1024, "number of Monte Carlo trials")
+	seed := flag.Int64("seed", 1, "RNG seed")
+	modeName := flag.String("mode", "reordered", "reordered, baseline, both, or static")
+	doTranspile := flag.Bool("transpile", false, "map the circuit onto the device coupling graph")
+	top := flag.Int("top", 8, "show the k most likely outcomes")
+	errMode := flag.String("errmode", "per-gate", "error injection model: per-gate (paper) or per-qubit")
+	budget := flag.Int("budget", 0, "cap on stored state vectors (0 = unlimited)")
+	workers := flag.Int("workers", 1, "parallel execution workers for reordered mode")
+	draw := flag.Bool("draw", false, "print the circuit as ASCII art before simulating")
+	flag.Parse()
+
+	circ, err := loadCircuit(*qasmPath, *benchName, *seed)
+	if err != nil {
+		return err
+	}
+
+	var dev *device.Device
+	switch *deviceName {
+	case "yorktown":
+		dev = device.Yorktown()
+	case "artificial":
+		n := *qubits
+		if n == 0 {
+			n = circ.NumQubits()
+		}
+		dev = device.Artificial(n, *p1)
+	default:
+		return fmt.Errorf("unknown device %q (yorktown, artificial)", *deviceName)
+	}
+
+	var mode core.Mode
+	switch *modeName {
+	case "reordered":
+		mode = core.ModeReordered
+	case "baseline":
+		mode = core.ModeBaseline
+	case "both":
+		mode = core.ModeBoth
+	case "static":
+		mode = core.ModeStatic
+	default:
+		return fmt.Errorf("unknown mode %q (reordered, baseline, both, static)", *modeName)
+	}
+
+	var em trial.ErrorMode
+	switch *errMode {
+	case "per-gate":
+		em = trial.PerGate
+	case "per-qubit":
+		em = trial.PerQubit
+	default:
+		return fmt.Errorf("unknown error mode %q (per-gate, per-qubit)", *errMode)
+	}
+
+	start := time.Now()
+	rep, err := core.Run(core.Config{
+		Circuit:        circ,
+		Device:         dev,
+		Transpile:      *doTranspile,
+		Trials:         *trials,
+		Seed:           *seed,
+		Mode:           mode,
+		ErrorMode:      em,
+		SnapshotBudget: *budget,
+		Workers:        *workers,
+	})
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("circuit %q: %d qubits, %d gates, %d layers\n",
+		rep.Circuit.Name(), rep.Circuit.NumQubits(), rep.Circuit.NumOps(), rep.Circuit.NumLayers())
+	if *draw {
+		fmt.Print(circuit.Draw(rep.Circuit))
+	}
+	if rep.Transpile != nil {
+		fmt.Printf("transpiled onto %s: %d routing swaps inserted\n", dev.Name(), rep.Transpile.SwapsInserted)
+	}
+	st := rep.TrialStats
+	fmt.Printf("trials: %d (%.2f mean errors, %d error-free, %.1f%% duplicates)\n",
+		st.Trials, st.MeanErrors, st.ErrorFree, st.DuplicateRate*100)
+	a := rep.Analysis
+	fmt.Printf("static analysis: baseline %d ops, reordered %d ops, normalized %.3f (saving %.1f%%), MSV %d\n",
+		a.BaselineOps, a.OptimizedOps, a.Normalized, a.Saving*100, a.MSV)
+
+	if res := pick(rep); res != nil {
+		fmt.Printf("executed (%s) in %v: %d ops, %d state copies, peak %d stored vectors\n",
+			mode, elapsed.Round(time.Millisecond), res.Ops, res.Copies, res.MSV)
+		printTop(res, rep.Circuit, *top)
+	}
+	if rep.Baseline != nil && rep.Reordered != nil {
+		if sim.EqualOutcomes(rep.Baseline, rep.Reordered) {
+			fmt.Println("equivalence check: baseline and reordered outcomes identical")
+		} else {
+			return fmt.Errorf("equivalence check FAILED: outcomes differ")
+		}
+	}
+	return nil
+}
+
+func loadCircuit(qasmPath, benchName string, seed int64) (*circuit.Circuit, error) {
+	switch {
+	case qasmPath != "" && benchName != "":
+		return nil, fmt.Errorf("use -qasm or -bench, not both")
+	case qasmPath != "":
+		data, err := os.ReadFile(qasmPath)
+		if err != nil {
+			return nil, err
+		}
+		c, err := circuit.ParseQASM(string(data))
+		if err != nil {
+			return nil, err
+		}
+		c.SetName(qasmPath)
+		return c, nil
+	case benchName != "":
+		return bench.Build(benchName, seed)
+	default:
+		return nil, fmt.Errorf("one of -qasm or -bench is required")
+	}
+}
+
+func pick(rep *core.Report) *sim.Result {
+	if rep.Reordered != nil {
+		return rep.Reordered
+	}
+	return rep.Baseline
+}
+
+func printTop(res *sim.Result, c *circuit.Circuit, k int) {
+	type kv struct {
+		bits  uint64
+		count int
+	}
+	var outcomes []kv
+	total := 0
+	for b, n := range res.Counts {
+		outcomes = append(outcomes, kv{b, n})
+		total += n
+	}
+	sort.Slice(outcomes, func(i, j int) bool {
+		if outcomes[i].count != outcomes[j].count {
+			return outcomes[i].count > outcomes[j].count
+		}
+		return outcomes[i].bits < outcomes[j].bits
+	})
+	if k > len(outcomes) {
+		k = len(outcomes)
+	}
+	fmt.Printf("top %d outcomes (of %d distinct):\n", k, len(outcomes))
+	width := len(c.Measurements())
+	if width == 0 {
+		width = c.NumQubits()
+	}
+	for _, o := range outcomes[:k] {
+		ci, err := stats.EstimateProportion(o.count, total)
+		if err != nil {
+			fmt.Printf("  %0*b  %6.3f  (%d)\n", width, o.bits, float64(o.count)/float64(total), o.count)
+			continue
+		}
+		fmt.Printf("  %0*b  %6.3f  95%% CI [%.3f, %.3f]  (%d)\n",
+			width, o.bits, ci.Estimate, ci.Lo, ci.Hi, o.count)
+	}
+}

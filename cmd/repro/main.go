@@ -1,0 +1,91 @@
+// Command repro regenerates every table and figure of the paper's
+// evaluation section (Table I, Figures 4-8).
+//
+// Usage:
+//
+//	repro [-exp table1|fig4|fig5|fig6|fig7|fig8|all] [-full] [-csv dir] [-seed N]
+//
+// By default the scalability experiments (Figures 7-8) run with a reduced
+// trial count so the whole suite finishes in seconds; -full restores the
+// paper's 10^6 trials per configuration (minutes, a few hundred MB).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: table1, fig4, fig5, fig6, fig7, fig8, or all")
+	full := flag.Bool("full", false, "use the paper's full 10^6-trial scalability configuration")
+	csvDir := flag.String("csv", "", "also write each experiment as CSV into this directory")
+	seed := flag.Int64("seed", 0, "override the experiment seed (0 = default)")
+	trials := flag.Int("scal-trials", 0, "override scalability trial count (0 = config default)")
+	flag.Parse()
+
+	cfg := harness.DefaultConfig()
+	if *full {
+		cfg = harness.PaperConfig()
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *trials > 0 {
+		cfg.ScalabilityTrials = *trials
+	}
+
+	experiments := harness.Experiments(cfg)
+	var names []string
+	if *exp == "all" {
+		names = harness.ExperimentOrder
+	} else {
+		if _, ok := experiments[*exp]; !ok {
+			fmt.Fprintf(os.Stderr, "repro: unknown experiment %q (have %v, all)\n", *exp, harness.ExperimentOrder)
+			os.Exit(2)
+		}
+		names = []string{*exp}
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	for _, name := range names {
+		start := time.Now()
+		table, err := experiments[name]()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if err := table.Render(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "repro: rendering %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  [%s completed in %v, %d trials/config for scalability]\n\n",
+			name, time.Since(start).Round(time.Millisecond), cfg.ScalabilityTrials)
+		if *csvDir != "" {
+			f, err := os.Create(filepath.Join(*csvDir, name+".csv"))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+				os.Exit(1)
+			}
+			if err := table.RenderCSV(f); err != nil {
+				f.Close()
+				fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}

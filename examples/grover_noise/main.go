@@ -1,0 +1,45 @@
+// Grover under noise: the NISQ-era algorithm-evaluation workflow the
+// paper's introduction motivates. We sweep gate error rates on an
+// artificial device and measure how Grover's success probability decays —
+// each sweep point being a full Monte Carlo noisy simulation, accelerated
+// by trial reordering.
+//
+//	go run ./examples/grover_noise
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/noise"
+)
+
+func main() {
+	c := bench.Grover3() // marks |111>, two iterations
+	const trials = 4096
+
+	fmt.Println("Grover-3 success probability vs gate error rate")
+	fmt.Println("p1 (1q rate)  P(|111>)  saving   MSV  mean-errors")
+	for _, p1 := range []float64{0, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2} {
+		m := noise.Uniform(fmt.Sprintf("sweep-%g", p1), 3, p1, 10*p1, 10*p1)
+		rep, err := core.Run(core.Config{
+			Circuit: c,
+			Model:   m,
+			Trials:  trials,
+			Seed:    7,
+			Mode:    core.ModeReordered,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		success := rep.Reordered.Distribution()[0b111]
+		fmt.Printf("%-12.0e  %.3f     %5.1f%%  %3d  %.2f\n",
+			p1, success, rep.Analysis.Saving*100, rep.Analysis.MSV,
+			rep.TrialStats.MeanErrors)
+	}
+	fmt.Println("\nNote how the reordering saves MORE as devices improve:")
+	fmt.Println("fewer injected errors mean longer shared prefixes between trials,")
+	fmt.Println("exactly the scalability trend of the paper's Figure 7.")
+}

@@ -1,0 +1,69 @@
+// Memory-budgeted reordering: the paper motivates dropping stored states
+// because "saving a state takes significant memory space, which may limit
+// the size of the program that could be simulated". This example sweeps a
+// hard cap on stored state vectors and shows the compute/memory trade the
+// budgeted planner makes: outcomes stay bit-identical at every budget,
+// ops grade smoothly from the full plan to the baseline.
+//
+//	go run ./examples/memory_budget
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/bench"
+	"repro/internal/device"
+	"repro/internal/reorder"
+	"repro/internal/sim"
+	"repro/internal/statevec"
+	"repro/internal/transpile"
+	"repro/internal/trial"
+)
+
+func main() {
+	dev := device.Yorktown()
+	mapped, err := transpile.ToDevice(bench.QFT(5), dev)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := mapped.Circuit
+	gen, err := trial.NewGenerator(c, dev.Model())
+	if err != nil {
+		log.Fatal(err)
+	}
+	trials := gen.Generate(rand.New(rand.NewSource(5)), 4096)
+
+	base, err := sim.Baseline(c, trials, sim.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	full, err := reorder.BuildPlan(c, trials)
+	if err != nil {
+		log.Fatal(err)
+	}
+	perVec := statevec.StateMemoryBytes(c.NumQubits())
+	fmt.Printf("qft5 on Yorktown, %d trials; baseline %d ops; one state vector = %.0f B\n\n",
+		len(trials), base.Ops, perVec)
+	fmt.Println("budget  stored(peak)  ops       vs baseline  extra copies  identical?")
+	for _, budget := range []int{0, 1, 2, 3, full.MSV() + 1} {
+		plan, err := reorder.BuildPlanBudget(c, trials, budget)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sim.ExecutePlan(c, plan, sim.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		same := "yes"
+		if !sim.EqualOutcomes(base, res) {
+			same = "NO (BUG)"
+		}
+		fmt.Printf("%-7d %-13d %-9d %6.1f%%      %-13d %s\n",
+			budget, res.MSV, res.Ops,
+			100*float64(res.Ops)/float64(base.Ops), res.Copies, same)
+	}
+	fmt.Println("\nEven a single stored vector recovers most of the saving; the full")
+	fmt.Println("plan needs only a handful — the paper's memory argument, quantified.")
+}

@@ -1,0 +1,90 @@
+// QASM pipeline: parse an OpenQASM 2.0 program, map it onto the IBM
+// Yorktown coupling graph, and run the noisy simulation both ways —
+// demonstrating the full compiler-to-simulator path a device-modeling
+// study uses.
+//
+//	go run ./examples/qasm_pipeline
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/sim"
+)
+
+// A Bernstein-Vazirani program with secret 101, as it would arrive from a
+// front-end compiler.
+const program = `
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+creg c[4];
+h q[0];
+h q[1];
+h q[2];
+x q[3];
+h q[3];
+// oracle for secret 101
+cx q[0],q[3];
+cx q[2],q[3];
+h q[0];
+h q[1];
+h q[2];
+measure q[0] -> c[0];
+measure q[1] -> c[1];
+measure q[2] -> c[2];
+`
+
+func main() {
+	circ, err := circuit.ParseQASM(program)
+	if err != nil {
+		log.Fatal(err)
+	}
+	circ.SetName("bv-secret-101")
+
+	rep, err := core.Run(core.Config{
+		Circuit:   circ,
+		Device:    device.Yorktown(),
+		Transpile: true,
+		Trials:    8192,
+		Seed:      3,
+		Mode:      core.ModeBoth,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	s, d, _ := rep.Circuit.CountGates()
+	fmt.Printf("parsed %q: %d qubits -> mapped to Yorktown: %d single, %d CNOT (%d swaps)\n",
+		circ.Name(), circ.NumQubits(), s, d, rep.Transpile.SwapsInserted)
+
+	if !sim.EqualOutcomes(rep.Baseline, rep.Reordered) {
+		log.Fatal("equivalence violated") // never happens; see sim tests
+	}
+	fmt.Printf("baseline %d ops vs reordered %d ops: %.1f%% computation saved, %d MSVs\n",
+		rep.Baseline.Ops, rep.Reordered.Ops, rep.MeasuredSaving()*100, rep.Reordered.MSV)
+
+	// The noiseless answer is the secret 101; noise spreads mass onto
+	// neighboring strings. Print the distribution sorted by probability.
+	type kv struct {
+		bits uint64
+		p    float64
+	}
+	var outs []kv
+	for b, p := range rep.Reordered.Distribution() {
+		outs = append(outs, kv{b, p})
+	}
+	sort.Slice(outs, func(i, j int) bool { return outs[i].p > outs[j].p })
+	fmt.Println("\nmeasured distribution (secret is 101):")
+	for i, o := range outs {
+		if i >= 5 {
+			break
+		}
+		fmt.Printf("  %03b  %.3f\n", o.bits, o.p)
+	}
+}

@@ -1,0 +1,56 @@
+// Quantum Volume measurement on simulated devices: for each error-rate
+// setting, find the largest width whose square random circuits keep the
+// heavy-output probability above 2/3 — IBM's QV protocol, evaluated
+// entirely in noisy simulation (the paper's motivating use case), with
+// the trial reordering paying for the thousands of Monte Carlo trials
+// each data point needs.
+//
+//	go run ./examples/quantum_volume
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/noise"
+	"repro/internal/qvolume"
+)
+
+func main() {
+	const (
+		circuits = 10
+		trials   = 2000
+		maxWidth = 5
+	)
+	fmt.Printf("QV protocol: %d random circuits x %d trials per width\n\n", circuits, trials)
+	fmt.Println("1q rate   width  mean HOP  lower CI  pass   ops saved   => QV")
+	for _, p1 := range []float64{1e-4, 1e-3, 5e-3, 1.5e-2} {
+		achieved := 1
+		for n := 2; n <= maxWidth; n++ {
+			m := noise.Uniform("sweep", n, p1, 10*p1, 10*p1)
+			res, err := qvolume.Run(qvolume.Config{
+				Qubits:   n,
+				Circuits: circuits,
+				Trials:   trials,
+				Model:    m,
+				Seed:     77,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			pass := "no"
+			if res.Pass {
+				pass = "yes"
+				achieved = n
+			}
+			fmt.Printf("%-9.0e %-6d %-9.3f %-9.3f %-6s %5.1f%%\n",
+				p1, n, res.MeanHOP, res.LowerCI, pass, res.OpsSaved*100)
+			if !res.Pass {
+				break // protocol stops at the first failing width
+			}
+		}
+		fmt.Printf("%-9.0e => quantum volume 2^%d = %d\n\n", p1, achieved, 1<<uint(achieved))
+	}
+	fmt.Println("Lower error rates unlock larger volumes, and the cheaper each")
+	fmt.Println("noisy data point gets (ops saved), mirroring the paper's Figure 7.")
+}

@@ -1,0 +1,43 @@
+// Randomized benchmarking, end to end: run self-inverting Clifford
+// sequences of growing depth under the device error model, watch the
+// survival probability decay, and extract the error per Clifford from the
+// exponential fit — the experiment the paper's "rb" benchmark row stands
+// for, with every data point accelerated by trial reordering.
+//
+//	go run ./examples/rb_protocol
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/noise"
+	"repro/internal/rb"
+)
+
+func main() {
+	model := noise.Uniform("device", 2, 1.5e-3, 1.5e-2, 1e-2)
+	res, err := rb.Run(rb.Config{
+		Qubits:    2,
+		Depths:    []int{1, 2, 4, 8, 16, 32},
+		Sequences: 4,
+		Trials:    4000,
+		Model:     model,
+		Seed:      9,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("2-qubit randomized benchmarking (1q error 1.5e-3, 2q 1.5e-2)")
+	fmt.Println("\ndepth  gates  survival  ops-saved")
+	for _, pt := range res.Points {
+		fmt.Printf("%-6d %-6d %.3f     %5.1f%%\n", pt.Depth, pt.Gates, pt.Survival, pt.OpsSaved*100)
+	}
+	f := res.Fit
+	fmt.Printf("\nfit: survival ~ %.3f * %.5f^m + %.3f\n", f.A, f.P, f.B)
+	fmt.Printf("error per Clifford layer: %.4f\n", f.ErrorPerClifford)
+	fmt.Println("\nNote the reordering saving per depth: shallow sequences are almost")
+	fmt.Println("free (most trials are error-free duplicates), and even the deepest")
+	fmt.Println("sequences reuse the bulk of their computation across trials.")
+}

@@ -1,0 +1,94 @@
+// Variational energy estimation under noise — the molecule-simulation
+// workload the paper's introduction cites as a key QC application. A
+// fixed ansatz prepares a trial state for a 2-qubit transverse-field
+// Ising Hamiltonian H = -J Z0Z1 - h (X0 + X1); each Pauli term's
+// expectation is estimated by Monte Carlo noisy simulation (reordered, so
+// thousands of trials per term cost a fraction of the baseline), and the
+// noisy energies are compared against the exact noiseless value.
+//
+//	go run ./examples/vqe_energy
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/circuit"
+	"repro/internal/gate"
+	"repro/internal/noise"
+	"repro/internal/observable"
+	"repro/internal/sim"
+	"repro/internal/statevec"
+	"repro/internal/trial"
+)
+
+func must(p observable.PauliString, err error) observable.PauliString {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return p
+}
+
+func main() {
+	const (
+		j, hfield = 1.0, 0.7
+		trialsN   = 20000
+	)
+	ham := observable.Hamiltonian{Terms: []observable.Term{
+		{Coefficient: -j, Pauli: must(observable.ParsePauliString("ZZ"))},
+		{Coefficient: -hfield, Pauli: must(observable.ParsePauliString("XI"))},
+		{Coefficient: -hfield, Pauli: must(observable.ParsePauliString("IX"))},
+	}}
+
+	// A hardware-efficient ansatz at fixed (pre-optimized-ish) angles.
+	ansatz := circuit.New("ansatz", 2)
+	ansatz.Append(gate.RY(0.55), 0)
+	ansatz.Append(gate.RY(0.55), 1)
+	ansatz.Append(gate.CX(), 0, 1)
+	ansatz.Append(gate.RY(-0.25), 1)
+
+	exactState := statevec.NewState(2)
+	for _, op := range ansatz.Ops() {
+		exactState.ApplyOp(op.Gate, op.Qubits...)
+	}
+	exact := ham.ExpectationState(exactState)
+	fmt.Printf("H = %v\n", ham)
+	fmt.Printf("exact noiseless <H> for this ansatz: %.4f\n\n", exact)
+	fmt.Println("1q rate   <H> (noisy)   error    total ops saved")
+
+	for _, p1 := range []float64{0, 1e-4, 1e-3, 5e-3, 2e-2} {
+		m := noise.Uniform("sweep", 2, p1, 10*p1, 10*p1)
+		var energy float64
+		var savedNum, savedDen int64
+		for _, term := range ham.Terms {
+			// Measured circuit for this term: ansatz + basis change.
+			mc := ansatz.Clone()
+			for _, op := range term.Pauli.MeasurementBasisCircuit(2).Ops() {
+				mc.Append(op.Gate, op.Qubits...)
+			}
+			mc.MeasureAll()
+			gen, err := trial.NewGenerator(mc, m)
+			if err != nil {
+				log.Fatal(err)
+			}
+			trials := gen.Generate(rand.New(rand.NewSource(11)), trialsN)
+			res, err := sim.Reordered(mc, trials, sim.Options{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			outs := make([]uint64, len(res.Outcomes))
+			for i, o := range res.Outcomes {
+				outs[i] = o.Bits
+			}
+			energy += term.Coefficient * term.Pauli.EstimateFromOutcomes(outs)
+			base := int64(mc.NumOps())*int64(trialsN) + int64(trial.Summarize(trials).TotalErrors)
+			savedNum += base - res.Ops
+			savedDen += base
+		}
+		fmt.Printf("%-9.0e %-13.4f %-8.4f %5.1f%%\n",
+			p1, energy, energy-exact, 100*float64(savedNum)/float64(savedDen))
+	}
+	fmt.Println("\nNoise pulls the estimated energy toward 0 (the maximally mixed value);")
+	fmt.Println("the reordering makes the per-term Monte Carlo cheap enough to sweep.")
+}

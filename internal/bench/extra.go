@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/circuit"
+	"repro/internal/gate"
+)
+
+// The generators below extend the Table I suite with further standard
+// workloads from the OpenQASM benchmark family (Deutsch-Jozsa, GHZ,
+// quantum phase estimation, the Cuccaro ripple-carry adder), so users can
+// exercise the noisy simulator on the algorithms those suites contain.
+
+// GHZ returns the n-qubit GHZ preparation: H then a CNOT chain, measured
+// on all qubits.
+func GHZ(n int) *circuit.Circuit {
+	if n < 2 {
+		panic(fmt.Sprintf("bench: GHZ needs >= 2 qubits, got %d", n))
+	}
+	c := circuit.New(fmt.Sprintf("ghz%d", n), n)
+	c.Append(gate.H(), 0)
+	for q := 0; q+1 < n; q++ {
+		c.Append(gate.CX(), q, q+1)
+	}
+	c.MeasureAll()
+	return c
+}
+
+// DeutschJozsa returns the n-qubit Deutsch-Jozsa circuit (n-1 data qubits
+// plus an ancilla) for a balanced oracle defined by the nonzero mask:
+// f(x) = parity(x & mask). A constant oracle uses mask 0. The noiseless
+// readout is all-zeros iff the oracle is constant.
+func DeutschJozsa(n int, mask uint64) *circuit.Circuit {
+	if n < 2 {
+		panic(fmt.Sprintf("bench: DeutschJozsa needs >= 2 qubits, got %d", n))
+	}
+	c := circuit.New(fmt.Sprintf("dj%d", n), n)
+	data := n - 1
+	for q := 0; q < data; q++ {
+		c.Append(gate.H(), q)
+	}
+	c.Append(gate.X(), data)
+	c.Append(gate.H(), data)
+	for q := 0; q < data; q++ {
+		if mask>>uint(q)&1 == 1 {
+			c.Append(gate.CX(), q, data)
+		}
+	}
+	for q := 0; q < data; q++ {
+		c.Append(gate.H(), q)
+	}
+	for q := 0; q < data; q++ {
+		c.Measure(q, q)
+	}
+	return c
+}
+
+// QPE returns a quantum-phase-estimation circuit estimating the phase of
+// the single-qubit unitary P(2*pi*phase) on its |1> eigenstate, with
+// `bits` counting qubits. The noiseless measurement reads the best
+// `bits`-bit approximation of phase (for exactly representable phases,
+// deterministically).
+func QPE(bits int, phase float64) *circuit.Circuit {
+	if bits < 1 {
+		panic(fmt.Sprintf("bench: QPE needs >= 1 counting qubit, got %d", bits))
+	}
+	n := bits + 1
+	target := bits
+	c := circuit.New(fmt.Sprintf("qpe%d", bits), n)
+	// Eigenstate |1> of the phase gate.
+	c.Append(gate.X(), target)
+	for q := 0; q < bits; q++ {
+		c.Append(gate.H(), q)
+	}
+	// Controlled-U^(2^q): controlled phase by 2*pi*phase*2^q, decomposed
+	// into the {u1, CX} basis like the rest of the suite.
+	for q := 0; q < bits; q++ {
+		lambda := 2 * math.Pi * phase * math.Exp2(float64(q))
+		cp(c, lambda, q, target)
+	}
+	// Inverse QFT on the counting register: undo the standard transform
+	// (whose circuit is rotation blocks followed by bit-reversal swaps)
+	// by applying the swaps first, then the inverted blocks.
+	for i := 0; i < bits/2; i++ {
+		appendSwap(c, i, bits-1-i)
+	}
+	for i := 0; i < bits; i++ {
+		for j := 0; j < i; j++ {
+			cp(c, -math.Pi/math.Exp2(float64(i-j)), j, i)
+		}
+		c.Append(gate.H(), i)
+	}
+	for q := 0; q < bits; q++ {
+		c.Measure(q, q)
+	}
+	return c
+}
+
+// CuccaroAdder returns the in-place ripple-carry adder of Cuccaro et al.:
+// |a>|b> -> |a>|a+b> over two width-`bits` registers plus one ancilla and
+// one carry-out qubit (2*bits + 2 qubits total). Register layout: qubit 0
+// is the ancilla, qubits 1..bits hold b (b0 lowest), qubits
+// bits+1..2*bits hold a, and the last qubit receives the carry.
+// The aInit/bInit values are loaded with X gates; all qubits are measured.
+func CuccaroAdder(bits int, aInit, bInit uint64) *circuit.Circuit {
+	if bits < 1 {
+		panic(fmt.Sprintf("bench: adder needs >= 1 bit, got %d", bits))
+	}
+	n := 2*bits + 2
+	c := circuit.New(fmt.Sprintf("add%d", bits), n)
+	anc := 0
+	b := func(i int) int { return 1 + i }
+	a := func(i int) int { return 1 + bits + i }
+	carry := n - 1
+
+	for i := 0; i < bits; i++ {
+		if aInit>>uint(i)&1 == 1 {
+			c.Append(gate.X(), a(i))
+		}
+		if bInit>>uint(i)&1 == 1 {
+			c.Append(gate.X(), b(i))
+		}
+	}
+
+	maj := func(x, y, z int) {
+		c.Append(gate.CX(), z, y)
+		c.Append(gate.CX(), z, x)
+		c.Append(gate.CCX(), x, y, z)
+	}
+	uma := func(x, y, z int) {
+		c.Append(gate.CCX(), x, y, z)
+		c.Append(gate.CX(), z, x)
+		c.Append(gate.CX(), x, y)
+	}
+
+	maj(anc, b(0), a(0))
+	for i := 1; i < bits; i++ {
+		maj(a(i-1), b(i), a(i))
+	}
+	c.Append(gate.CX(), a(bits-1), carry)
+	for i := bits - 1; i >= 1; i-- {
+		uma(a(i-1), b(i), a(i))
+	}
+	uma(anc, b(0), a(0))
+
+	c.MeasureAll()
+	return c
+}

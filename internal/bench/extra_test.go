@@ -1,0 +1,171 @@
+package bench
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGHZState(t *testing.T) {
+	for _, n := range []int{2, 4, 6} {
+		c := GHZ(n)
+		s := run(c)
+		lo := s.Probability(0)
+		hi := s.Probability(s.Dim() - 1)
+		if math.Abs(lo-0.5) > 1e-9 || math.Abs(hi-0.5) > 1e-9 {
+			t.Errorf("GHZ%d: P(0)=%g P(all-ones)=%g", n, lo, hi)
+		}
+	}
+}
+
+func TestDeutschJozsaBalanced(t *testing.T) {
+	// Balanced oracle: data readout must never be all zeros.
+	c := DeutschJozsa(4, 0b101)
+	s := run(c)
+	// Sum probability over states whose data bits (0..2) are all zero.
+	var pZero float64
+	for idx := 0; idx < s.Dim(); idx++ {
+		if idx&0b111 == 0 {
+			pZero += s.Probability(idx)
+		}
+	}
+	if pZero > 1e-9 {
+		t.Errorf("balanced oracle gave P(data=0) = %g", pZero)
+	}
+}
+
+func TestDeutschJozsaConstant(t *testing.T) {
+	c := DeutschJozsa(4, 0)
+	s := run(c)
+	var pZero float64
+	for idx := 0; idx < s.Dim(); idx++ {
+		if idx&0b111 == 0 {
+			pZero += s.Probability(idx)
+		}
+	}
+	if math.Abs(pZero-1) > 1e-9 {
+		t.Errorf("constant oracle gave P(data=0) = %g, want 1", pZero)
+	}
+}
+
+func TestQPEExactPhase(t *testing.T) {
+	// phase = 3/8 is exactly representable in 3 bits: reads 011.
+	c := QPE(3, 3.0/8.0)
+	s := run(c)
+	// Counting register on qubits 0..2 (qubit 0 = LSB of the estimate),
+	// target |1> on qubit 3; 3/8 in 3 bits is the value 3.
+	var pWant float64
+	for idx := 0; idx < s.Dim(); idx++ {
+		if uint64(idx)&0b111 == 3 {
+			pWant += s.Probability(idx)
+		}
+	}
+	if math.Abs(pWant-1) > 1e-9 {
+		t.Errorf("QPE(3/8) measured %g mass on value 3, want 1", pWant)
+	}
+}
+
+func TestQPEQuarterPhase(t *testing.T) {
+	c := QPE(2, 0.25)
+	s := run(c)
+	// 0.25 in 2 bits is the value 1.
+	var pWant float64
+	for idx := 0; idx < s.Dim(); idx++ {
+		if uint64(idx)&0b11 == 1 {
+			pWant += s.Probability(idx)
+		}
+	}
+	if math.Abs(pWant-1) > 1e-9 {
+		t.Errorf("QPE(1/4) P(value=1) = %g, want 1", pWant)
+	}
+}
+
+// TestCuccaroAdderExhaustive checks |a>|b> -> |a>|a+b> for every input
+// pair at 2 and 3 bits.
+func TestCuccaroAdderExhaustive(t *testing.T) {
+	for _, bits := range []int{2, 3} {
+		max := uint64(1) << uint(bits)
+		for a := uint64(0); a < max; a++ {
+			for b := uint64(0); b < max; b++ {
+				c := CuccaroAdder(bits, a, b)
+				s := run(c)
+				// Decode the (unique) output basis state.
+				var out int
+				found := false
+				for idx := 0; idx < s.Dim(); idx++ {
+					if s.Probability(idx) > 0.5 {
+						out = idx
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("bits=%d a=%d b=%d: output not a basis state", bits, a, b)
+				}
+				sum := a + b
+				gotB := uint64(out) >> 1 & (max - 1)
+				gotA := uint64(out) >> uint(1+bits) & (max - 1)
+				gotCarry := uint64(out) >> uint(2*bits+1) & 1
+				gotAnc := uint64(out) & 1
+				if gotB != sum&(max-1) || gotCarry != sum>>uint(bits) {
+					t.Errorf("bits=%d %d+%d: got b=%d carry=%d, want %d carry %d",
+						bits, a, b, gotB, gotCarry, sum&(max-1), sum>>uint(bits))
+				}
+				if gotA != a || gotAnc != 0 {
+					t.Errorf("bits=%d %d+%d: a register or ancilla corrupted (a=%d anc=%d)",
+						bits, a, b, gotA, gotAnc)
+				}
+			}
+		}
+	}
+}
+
+// TestCuccaroAdderProperty spot-checks 4-bit additions.
+func TestCuccaroAdderProperty(t *testing.T) {
+	f := func(aRaw, bRaw uint8) bool {
+		a := uint64(aRaw % 16)
+		b := uint64(bRaw % 16)
+		c := CuccaroAdder(4, a, b)
+		s := run(c)
+		for idx := 0; idx < s.Dim(); idx++ {
+			if s.Probability(idx) > 0.5 {
+				sum := a + b
+				gotB := uint64(idx) >> 1 & 15
+				gotCarry := uint64(idx) >> 9 & 1
+				return gotB == sum&15 && gotCarry == sum>>4
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExtraGeneratorsValidate(t *testing.T) {
+	for _, c := range []interface{ Validate() error }{
+		GHZ(5), DeutschJozsa(5, 0b1011), QPE(4, 0.3), CuccaroAdder(3, 5, 6),
+	} {
+		if err := c.Validate(); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestExtraGeneratorsPanicOnBadArgs(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"ghz": func() { GHZ(1) },
+		"dj":  func() { DeutschJozsa(1, 0) },
+		"qpe": func() { QPE(0, 0.1) },
+		"add": func() { CuccaroAdder(0, 0, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,68 @@
+package circuit
+
+import (
+	"fmt"
+
+	"repro/internal/gate"
+)
+
+// Inverse returns the adjoint circuit: gates reversed and daggered.
+// Measurements are not carried over (the inverse of a measured circuit is
+// not a circuit operation); add measurements to the result as needed.
+// Randomized benchmarking builds its echo sequences this way.
+func Inverse(c *Circuit) *Circuit {
+	out := New(c.Name()+"_inv", c.NumQubits())
+	ops := c.Ops()
+	for i := len(ops) - 1; i >= 0; i-- {
+		out.Append(gate.Dagger(ops[i].Gate), ops[i].Qubits...)
+	}
+	return out
+}
+
+// Concat appends all of b's gates (and, if a has none of its own, b's
+// measurements) to a copy of a. The circuits must have the same width.
+func Concat(a, b *Circuit) (*Circuit, error) {
+	if a.NumQubits() != b.NumQubits() {
+		return nil, fmt.Errorf("circuit: cannot concat %d-qubit and %d-qubit circuits", a.NumQubits(), b.NumQubits())
+	}
+	if len(a.Measurements()) > 0 {
+		return nil, fmt.Errorf("circuit: cannot append gates after measurements of %q", a.Name())
+	}
+	out := a.Clone()
+	out.SetName(a.Name() + "+" + b.Name())
+	for _, op := range b.Ops() {
+		out.Append(op.Gate, op.Qubits...)
+	}
+	for _, m := range b.Measurements() {
+		out.Measure(m.Qubit, m.Bit)
+	}
+	return out, nil
+}
+
+// Repeat returns the circuit's gate sequence repeated k times (no
+// measurements). Useful for building benchmarking sequences of scaled
+// depth.
+func Repeat(c *Circuit, k int) (*Circuit, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("circuit: repeat count %d < 1", k)
+	}
+	if len(c.Measurements()) > 0 {
+		return nil, fmt.Errorf("circuit: cannot repeat measured circuit %q", c.Name())
+	}
+	out := New(fmt.Sprintf("%s^%d", c.Name(), k), c.NumQubits())
+	for i := 0; i < k; i++ {
+		for _, op := range c.Ops() {
+			out.Append(op.Gate, op.Qubits...)
+		}
+	}
+	return out, nil
+}
+
+// Echo returns c followed by its inverse — the identity up to noise, the
+// shape randomized-benchmarking sequences take.
+func Echo(c *Circuit) (*Circuit, error) {
+	if len(c.Measurements()) > 0 {
+		return nil, fmt.Errorf("circuit: cannot echo measured circuit %q", c.Name())
+	}
+	return Concat(c, Inverse(c))
+}

@@ -1,0 +1,140 @@
+package circuit
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gate"
+	"repro/internal/qmath"
+)
+
+func randomGateCircuit(rng *rand.Rand, n, depth int) *Circuit {
+	c := New("rand", n)
+	for i := 0; i < depth; i++ {
+		switch rng.Intn(5) {
+		case 0:
+			c.Append(gate.H(), rng.Intn(n))
+		case 1:
+			c.Append(gate.T(), rng.Intn(n))
+		case 2:
+			c.Append(gate.U3(rng.Float64(), rng.Float64(), rng.Float64()), rng.Intn(n))
+		case 3:
+			c.Append(gate.S(), rng.Intn(n))
+		default:
+			a := rng.Intn(n)
+			b := (a + 1 + rng.Intn(n-1)) % n
+			c.Append(gate.CX(), a, b)
+		}
+	}
+	return c
+}
+
+// TestEchoIsIdentity: circuit followed by its inverse leaves any state
+// unchanged (up to float error).
+func TestEchoIsIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomGateCircuit(rng, 3, 15)
+		echo, err := Echo(c)
+		if err != nil {
+			return false
+		}
+		amp := make([]complex128, 8)
+		for i := range amp {
+			amp[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		qmath.Normalize(amp)
+		orig := append([]complex128(nil), amp...)
+		for _, op := range echo.Ops() {
+			amp = applyDense(amp, op, 3)
+		}
+		return qmath.VecEqual(amp, orig, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInverseReversesOrder(t *testing.T) {
+	c := New("t", 2)
+	c.Append(gate.H(), 0)
+	c.Append(gate.S(), 1)
+	inv := Inverse(c)
+	if inv.NumOps() != 2 {
+		t.Fatalf("ops = %d", inv.NumOps())
+	}
+	if inv.Op(0).Gate.Kind() != gate.KindSdg || inv.Op(1).Gate.Kind() != gate.KindH {
+		t.Errorf("inverse order/gates wrong: %v, %v", inv.Op(0).Gate.Name(), inv.Op(1).Gate.Name())
+	}
+}
+
+func TestInverseDropsMeasurements(t *testing.T) {
+	c := New("t", 1)
+	c.Append(gate.H(), 0)
+	c.Measure(0, 0)
+	if got := Inverse(c); len(got.Measurements()) != 0 {
+		t.Error("inverse kept measurements")
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := New("a", 2)
+	a.Append(gate.H(), 0)
+	b := New("b", 2)
+	b.Append(gate.X(), 1)
+	b.Measure(0, 0)
+	out, err := Concat(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumOps() != 2 || len(out.Measurements()) != 1 {
+		t.Errorf("concat shape wrong: %d ops, %d measures", out.NumOps(), len(out.Measurements()))
+	}
+	// Originals untouched.
+	if a.NumOps() != 1 || b.NumOps() != 1 {
+		t.Error("concat mutated inputs")
+	}
+}
+
+func TestConcatErrors(t *testing.T) {
+	a := New("a", 2)
+	b := New("b", 3)
+	if _, err := Concat(a, b); err == nil {
+		t.Error("width mismatch accepted")
+	}
+	measured := New("m", 2)
+	measured.Measure(0, 0)
+	if _, err := Concat(measured, New("c", 2)); err == nil {
+		t.Error("gates after measurement accepted")
+	}
+}
+
+func TestRepeat(t *testing.T) {
+	c := New("unit", 1)
+	c.Append(gate.T(), 0)
+	r, err := Repeat(c, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumOps() != 8 {
+		t.Errorf("ops = %d, want 8", r.NumOps())
+	}
+	// T^8 = identity.
+	amp := []complex128{qmath.SqrtHalf, qmath.SqrtHalf}
+	orig := append([]complex128(nil), amp...)
+	for _, op := range r.Ops() {
+		amp = applyDense(amp, op, 1)
+	}
+	if !qmath.VecEqual(amp, orig, 1e-9) {
+		t.Error("T^8 != I")
+	}
+	if _, err := Repeat(c, 0); err == nil {
+		t.Error("repeat 0 accepted")
+	}
+	m := New("m", 1)
+	m.Measure(0, 0)
+	if _, err := Repeat(m, 2); err == nil {
+		t.Error("repeat of measured circuit accepted")
+	}
+}

@@ -1,0 +1,146 @@
+package circuit
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/gate"
+)
+
+// Draw renders the circuit as ASCII art, one wire per qubit, one column
+// per ASAP layer, with vertical connectors for multi-qubit gates and a
+// trailing M column for measured qubits:
+//
+//	q0: ─[h]──●────────M
+//	          │
+//	q1: ──────[x]──●───M
+//	               │
+//	q2: ───────────[x]─M
+//
+// Intended for debugging and documentation; layout is deterministic.
+func Draw(c *Circuit) string {
+	n := c.NumQubits()
+	layers := c.Layers()
+
+	// Build the label grid: rows = qubit wires, interleaved with
+	// connector rows; columns = layers.
+	grid := make([][]drawCell, n)
+	for q := range grid {
+		grid[q] = make([]drawCell, len(layers))
+	}
+	for l, idx := range layers {
+		for _, oi := range idx {
+			op := c.Op(oi)
+			switch {
+			case op.Gate.Qubits() == 1:
+				grid[op.Qubits[0]][l].label = "[" + op.Gate.String() + "]"
+			case op.Gate.Kind() == gate.KindCX:
+				grid[op.Qubits[0]][l].label = "●"
+				grid[op.Qubits[1]][l].label = "[x]"
+				markConn(grid, op.Qubits, l)
+			case op.Gate.Kind() == gate.KindCZ:
+				grid[op.Qubits[0]][l].label = "●"
+				grid[op.Qubits[1]][l].label = "●"
+				markConn(grid, op.Qubits, l)
+			case op.Gate.Kind() == gate.KindSwap:
+				grid[op.Qubits[0]][l].label = "x"
+				grid[op.Qubits[1]][l].label = "x"
+				markConn(grid, op.Qubits, l)
+			case op.Gate.Kind() == gate.KindCCX:
+				grid[op.Qubits[0]][l].label = "●"
+				grid[op.Qubits[1]][l].label = "●"
+				grid[op.Qubits[2]][l].label = "[x]"
+				markConn(grid, op.Qubits, l)
+			default:
+				// Generic multi-qubit gate: label every operand.
+				for i, q := range op.Qubits {
+					grid[q][l].label = fmt.Sprintf("[%s:%d]", op.Gate.Name(), i)
+				}
+				markConn(grid, op.Qubits, l)
+			}
+		}
+	}
+
+	// Column widths.
+	widths := make([]int, len(layers))
+	for l := range widths {
+		w := 1
+		for q := 0; q < n; q++ {
+			if len([]rune(grid[q][l].label)) > w {
+				w = len([]rune(grid[q][l].label))
+			}
+		}
+		widths[l] = w + 2 // padding dashes
+	}
+
+	measured := make([]bool, n)
+	for _, m := range c.Measurements() {
+		measured[m.Qubit] = true
+	}
+	anyMeasure := len(c.Measurements()) > 0
+
+	nameW := len(fmt.Sprintf("q%d", n-1))
+	var sb strings.Builder
+	for q := 0; q < n; q++ {
+		fmt.Fprintf(&sb, "%-*s ", nameW+1, fmt.Sprintf("q%d:", q))
+		for l := range layers {
+			lbl := grid[q][l].label
+			runes := len([]rune(lbl))
+			pad := widths[l] - runes
+			left := pad / 2
+			sb.WriteString(strings.Repeat("─", left))
+			if lbl == "" {
+				sb.WriteString(strings.Repeat("─", runes))
+			} else {
+				sb.WriteString(lbl)
+			}
+			sb.WriteString(strings.Repeat("─", pad-left))
+		}
+		if anyMeasure {
+			if measured[q] {
+				sb.WriteString("─M")
+			} else {
+				sb.WriteString("──")
+			}
+		}
+		sb.WriteString("\n")
+		// Connector row between wire q and q+1.
+		if q+1 < n {
+			sb.WriteString(strings.Repeat(" ", nameW+2))
+			for l := range layers {
+				w := widths[l]
+				left := w / 2
+				if grid[q][l].conn {
+					sb.WriteString(strings.Repeat(" ", left) + "│" + strings.Repeat(" ", w-left-1))
+				} else {
+					sb.WriteString(strings.Repeat(" ", w))
+				}
+			}
+			sb.WriteString("\n")
+		}
+	}
+	return sb.String()
+}
+
+// drawCell is one grid position of the renderer: a wire label and whether
+// a vertical connector passes below the wire.
+type drawCell struct {
+	label string // what sits on the wire ("" = plain wire)
+	conn  bool   // vertical connector passes below this wire
+}
+
+// markConn marks the connector rows a multi-qubit gate spans in layer l.
+func markConn(grid [][]drawCell, qubits []int, l int) {
+	lo, hi := qubits[0], qubits[0]
+	for _, q := range qubits {
+		if q < lo {
+			lo = q
+		}
+		if q > hi {
+			hi = q
+		}
+	}
+	for q := lo; q < hi; q++ {
+		grid[q][l].conn = true
+	}
+}

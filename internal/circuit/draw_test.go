@@ -1,0 +1,84 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gate"
+)
+
+func TestDrawBell(t *testing.T) {
+	c := New("bell", 2)
+	c.Append(gate.H(), 0)
+	c.Append(gate.CX(), 0, 1)
+	c.MeasureAll()
+	art := Draw(c)
+	for _, want := range []string{"q0:", "q1:", "[h]", "●", "[x]", "│", "M"} {
+		if !strings.Contains(art, want) {
+			t.Errorf("drawing missing %q:\n%s", want, art)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(art, "\n"), "\n")
+	// 2 wires + 1 connector row.
+	if len(lines) != 3 {
+		t.Errorf("line count = %d:\n%s", len(lines), art)
+	}
+	// All wire lines equal length.
+	if len(lines[0]) != len(lines[2]) {
+		t.Errorf("ragged wires:\n%s", art)
+	}
+}
+
+func TestDrawConnectorsSpanMiddleWires(t *testing.T) {
+	c := New("span", 3)
+	c.Append(gate.CX(), 0, 2)
+	art := Draw(c)
+	lines := strings.Split(strings.TrimRight(art, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("line count = %d:\n%s", len(lines), art)
+	}
+	// Both connector rows (between q0-q1 and q1-q2) carry the bar.
+	if !strings.Contains(lines[1], "│") || !strings.Contains(lines[3], "│") {
+		t.Errorf("connector missing:\n%s", art)
+	}
+	// The middle wire is plain.
+	if strings.Contains(lines[2], "●") || strings.Contains(lines[2], "[x]") {
+		t.Errorf("middle wire has gate glyphs:\n%s", art)
+	}
+}
+
+func TestDrawSpecialGates(t *testing.T) {
+	c := New("special", 3)
+	c.Append(gate.CZ(), 0, 1)
+	c.Append(gate.Swap(), 1, 2)
+	c.Append(gate.CCX(), 0, 1, 2)
+	c.Append(gate.RZ(0.5), 0)
+	art := Draw(c)
+	for _, want := range []string{"●", "x", "[rz(0.5)]"} {
+		if !strings.Contains(art, want) {
+			t.Errorf("drawing missing %q:\n%s", want, art)
+		}
+	}
+}
+
+func TestDrawUnmeasuredHasNoMColumn(t *testing.T) {
+	c := New("plain", 1)
+	c.Append(gate.H(), 0)
+	if strings.Contains(Draw(c), "M") {
+		t.Error("unmeasured circuit drew an M")
+	}
+}
+
+func TestDrawPartialMeasurement(t *testing.T) {
+	c := New("partial", 2)
+	c.Append(gate.H(), 0)
+	c.Measure(0, 0)
+	art := Draw(c)
+	lines := strings.Split(strings.TrimRight(art, "\n"), "\n")
+	if !strings.Contains(lines[0], "M") {
+		t.Errorf("measured wire lacks M:\n%s", art)
+	}
+	if strings.Contains(lines[2], "M") {
+		t.Errorf("unmeasured wire has M:\n%s", art)
+	}
+}

@@ -1,0 +1,604 @@
+package circuit
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/gate"
+)
+
+// ParseQASM parses the OpenQASM 2.0 subset used by the paper's benchmark
+// suite: version header, qelib1 include, quantum/classical register
+// declarations, applications of the standard gate set, barriers (which are
+// ignored — the ASAP layering recomputes structure), and terminal
+// measurements. Multiple registers are flattened into one index space in
+// declaration order. Parameter expressions support numbers, pi, unary
+// minus, + - * / and parentheses.
+func ParseQASM(src string) (*Circuit, error) {
+	p := &qasmParser{src: src}
+	return p.parse()
+}
+
+type qasmReg struct {
+	name string
+	size int
+	base int // offset in the flattened index space
+}
+
+type qasmParser struct {
+	src   string
+	line  int
+	qregs []qasmReg
+	cregs []qasmReg
+	circ  *Circuit
+	// deferred ops collected before register declarations complete
+	name string
+}
+
+func (p *qasmParser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("qasm line %d: %s", p.line, fmt.Sprintf(format, args...))
+}
+
+func stripComments(src string) string {
+	var sb strings.Builder
+	for _, line := range strings.Split(src, "\n") {
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		sb.WriteString(line)
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+func (p *qasmParser) parse() (*Circuit, error) {
+	clean := stripComments(p.src)
+	// Statements are ';'-terminated; track line numbers by counting
+	// newlines consumed so errors point at the source.
+	type stmt struct {
+		text string
+		line int
+	}
+	var stmts []stmt
+	line := 1
+	start := 0
+	for i := 0; i < len(clean); i++ {
+		switch clean[i] {
+		case ';':
+			stmts = append(stmts, stmt{text: strings.TrimSpace(clean[start:i]), line: line})
+			start = i + 1
+		case '\n':
+			line++
+		}
+	}
+	if rest := strings.TrimSpace(clean[start:]); rest != "" {
+		return nil, fmt.Errorf("qasm: trailing content without ';': %q", rest)
+	}
+
+	p.name = "qasm"
+	sawVersion := false
+	var pending []stmt
+	for _, s := range stmts {
+		if s.text == "" {
+			continue
+		}
+		p.line = s.line
+		switch {
+		case strings.HasPrefix(s.text, "OPENQASM"):
+			ver := strings.TrimSpace(strings.TrimPrefix(s.text, "OPENQASM"))
+			if ver != "2.0" {
+				return nil, p.errf("unsupported OPENQASM version %q", ver)
+			}
+			sawVersion = true
+		case strings.HasPrefix(s.text, "include"):
+			// qelib1.inc defines the standard gates, which are built in.
+		case strings.HasPrefix(s.text, "qreg"), strings.HasPrefix(s.text, "creg"):
+			if err := p.parseReg(s.text); err != nil {
+				return nil, err
+			}
+		default:
+			pending = append(pending, s)
+		}
+	}
+	if !sawVersion {
+		return nil, fmt.Errorf("qasm: missing OPENQASM 2.0 header")
+	}
+	if len(p.qregs) == 0 {
+		return nil, fmt.Errorf("qasm: no qreg declared")
+	}
+	nq := 0
+	for _, r := range p.qregs {
+		nq += r.size
+	}
+	nb := 0
+	for _, r := range p.cregs {
+		nb += r.size
+	}
+	p.circ = New(p.name, nq)
+	if nb > 0 {
+		p.circ.nbits = nb
+	}
+	for _, s := range pending {
+		p.line = s.line
+		if err := p.parseStmt(s.text); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.circ.Validate(); err != nil {
+		return nil, fmt.Errorf("qasm: %v", err)
+	}
+	return p.circ, nil
+}
+
+func (p *qasmParser) parseReg(text string) error {
+	fields := strings.Fields(text)
+	if len(fields) != 2 {
+		return p.errf("malformed register declaration %q", text)
+	}
+	kind := fields[0]
+	name, size, err := parseIndexedRef(fields[1])
+	if err != nil {
+		return p.errf("register declaration %q: %v", text, err)
+	}
+	if size < 0 {
+		return p.errf("register %q declared without a size", name)
+	}
+	if size == 0 {
+		return p.errf("register %q has zero size", name)
+	}
+	const maxRegister = 1 << 20 // generous; a state vector caps out far earlier
+	if size > maxRegister {
+		return p.errf("register %q size %d exceeds the %d-qubit limit", name, size, maxRegister)
+	}
+	reg := qasmReg{name: name, size: size}
+	if kind == "qreg" {
+		for _, r := range p.qregs {
+			if r.name == name {
+				return p.errf("duplicate qreg %q", name)
+			}
+			reg.base += r.size
+		}
+		p.qregs = append(p.qregs, reg)
+	} else {
+		for _, r := range p.cregs {
+			if r.name == name {
+				return p.errf("duplicate creg %q", name)
+			}
+			reg.base += r.size
+		}
+		p.cregs = append(p.cregs, reg)
+	}
+	return nil
+}
+
+// parseIndexedRef splits "q[3]" into ("q", 3, nil) and "q" into ("q", -1, nil).
+func parseIndexedRef(s string) (string, int, error) {
+	s = strings.TrimSpace(s)
+	open := strings.IndexByte(s, '[')
+	if open < 0 {
+		return s, -1, nil
+	}
+	if !strings.HasSuffix(s, "]") {
+		return "", 0, fmt.Errorf("malformed reference %q", s)
+	}
+	idx, err := strconv.Atoi(strings.TrimSpace(s[open+1 : len(s)-1]))
+	if err != nil {
+		return "", 0, fmt.Errorf("malformed index in %q", s)
+	}
+	return strings.TrimSpace(s[:open]), idx, nil
+}
+
+func (p *qasmParser) resolveQubit(ref string) (int, error) {
+	name, idx, err := parseIndexedRef(ref)
+	if err != nil {
+		return 0, err
+	}
+	for _, r := range p.qregs {
+		if r.name == name {
+			if idx < 0 || idx >= r.size {
+				return 0, fmt.Errorf("qubit index %d out of range for qreg %s[%d]", idx, name, r.size)
+			}
+			return r.base + idx, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown qreg %q", name)
+}
+
+func (p *qasmParser) resolveBit(ref string) (int, error) {
+	name, idx, err := parseIndexedRef(ref)
+	if err != nil {
+		return 0, err
+	}
+	for _, r := range p.cregs {
+		if r.name == name {
+			if idx < 0 || idx >= r.size {
+				return 0, fmt.Errorf("bit index %d out of range for creg %s[%d]", idx, name, r.size)
+			}
+			return r.base + idx, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown creg %q", name)
+}
+
+func (p *qasmParser) parseStmt(text string) error {
+	switch {
+	case strings.HasPrefix(text, "barrier"):
+		return nil // structural hint only; layering is recomputed
+	case strings.HasPrefix(text, "measure"):
+		return p.parseMeasure(text)
+	default:
+		return p.parseGate(text)
+	}
+}
+
+func (p *qasmParser) parseMeasure(text string) error {
+	body := strings.TrimSpace(strings.TrimPrefix(text, "measure"))
+	parts := strings.Split(body, "->")
+	if len(parts) != 2 {
+		return p.errf("malformed measure %q", text)
+	}
+	qname, qidx, err := parseIndexedRef(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return p.errf("measure %q: %v", text, err)
+	}
+	bname, bidx, err := parseIndexedRef(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return p.errf("measure %q: %v", text, err)
+	}
+	if qidx < 0 { // whole-register measure: measure q -> c
+		var qreg, creg *qasmReg
+		for i := range p.qregs {
+			if p.qregs[i].name == qname {
+				qreg = &p.qregs[i]
+			}
+		}
+		for i := range p.cregs {
+			if p.cregs[i].name == bname {
+				creg = &p.cregs[i]
+			}
+		}
+		if qreg == nil || creg == nil || bidx >= 0 {
+			return p.errf("malformed register measure %q", text)
+		}
+		if qreg.size != creg.size {
+			return p.errf("measure %q: register sizes differ (%d vs %d)", text, qreg.size, creg.size)
+		}
+		for i := 0; i < qreg.size; i++ {
+			p.circ.Measure(qreg.base+i, creg.base+i)
+		}
+		return nil
+	}
+	q, err := p.resolveQubit(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return p.errf("measure %q: %v", text, err)
+	}
+	b, err := p.resolveBit(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return p.errf("measure %q: %v", text, err)
+	}
+	p.circ.Measure(q, b)
+	return nil
+}
+
+func (p *qasmParser) parseGate(text string) error {
+	// Split "name(params) q[0],q[1]" into mnemonic, params, operands.
+	name := text
+	var paramText string
+	var operandText string
+	if i := strings.IndexByte(text, '('); i >= 0 {
+		depth := 0
+		close := -1
+		for j := i; j < len(text); j++ {
+			switch text[j] {
+			case '(':
+				depth++
+			case ')':
+				depth--
+				if depth == 0 {
+					close = j
+				}
+			}
+			if close >= 0 {
+				break
+			}
+		}
+		if close < 0 {
+			return p.errf("unbalanced parentheses in %q", text)
+		}
+		name = strings.TrimSpace(text[:i])
+		paramText = text[i+1 : close]
+		operandText = strings.TrimSpace(text[close+1:])
+	} else {
+		fields := strings.SplitN(text, " ", 2)
+		if len(fields) != 2 {
+			return p.errf("malformed gate statement %q", text)
+		}
+		name = strings.TrimSpace(fields[0])
+		operandText = strings.TrimSpace(fields[1])
+	}
+
+	var params []float64
+	if paramText != "" {
+		for _, expr := range strings.Split(paramText, ",") {
+			v, err := evalParamExpr(expr)
+			if err != nil {
+				return p.errf("gate %q parameter %q: %v", name, expr, err)
+			}
+			params = append(params, v)
+		}
+	}
+
+	var qubits []int
+	for _, ref := range strings.Split(operandText, ",") {
+		q, err := p.resolveQubit(strings.TrimSpace(ref))
+		if err != nil {
+			return p.errf("gate %q operand: %v", name, err)
+		}
+		qubits = append(qubits, q)
+	}
+
+	// Composite qelib1 gates expand inline into the basis set.
+	if handled, err := p.expandExtGate(name, params, qubits); handled {
+		return err
+	}
+
+	g, err := lookupGate(name, params)
+	if err != nil {
+		return p.errf("%v", err)
+	}
+	if len(qubits) != g.Qubits() {
+		return p.errf("gate %q wants %d qubits, got %d", name, g.Qubits(), len(qubits))
+	}
+	p.circ.Append(g, qubits...)
+	return nil
+}
+
+func lookupGate(name string, params []float64) (gate.Gate, error) {
+	need := func(n int) error {
+		if len(params) != n {
+			return fmt.Errorf("gate %q wants %d parameters, got %d", name, n, len(params))
+		}
+		return nil
+	}
+	switch name {
+	case "id", "i":
+		return gate.I(), need(0)
+	case "x":
+		return gate.X(), need(0)
+	case "y":
+		return gate.Y(), need(0)
+	case "z":
+		return gate.Z(), need(0)
+	case "h":
+		return gate.H(), need(0)
+	case "s":
+		return gate.S(), need(0)
+	case "sdg":
+		return gate.Sdg(), need(0)
+	case "t":
+		return gate.T(), need(0)
+	case "tdg":
+		return gate.Tdg(), need(0)
+	case "sx":
+		return gate.SX(), need(0)
+	case "cx", "CX":
+		return gate.CX(), need(0)
+	case "cz":
+		return gate.CZ(), need(0)
+	case "swap":
+		return gate.Swap(), need(0)
+	case "ccx":
+		return gate.CCX(), need(0)
+	case "rx":
+		if err := need(1); err != nil {
+			return gate.Gate{}, err
+		}
+		return gate.RX(params[0]), nil
+	case "ry":
+		if err := need(1); err != nil {
+			return gate.Gate{}, err
+		}
+		return gate.RY(params[0]), nil
+	case "rz":
+		if err := need(1); err != nil {
+			return gate.Gate{}, err
+		}
+		return gate.RZ(params[0]), nil
+	case "p", "u1":
+		if err := need(1); err != nil {
+			return gate.Gate{}, err
+		}
+		if name == "p" {
+			return gate.P(params[0]), nil
+		}
+		return gate.U1(params[0]), nil
+	case "u2":
+		if err := need(2); err != nil {
+			return gate.Gate{}, err
+		}
+		return gate.U2(params[0], params[1]), nil
+	case "u3", "u", "U":
+		if err := need(3); err != nil {
+			return gate.Gate{}, err
+		}
+		return gate.U3(params[0], params[1], params[2]), nil
+	default:
+		return gate.Gate{}, fmt.Errorf("unknown gate %q", name)
+	}
+}
+
+// evalParamExpr evaluates the arithmetic expression grammar OpenQASM 2.0
+// allows in gate parameters: float literals, pi, unary minus, + - * /, and
+// parentheses. Implemented as a tiny recursive-descent parser.
+func evalParamExpr(expr string) (float64, error) {
+	e := &exprParser{src: strings.TrimSpace(expr)}
+	v, err := e.parseAddSub()
+	if err != nil {
+		return 0, err
+	}
+	e.skipSpace()
+	if e.pos != len(e.src) {
+		return 0, fmt.Errorf("unexpected trailing %q", e.src[e.pos:])
+	}
+	return v, nil
+}
+
+type exprParser struct {
+	src string
+	pos int
+}
+
+func (e *exprParser) skipSpace() {
+	for e.pos < len(e.src) && (e.src[e.pos] == ' ' || e.src[e.pos] == '\t') {
+		e.pos++
+	}
+}
+
+func (e *exprParser) peek() byte {
+	if e.pos >= len(e.src) {
+		return 0
+	}
+	return e.src[e.pos]
+}
+
+func (e *exprParser) parseAddSub() (float64, error) {
+	v, err := e.parseMulDiv()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		e.skipSpace()
+		switch e.peek() {
+		case '+':
+			e.pos++
+			r, err := e.parseMulDiv()
+			if err != nil {
+				return 0, err
+			}
+			v += r
+		case '-':
+			e.pos++
+			r, err := e.parseMulDiv()
+			if err != nil {
+				return 0, err
+			}
+			v -= r
+		default:
+			return v, nil
+		}
+	}
+}
+
+func (e *exprParser) parseMulDiv() (float64, error) {
+	v, err := e.parseUnary()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		e.skipSpace()
+		switch e.peek() {
+		case '*':
+			e.pos++
+			r, err := e.parseUnary()
+			if err != nil {
+				return 0, err
+			}
+			v *= r
+		case '/':
+			e.pos++
+			r, err := e.parseUnary()
+			if err != nil {
+				return 0, err
+			}
+			if r == 0 {
+				return 0, fmt.Errorf("division by zero")
+			}
+			v /= r
+		default:
+			return v, nil
+		}
+	}
+}
+
+func (e *exprParser) parseUnary() (float64, error) {
+	e.skipSpace()
+	if e.peek() == '-' {
+		e.pos++
+		v, err := e.parseUnary()
+		return -v, err
+	}
+	if e.peek() == '+' {
+		e.pos++
+		return e.parseUnary()
+	}
+	return e.parseAtom()
+}
+
+func (e *exprParser) parseAtom() (float64, error) {
+	e.skipSpace()
+	if e.peek() == '(' {
+		e.pos++
+		v, err := e.parseAddSub()
+		if err != nil {
+			return 0, err
+		}
+		e.skipSpace()
+		if e.peek() != ')' {
+			return 0, fmt.Errorf("missing ')'")
+		}
+		e.pos++
+		return v, nil
+	}
+	start := e.pos
+	for e.pos < len(e.src) {
+		c := e.src[e.pos]
+		if c >= '0' && c <= '9' || c == '.' || c == 'e' || c == 'E' ||
+			(c == '-' || c == '+') && e.pos > start && (e.src[e.pos-1] == 'e' || e.src[e.pos-1] == 'E') ||
+			c >= 'a' && c <= 'z' && c != 'e' || c == '_' {
+			e.pos++
+			continue
+		}
+		break
+	}
+	tok := e.src[start:e.pos]
+	if tok == "" {
+		return 0, fmt.Errorf("expected number or pi at %q", e.src[e.pos:])
+	}
+	if tok == "pi" {
+		return math.Pi, nil
+	}
+	v, err := strconv.ParseFloat(tok, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad numeric literal %q", tok)
+	}
+	return v, nil
+}
+
+// WriteQASM renders the circuit as an OpenQASM 2.0 program. Custom gates
+// without a QASM mnemonic are rejected with an error.
+func WriteQASM(c *Circuit) (string, error) {
+	var sb strings.Builder
+	sb.WriteString("OPENQASM 2.0;\n")
+	sb.WriteString("include \"qelib1.inc\";\n")
+	fmt.Fprintf(&sb, "qreg q[%d];\n", c.NumQubits())
+	fmt.Fprintf(&sb, "creg c[%d];\n", c.NumBits())
+	for _, op := range c.Ops() {
+		if op.Gate.Kind() == gate.KindCustom {
+			return "", fmt.Errorf("circuit: cannot serialize custom gate %q to QASM", op.Gate.Name())
+		}
+		refs := make([]string, len(op.Qubits))
+		for i, q := range op.Qubits {
+			refs[i] = fmt.Sprintf("q[%d]", q)
+		}
+		fmt.Fprintf(&sb, "%s %s;\n", op.Gate.String(), strings.Join(refs, ","))
+	}
+	ms := append([]Measurement(nil), c.Measurements()...)
+	sort.Slice(ms, func(i, j int) bool { return ms[i].Qubit < ms[j].Qubit })
+	for _, m := range ms {
+		fmt.Fprintf(&sb, "measure q[%d] -> c[%d];\n", m.Qubit, m.Bit)
+	}
+	return sb.String(), nil
+}

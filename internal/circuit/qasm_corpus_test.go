@@ -1,0 +1,81 @@
+package circuit
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestCorpusParses parses every program in testdata and validates the
+// resulting circuits.
+func TestCorpusParses(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "*.qasm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 5 {
+		t.Fatalf("corpus too small: %d files", len(files))
+	}
+	for _, f := range files {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := ParseQASM(string(src))
+		if err != nil {
+			t.Errorf("%s: %v", f, err)
+			continue
+		}
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", f, err)
+		}
+		if c.NumOps() == 0 {
+			t.Errorf("%s: parsed to empty circuit", f)
+		}
+	}
+}
+
+// TestCorpusRoundTrips re-serializes each corpus program and re-parses it,
+// checking structural identity (the swap in qft3.qasm stays a swap, etc.).
+func TestCorpusRoundTrips(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "*.qasm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range files {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		orig, err := ParseQASM(string(src))
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		text, err := WriteQASM(orig)
+		if err != nil {
+			t.Fatalf("%s: serialize: %v", f, err)
+		}
+		back, err := ParseQASM(text)
+		if err != nil {
+			t.Fatalf("%s: re-parse: %v", f, err)
+		}
+		if back.NumOps() != orig.NumOps() || back.NumQubits() != orig.NumQubits() ||
+			len(back.Measurements()) != len(orig.Measurements()) {
+			t.Errorf("%s: round trip changed shape", f)
+		}
+		for i := 0; i < orig.NumOps(); i++ {
+			a, b := orig.Op(i), back.Op(i)
+			if a.Gate.Name() != b.Gate.Name() || len(a.Qubits) != len(b.Qubits) {
+				t.Errorf("%s op %d: %s -> %s", f, i, a, b)
+				break
+			}
+			ap, bp := a.Gate.Params(), b.Gate.Params()
+			for j := range ap {
+				if math.Abs(ap[j]-bp[j]) > 1e-9 {
+					t.Errorf("%s op %d param %d: %g -> %g", f, i, j, ap[j], bp[j])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package circuit
+
+import (
+	"repro/internal/gate"
+)
+
+// extGate describes a qelib1 composite gate the parser expands inline into
+// the basis set at parse time: real OpenQASM benchmark files use cu1, crz
+// and friends freely, and expanding them here keeps every downstream stage
+// (layering, noise slots, transpilation) working on plain {1q, CX, CZ,
+// SWAP, CCX} circuits.
+type extGate struct {
+	params int
+	qubits int
+	expand func(c *Circuit, p []float64, q []int) error
+}
+
+// cu1Expand is the controlled-phase decomposition, shared by the cu1 and
+// cp mnemonics.
+func cu1Expand(c *Circuit, p []float64, q []int) error {
+	l := p[0]
+	c.Append(gate.U1(l/2), q[0])
+	c.Append(gate.CX(), q[0], q[1])
+	c.Append(gate.U1(-l/2), q[1])
+	c.Append(gate.CX(), q[0], q[1])
+	c.Append(gate.U1(l/2), q[1])
+	return nil
+}
+
+// extGates maps the supported composite mnemonics to their standard
+// qelib1 decompositions.
+var extGates = map[string]extGate{
+	// cu1(λ) a,b — controlled phase.
+	"cu1": {params: 1, qubits: 2, expand: cu1Expand},
+	// cp is OpenQASM 3 spelling of cu1; accept it for convenience.
+	"cp": {params: 1, qubits: 2, expand: cu1Expand},
+	// crz(λ) a,b — controlled RZ.
+	"crz": {params: 1, qubits: 2, expand: func(c *Circuit, p []float64, q []int) error {
+		l := p[0]
+		c.Append(gate.RZ(l/2), q[1])
+		c.Append(gate.CX(), q[0], q[1])
+		c.Append(gate.RZ(-l/2), q[1])
+		c.Append(gate.CX(), q[0], q[1])
+		return nil
+	}},
+	// cry(θ) a,b — controlled RY.
+	"cry": {params: 1, qubits: 2, expand: func(c *Circuit, p []float64, q []int) error {
+		t := p[0]
+		c.Append(gate.RY(t/2), q[1])
+		c.Append(gate.CX(), q[0], q[1])
+		c.Append(gate.RY(-t/2), q[1])
+		c.Append(gate.CX(), q[0], q[1])
+		return nil
+	}},
+	// ch a,b — controlled Hadamard (qelib1 decomposition up to phase).
+	"ch": {params: 0, qubits: 2, expand: func(c *Circuit, p []float64, q []int) error {
+		a, b := q[0], q[1]
+		c.Append(gate.H(), b)
+		c.Append(gate.Sdg(), b)
+		c.Append(gate.CX(), a, b)
+		c.Append(gate.H(), b)
+		c.Append(gate.T(), b)
+		c.Append(gate.CX(), a, b)
+		c.Append(gate.T(), b)
+		c.Append(gate.H(), b)
+		c.Append(gate.S(), b)
+		c.Append(gate.X(), b)
+		c.Append(gate.S(), a)
+		return nil
+	}},
+	// cu3(θ,φ,λ) a,b — general controlled single-qubit rotation.
+	"cu3": {params: 3, qubits: 2, expand: func(c *Circuit, p []float64, q []int) error {
+		theta, phi, lambda := p[0], p[1], p[2]
+		a, b := q[0], q[1]
+		c.Append(gate.U1((lambda+phi)/2), a)
+		c.Append(gate.U1((lambda-phi)/2), b)
+		c.Append(gate.CX(), a, b)
+		c.Append(gate.U3(-theta/2, 0, -(phi+lambda)/2), b)
+		c.Append(gate.CX(), a, b)
+		c.Append(gate.U3(theta/2, phi, 0), b)
+		return nil
+	}},
+	// rzz(θ) a,b — ZZ interaction.
+	"rzz": {params: 1, qubits: 2, expand: func(c *Circuit, p []float64, q []int) error {
+		c.Append(gate.CX(), q[0], q[1])
+		c.Append(gate.RZ(p[0]), q[1])
+		c.Append(gate.CX(), q[0], q[1])
+		return nil
+	}},
+	// rxx(θ) a,b — XX interaction via Hadamard conjugation.
+	"rxx": {params: 1, qubits: 2, expand: func(c *Circuit, p []float64, q []int) error {
+		c.Append(gate.H(), q[0])
+		c.Append(gate.H(), q[1])
+		c.Append(gate.CX(), q[0], q[1])
+		c.Append(gate.RZ(p[0]), q[1])
+		c.Append(gate.CX(), q[0], q[1])
+		c.Append(gate.H(), q[0])
+		c.Append(gate.H(), q[1])
+		return nil
+	}},
+	// cswap (Fredkin) a,b,c via Toffoli conjugation.
+	"cswap": {params: 0, qubits: 3, expand: func(c *Circuit, p []float64, q []int) error {
+		c.Append(gate.CX(), q[2], q[1])
+		c.Append(gate.CCX(), q[0], q[1], q[2])
+		c.Append(gate.CX(), q[2], q[1])
+		return nil
+	}},
+}
+
+// expandExtGate applies a composite gate's decomposition, returning false
+// if the mnemonic is not a known composite.
+func (p *qasmParser) expandExtGate(name string, params []float64, qubits []int) (bool, error) {
+	eg, ok := extGates[name]
+	if !ok {
+		return false, nil
+	}
+	if len(params) != eg.params {
+		return true, p.errf("gate %q wants %d parameters, got %d", name, eg.params, len(params))
+	}
+	if len(qubits) != eg.qubits {
+		return true, p.errf("gate %q wants %d qubits, got %d", name, eg.qubits, len(qubits))
+	}
+	seen := make(map[int]bool, len(qubits))
+	for _, q := range qubits {
+		if seen[q] {
+			return true, p.errf("gate %q has duplicate operand q[%d]", name, q)
+		}
+		seen[q] = true
+	}
+	if err := eg.expand(p.circ, params, qubits); err != nil {
+		return true, p.errf("gate %q: %v", name, err)
+	}
+	return true, nil
+}
+
+// ExtendedGateNames lists the composite mnemonics the parser expands, for
+// documentation and tests.
+func ExtendedGateNames() []string {
+	names := make([]string, 0, len(extGates))
+	for n := range extGates {
+		names = append(names, n)
+	}
+	return names
+}

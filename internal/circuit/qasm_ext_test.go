@@ -1,0 +1,198 @@
+package circuit
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/gate"
+	"repro/internal/qmath"
+)
+
+// runUnitary builds the full 2^n x 2^n unitary of a circuit by applying it
+// to every basis state (reference implementation for decomposition tests).
+func runUnitary(c *Circuit, n int) qmath.Matrix {
+	dim := 1 << uint(n)
+	u := qmath.New(dim)
+	for col := 0; col < dim; col++ {
+		amp := make([]complex128, dim)
+		amp[col] = 1
+		for _, op := range c.Ops() {
+			amp = applyDense(amp, op, n)
+		}
+		for row := 0; row < dim; row++ {
+			u.Set(row, col, amp[row])
+		}
+	}
+	return u
+}
+
+// applyDense applies one op to an amplitude vector via the gate matrix.
+func applyDense(amp []complex128, op Op, n int) []complex128 {
+	k := len(op.Qubits)
+	u := op.Gate.Matrix()
+	out := make([]complex128, len(amp))
+	for col, a := range amp {
+		if a == 0 {
+			continue
+		}
+		sub := 0
+		for j, q := range op.Qubits {
+			if col>>uint(q)&1 == 1 {
+				sub |= 1 << uint(k-1-j)
+			}
+		}
+		rest := col
+		for _, q := range op.Qubits {
+			rest &^= 1 << uint(q)
+		}
+		for outSub := 0; outSub < 1<<uint(k); outSub++ {
+			coef := u.At(outSub, sub)
+			if coef == 0 {
+				continue
+			}
+			row := rest
+			for j, q := range op.Qubits {
+				if outSub>>uint(k-1-j)&1 == 1 {
+					row |= 1 << uint(q)
+				}
+			}
+			out[row] += coef * a
+		}
+	}
+	return out
+}
+
+// parseSnippet parses a 1-statement gate application over n qubits.
+func parseSnippet(t *testing.T, n int, stmt string) *Circuit {
+	t.Helper()
+	src := fmt.Sprintf("OPENQASM 2.0;\nqreg q[%d];\n%s\n", n, stmt)
+	c, err := ParseQASM(src)
+	if err != nil {
+		t.Fatalf("%q: %v", stmt, err)
+	}
+	return c
+}
+
+// controlled builds the reference controlled-U matrix with control as the
+// HIGH matrix bit (matching gate.Controlled's (control, target) order).
+func controlledRef(u qmath.Matrix) qmath.Matrix {
+	m := qmath.Identity(4)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			m.Set(2+i, 2+j, u.At(i, j))
+		}
+	}
+	return m
+}
+
+// refOn embeds a 2-qubit operator acting on qubits (a=control-ish high
+// bit, b) of an n-qubit register.
+func refOn(t *testing.T, m qmath.Matrix, a, b, n int) qmath.Matrix {
+	t.Helper()
+	c := New("ref", n)
+	c.Append(gate.Custom("ref2", m), a, b)
+	return runUnitary(c, n)
+}
+
+func TestExtGateDecompositions(t *testing.T) {
+	theta, phi, lambda := 0.7, 0.4, 1.3
+	cases := []struct {
+		stmt string
+		ref  qmath.Matrix
+	}{
+		{fmt.Sprintf("cu1(%g) q[0],q[1];", lambda), controlledRef(gate.U1(lambda).Matrix())},
+		{fmt.Sprintf("cp(%g) q[0],q[1];", lambda), controlledRef(gate.U1(lambda).Matrix())},
+		{fmt.Sprintf("crz(%g) q[0],q[1];", lambda), controlledRef(gate.RZ(lambda).Matrix())},
+		{fmt.Sprintf("cry(%g) q[0],q[1];", theta), controlledRef(gate.RY(theta).Matrix())},
+		{"ch q[0],q[1];", controlledRef(gate.H().Matrix())},
+		{fmt.Sprintf("cu3(%g,%g,%g) q[0],q[1];", theta, phi, lambda), controlledRef(gate.U3(theta, phi, lambda).Matrix())},
+	}
+	for _, tc := range cases {
+		c := parseSnippet(t, 2, tc.stmt)
+		got := runUnitary(c, 2)
+		want := refOn(t, tc.ref, 0, 1, 2)
+		if !gate.GlobalPhaseEqual(got, want, 1e-9) {
+			t.Errorf("%s: decomposition wrong\ngot:\n%v\nwant:\n%v", tc.stmt, got, want)
+		}
+	}
+}
+
+func TestRZZDecomposition(t *testing.T) {
+	theta := 0.9
+	c := parseSnippet(t, 2, fmt.Sprintf("rzz(%g) q[0],q[1];", theta))
+	got := runUnitary(c, 2)
+	// rzz = diag(e^{-iθ/2}, e^{iθ/2}, e^{iθ/2}, e^{-iθ/2}).
+	want := qmath.New(4)
+	want.Set(0, 0, qmath.Phase(-theta/2))
+	want.Set(1, 1, qmath.Phase(theta/2))
+	want.Set(2, 2, qmath.Phase(theta/2))
+	want.Set(3, 3, qmath.Phase(-theta/2))
+	if !gate.GlobalPhaseEqual(got, want, 1e-9) {
+		t.Errorf("rzz decomposition wrong:\n%v", got)
+	}
+}
+
+func TestRXXDecomposition(t *testing.T) {
+	theta := 1.1
+	c := parseSnippet(t, 2, fmt.Sprintf("rxx(%g) q[0],q[1];", theta))
+	got := runUnitary(c, 2)
+	// rxx(θ) = cos(θ/2) I - i sin(θ/2) X⊗X.
+	x := gate.X().Matrix()
+	want := qmath.Identity(4).Scale(complex(math.Cos(theta/2), 0)).
+		Add(x.Kron(x).Scale(complex(0, -math.Sin(theta/2))))
+	if !gate.GlobalPhaseEqual(got, want, 1e-9) {
+		t.Errorf("rxx decomposition wrong:\n%v", got)
+	}
+}
+
+func TestCSwapDecomposition(t *testing.T) {
+	c := parseSnippet(t, 3, "cswap q[0],q[1],q[2];")
+	got := runUnitary(c, 3)
+	// Fredkin: swap q1,q2 iff q0 = 1.
+	want := qmath.New(8)
+	for in := 0; in < 8; in++ {
+		out := in
+		if in&1 == 1 { // q0 set (bit 0 of the amplitude index)
+			b1 := in >> 1 & 1
+			b2 := in >> 2 & 1
+			out = in&^0b110 | b1<<2 | b2<<1
+		}
+		want.Set(out, in, 1)
+	}
+	if !gate.GlobalPhaseEqual(got, want, 1e-9) {
+		t.Errorf("cswap decomposition wrong:\n%v", got)
+	}
+}
+
+func TestExtGateErrors(t *testing.T) {
+	for _, stmt := range []string{
+		"cu1(0.5) q[0];",         // arity
+		"cu1 q[0],q[1];",         // params
+		"cu3(1,2) q[0],q[1];",    // params
+		"cswap q[0],q[0],q[1];",  // duplicate operand
+		"crz(1) q[0],q[1],q[0];", // arity
+	} {
+		src := "OPENQASM 2.0;\nqreg q[2];\n" + stmt
+		if stmt == "cswap q[0],q[0],q[1];" {
+			src = "OPENQASM 2.0;\nqreg q[3];\n" + stmt
+		}
+		if _, err := ParseQASM(src); err == nil {
+			t.Errorf("%q accepted", stmt)
+		}
+	}
+}
+
+func TestExtendedGateNamesListed(t *testing.T) {
+	names := ExtendedGateNames()
+	want := map[string]bool{"cu1": true, "cu3": true, "crz": true, "cry": true,
+		"ch": true, "rzz": true, "rxx": true, "cswap": true, "cp": true}
+	if len(names) != len(want) {
+		t.Errorf("extended gates = %v", names)
+	}
+	for _, n := range names {
+		if !want[n] {
+			t.Errorf("unexpected extended gate %q", n)
+		}
+	}
+}

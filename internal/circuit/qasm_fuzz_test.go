@@ -1,0 +1,70 @@
+package circuit
+
+import (
+	"testing"
+)
+
+// FuzzParseQASM drives the parser with arbitrary input: it must never
+// panic, and anything it accepts must validate and survive a
+// serialize/re-parse round trip. Run with `go test -fuzz=FuzzParseQASM`;
+// the seeds below run as part of the normal test suite.
+func FuzzParseQASM(f *testing.F) {
+	seeds := []string{
+		"OPENQASM 2.0;\nqreg q[2];\nh q[0];\ncx q[0],q[1];\n",
+		"OPENQASM 2.0; include \"qelib1.inc\"; qreg q[1]; creg c[1]; x q[0]; measure q[0] -> c[0];",
+		"OPENQASM 2.0; qreg q[3]; cu1(pi/2) q[0],q[1]; rzz(0.5) q[1],q[2];",
+		"OPENQASM 2.0; qreg a[2]; qreg b[1]; cx a[1],b[0];",
+		"OPENQASM 2.0;\nqreg q[2];\nu3(pi/2, -pi, 2*pi) q[0];\nbarrier q;\n",
+		"",
+		";;;",
+		"OPENQASM 3.0; qreg q[1];",
+		"OPENQASM 2.0; qreg q[0];",
+		"OPENQASM 2.0; qreg q[1]; rz((((pi)))) q[0];",
+		"OPENQASM 2.0; qreg q[1]; rz(1e309) q[0];",
+		"OPENQASM 2.0; qreg q[99999999999999999999];",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := ParseQASM(src)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("accepted circuit fails validation: %v\ninput: %q", err, src)
+		}
+		// Accepted circuits must round trip (composite gates expand to
+		// basis gates, so re-serialization always succeeds).
+		text, err := WriteQASM(c)
+		if err != nil {
+			t.Fatalf("accepted circuit fails to serialize: %v", err)
+		}
+		back, err := ParseQASM(text)
+		if err != nil {
+			t.Fatalf("serialized output fails to parse: %v\noutput: %q", err, text)
+		}
+		if back.NumOps() != c.NumOps() || back.NumQubits() != c.NumQubits() {
+			t.Fatalf("round trip changed shape: %d/%d ops, %d/%d qubits",
+				c.NumOps(), back.NumOps(), c.NumQubits(), back.NumQubits())
+		}
+	})
+}
+
+// FuzzEvalParamExpr checks the arithmetic mini-parser never panics and is
+// deterministic.
+func FuzzEvalParamExpr(f *testing.F) {
+	for _, s := range []string{"pi", "-pi/2", "1+2*3", "((1))", "1e-3", "2*-3", "", "pi+", "1//2"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, expr string) {
+		v1, err1 := evalParamExpr(expr)
+		v2, err2 := evalParamExpr(expr)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("nondeterministic error for %q", expr)
+		}
+		if err1 == nil && v1 != v2 && !(v1 != v1 && v2 != v2) { // allow NaN
+			t.Fatalf("nondeterministic value for %q: %g vs %g", expr, v1, v2)
+		}
+	})
+}

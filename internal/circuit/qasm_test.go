@@ -1,0 +1,281 @@
+package circuit
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/gate"
+)
+
+const bellQASM = `
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+creg c[2];
+h q[0];
+cx q[0],q[1];
+measure q[0] -> c[0];
+measure q[1] -> c[1];
+`
+
+func TestParseBell(t *testing.T) {
+	c, err := ParseQASM(bellQASM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumQubits() != 2 || c.NumOps() != 2 || len(c.Measurements()) != 2 {
+		t.Fatalf("parsed shape wrong: %d qubits, %d ops, %d measures",
+			c.NumQubits(), c.NumOps(), len(c.Measurements()))
+	}
+	if c.Op(0).Gate.Kind() != gate.KindH || c.Op(1).Gate.Kind() != gate.KindCX {
+		t.Errorf("gates wrong: %v, %v", c.Op(0).Gate.Name(), c.Op(1).Gate.Name())
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `OPENQASM 2.0; // header
+// full-line comment
+qreg q[1];
+x q[0]; // trailing
+`
+	c, err := ParseQASM(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumOps() != 1 {
+		t.Errorf("ops = %d, want 1", c.NumOps())
+	}
+}
+
+func TestParseParameterExpressions(t *testing.T) {
+	src := `OPENQASM 2.0;
+qreg q[1];
+rz(pi/2) q[0];
+u3(pi/4, -pi, 2*pi) q[0];
+rx(0.5+0.25) q[0];
+p((pi)/(2*2)) q[0];
+`
+	c, err := ParseQASM(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := [][]float64{
+		{math.Pi / 2},
+		{math.Pi / 4, -math.Pi, 2 * math.Pi},
+		{0.75},
+		{math.Pi / 4},
+	}
+	for i, want := range wants {
+		got := c.Op(i).Gate.Params()
+		if len(got) != len(want) {
+			t.Fatalf("op %d params = %v, want %v", i, got, want)
+		}
+		for j := range want {
+			if math.Abs(got[j]-want[j]) > 1e-12 {
+				t.Errorf("op %d param %d = %g, want %g", i, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestParseMultipleRegisters(t *testing.T) {
+	src := `OPENQASM 2.0;
+qreg a[2];
+qreg b[2];
+creg c[4];
+x a[1];
+x b[0];
+cx a[0],b[1];
+measure a[0] -> c[0];
+measure b[1] -> c[3];
+`
+	c, err := ParseQASM(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumQubits() != 4 {
+		t.Fatalf("flattened qubits = %d, want 4", c.NumQubits())
+	}
+	// a[1] -> 1, b[0] -> 2, cx a[0],b[1] -> (0,3)
+	if c.Op(0).Qubits[0] != 1 || c.Op(1).Qubits[0] != 2 {
+		t.Errorf("register flattening wrong: %v, %v", c.Op(0).Qubits, c.Op(1).Qubits)
+	}
+	if c.Op(2).Qubits[0] != 0 || c.Op(2).Qubits[1] != 3 {
+		t.Errorf("cx operands wrong: %v", c.Op(2).Qubits)
+	}
+}
+
+func TestParseWholeRegisterMeasure(t *testing.T) {
+	src := `OPENQASM 2.0;
+qreg q[3];
+creg c[3];
+h q[0];
+measure q -> c;
+`
+	c, err := ParseQASM(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Measurements()) != 3 {
+		t.Errorf("register measure expanded to %d", len(c.Measurements()))
+	}
+}
+
+func TestParseBarrierIgnored(t *testing.T) {
+	src := `OPENQASM 2.0;
+qreg q[2];
+h q[0];
+barrier q;
+h q[1];
+`
+	c, err := ParseQASM(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumOps() != 2 {
+		t.Errorf("ops = %d, want 2", c.NumOps())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing header":   "qreg q[1]; x q[0];",
+		"bad version":      "OPENQASM 3.0; qreg q[1];",
+		"no qreg":          "OPENQASM 2.0; creg c[1];",
+		"unknown gate":     "OPENQASM 2.0; qreg q[1]; frobnicate q[0];",
+		"unknown register": "OPENQASM 2.0; qreg q[1]; x r[0];",
+		"index range":      "OPENQASM 2.0; qreg q[1]; x q[5];",
+		"arity":            "OPENQASM 2.0; qreg q[2]; cx q[0];",
+		"param count":      "OPENQASM 2.0; qreg q[1]; rz q[0];",
+		"bad expr":         "OPENQASM 2.0; qreg q[1]; rz(pi+) q[0];",
+		"trailing":         "OPENQASM 2.0; qreg q[1]; x q[0]; junk",
+		"dup qreg":         "OPENQASM 2.0; qreg q[1]; qreg q[2];",
+		"bad measure":      "OPENQASM 2.0; qreg q[1]; creg c[1]; measure q[0] c[0];",
+	}
+	for name, src := range cases {
+		if _, err := ParseQASM(src); err == nil {
+			t.Errorf("%s: no error for %q", name, src)
+		}
+	}
+}
+
+func TestParseUGateAliases(t *testing.T) {
+	src := `OPENQASM 2.0;
+qreg q[1];
+u1(pi) q[0];
+u2(0, pi) q[0];
+u(pi, 0, pi) q[0];
+U(pi/2, 0, 0) q[0];
+`
+	c, err := ParseQASM(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumOps() != 4 {
+		t.Errorf("ops = %d, want 4", c.NumOps())
+	}
+}
+
+func TestWriteQASMRoundTrip(t *testing.T) {
+	orig := New("rt", 3)
+	orig.Append(gate.H(), 0)
+	orig.Append(gate.RZ(math.Pi/3), 1)
+	orig.Append(gate.CX(), 0, 2)
+	orig.Append(gate.U3(0.1, 0.2, 0.3), 2)
+	orig.Append(gate.Swap(), 1, 2)
+	orig.MeasureAll()
+
+	text, err := WriteQASM(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseQASM(text)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, text)
+	}
+	if back.NumOps() != orig.NumOps() || back.NumQubits() != orig.NumQubits() {
+		t.Fatalf("round trip changed shape: %d ops vs %d", back.NumOps(), orig.NumOps())
+	}
+	for i := 0; i < orig.NumOps(); i++ {
+		a, b := orig.Op(i), back.Op(i)
+		if a.Gate.Name() != b.Gate.Name() {
+			t.Errorf("op %d gate %q -> %q", i, a.Gate.Name(), b.Gate.Name())
+		}
+		ap, bp := a.Gate.Params(), b.Gate.Params()
+		for j := range ap {
+			if math.Abs(ap[j]-bp[j]) > 1e-9 {
+				t.Errorf("op %d param %d: %g -> %g", i, j, ap[j], bp[j])
+			}
+		}
+	}
+	if len(back.Measurements()) != len(orig.Measurements()) {
+		t.Errorf("measurements %d -> %d", len(orig.Measurements()), len(back.Measurements()))
+	}
+}
+
+func TestWriteQASMRejectsCustom(t *testing.T) {
+	c := New("t", 2)
+	c.Append(gate.Controlled(gate.RY(0.5)), 0, 1)
+	if _, err := WriteQASM(c); err == nil {
+		t.Error("custom gate serialized without error")
+	}
+}
+
+func TestEvalParamExpr(t *testing.T) {
+	cases := map[string]float64{
+		"1":           1,
+		"pi":          math.Pi,
+		"-pi/2":       -math.Pi / 2,
+		"2*pi/4":      math.Pi / 2,
+		"1+2*3":       7,
+		"(1+2)*3":     9,
+		"1e-3":        1e-3,
+		"2.5e2":       250,
+		"--1":         1,
+		"pi-pi":       0,
+		"3/2/2":       0.75,
+		" 1 + 1 ":     2,
+		"((((pi))))":  math.Pi,
+		"-(1+1)":      -2,
+		"0.5*(pi/2)":  math.Pi / 4,
+		"+3":          3,
+		"1e2-1e1":     90,
+		"2*-3":        -6,
+		"pi*2-pi*2":   0,
+		"10/4":        2.5,
+		"1.5+2.25":    3.75,
+		"-0":          0,
+		"pi/2+pi/2":   math.Pi,
+		"(2+2)/(1+1)": 2,
+	}
+	for expr, want := range cases {
+		got, err := evalParamExpr(expr)
+		if err != nil {
+			t.Errorf("%q: %v", expr, err)
+			continue
+		}
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("%q = %g, want %g", expr, got, want)
+		}
+	}
+}
+
+func TestEvalParamExprErrors(t *testing.T) {
+	for _, expr := range []string{"", "pi+", "1/0", "(1", "abc", "1..2", "1 2"} {
+		if _, err := evalParamExpr(expr); err == nil {
+			t.Errorf("%q: no error", expr)
+		}
+	}
+}
+
+func TestQASMLineNumbersInErrors(t *testing.T) {
+	src := "OPENQASM 2.0;\nqreg q[1];\n\nbadgate q[0];\n"
+	_, err := ParseQASM(src)
+	if err == nil {
+		t.Fatal("no error")
+	}
+	if !strings.Contains(err.Error(), "line 4") {
+		t.Errorf("error lacks line number: %v", err)
+	}
+}

@@ -1,0 +1,15 @@
+// Exercises the composite qelib1 gates the parser expands inline.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[3];
+h q[0];
+cu1(pi/4) q[0],q[1];
+crz(pi/8) q[1],q[2];
+cry(0.3) q[0],q[2];
+ch q[0],q[1];
+cu3(0.1,0.2,0.3) q[1],q[2];
+rzz(0.7) q[0],q[1];
+rxx(0.9) q[1],q[2];
+cswap q[0],q[1],q[2];
+measure q -> c;

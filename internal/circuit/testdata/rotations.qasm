@@ -1,0 +1,17 @@
+// Exercises every parameterized gate family the parser supports.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+creg c[2];
+rx(pi/3) q[0];
+ry(-pi/7) q[0];
+rz(2*pi/5) q[1];
+p(0.25) q[1];
+u1(pi) q[0];
+u2(0, pi) q[1];
+u3(pi/2, -pi/4, pi/4) q[0];
+sx q[1];
+sdg q[0];
+tdg q[1];
+id q[0];
+measure q -> c;

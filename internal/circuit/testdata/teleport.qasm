@@ -1,0 +1,15 @@
+// Quantum teleportation core (pre-measurement part): prepare a state on
+// q[0], teleport onto q[2] via a Bell pair, with the corrections applied
+// coherently (deferred measurement principle).
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[3];
+ry(0.9) q[0];
+h q[1];
+cx q[1],q[2];
+cx q[0],q[1];
+h q[0];
+cx q[1],q[2];
+cz q[0],q[2];
+measure q[2] -> c[2];

@@ -1,0 +1,9 @@
+// Toffoli gate on |110> -> expects |111>.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[3];
+x q[0];
+x q[1];
+ccx q[0],q[1],q[2];
+measure q -> c;

@@ -1,0 +1,205 @@
+// Package core is the top-level API of the reproduction: it wires the
+// pipeline of the paper end to end — build or accept a circuit, map it to
+// a device, statically generate the Monte Carlo error-injection trials,
+// reorder them with Algorithm 1, and either execute (baseline and/or
+// optimized, with full state vectors) or statically analyze (op counts and
+// MSVs only, usable at 40 qubits and 10^6 trials).
+//
+// Typical use:
+//
+//	dev := device.Yorktown()
+//	circ := bench.BV(5, 0b1111)
+//	rep, err := core.Run(core.Config{
+//		Circuit: circ, Device: dev, Transpile: true,
+//		Trials: 4096, Seed: 1, Mode: core.ModeBoth,
+//	})
+//	fmt.Println(rep.Analysis.Normalized, rep.Analysis.MSV)
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/circuit"
+	"repro/internal/device"
+	"repro/internal/noise"
+	"repro/internal/reorder"
+	"repro/internal/sim"
+	"repro/internal/transpile"
+	"repro/internal/trial"
+)
+
+// Mode selects what Run executes.
+type Mode int
+
+// Run modes.
+const (
+	// ModeStatic generates and reorders trials and computes the static
+	// analysis only; no amplitudes are allocated. Works at any width.
+	ModeStatic Mode = iota
+	// ModeBaseline runs the unordered per-trial simulation only.
+	ModeBaseline
+	// ModeReordered runs the optimized plan-driven simulation only
+	// (plus the static analysis, which is free).
+	ModeReordered
+	// ModeBoth runs baseline and reordered on the same trial set,
+	// enabling equivalence checks and measured speedup comparison.
+	ModeBoth
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeStatic:
+		return "static"
+	case ModeBaseline:
+		return "baseline"
+	case ModeReordered:
+		return "reordered"
+	case ModeBoth:
+		return "both"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Config describes one noisy-simulation job.
+type Config struct {
+	// Circuit is the program to simulate. Required.
+	Circuit *circuit.Circuit
+	// Device supplies the noise model and, with Transpile set, the
+	// coupling constraints. Exactly one of Device and Model must be set.
+	Device *device.Device
+	// Model supplies error rates directly when no device is involved.
+	Model *noise.Model
+	// Transpile maps the circuit onto the device before simulation
+	// (ignored without a Device).
+	Transpile bool
+	// Trials is the number of Monte Carlo error-injection trials.
+	Trials int
+	// Seed drives trial generation; equal seeds give equal trial sets.
+	Seed int64
+	// Mode selects static analysis vs executed simulation.
+	Mode Mode
+	// ErrorMode selects the injection model (default trial.PerGate, the
+	// paper's Figure 3 semantics).
+	ErrorMode trial.ErrorMode
+	// SnapshotBudget caps the concurrently stored state vectors; 0 means
+	// unlimited (the paper's scheme). A positive budget trades
+	// recomputation for memory via reorder.BuildPlanBudget.
+	SnapshotBudget int
+	// Workers runs the reordered execution across this many goroutines
+	// (sim.Parallel). 0 or 1 executes sequentially. Ignored for static
+	// and baseline modes and incompatible with a SnapshotBudget.
+	Workers int
+	// KeepStates retains per-trial final states (tests only; memory!).
+	KeepStates bool
+}
+
+// Report is the outcome of Run.
+type Report struct {
+	// Circuit is the simulated circuit (post-transpile when mapping was
+	// requested).
+	Circuit *circuit.Circuit
+	// Transpile reports mapping statistics when transpiling happened.
+	Transpile *transpile.Result
+	// Trials is the generated trial set, in generation order.
+	Trials []*trial.Trial
+	// TrialStats summarizes the trial set.
+	TrialStats trial.Stats
+	// Plan is the reordered execution plan.
+	Plan *reorder.Plan
+	// Analysis holds the paper's static metrics (normalized computation,
+	// MSV) for the plan.
+	Analysis reorder.Analysis
+	// Baseline and Reordered hold executed results per Mode.
+	Baseline  *sim.Result
+	Reordered *sim.Result
+}
+
+// Run executes one job per the config.
+func Run(cfg Config) (*Report, error) {
+	if cfg.Circuit == nil {
+		return nil, fmt.Errorf("core: Config.Circuit is required")
+	}
+	if (cfg.Device == nil) == (cfg.Model == nil) {
+		return nil, fmt.Errorf("core: exactly one of Config.Device and Config.Model must be set")
+	}
+	if cfg.Trials <= 0 {
+		return nil, fmt.Errorf("core: Config.Trials must be positive, got %d", cfg.Trials)
+	}
+
+	rep := &Report{Circuit: cfg.Circuit}
+	model := cfg.Model
+	if cfg.Device != nil {
+		model = cfg.Device.Model()
+		if cfg.Transpile {
+			tr, err := transpile.ToDevice(cfg.Circuit, cfg.Device)
+			if err != nil {
+				return nil, err
+			}
+			rep.Transpile = tr
+			rep.Circuit = tr.Circuit
+		}
+	}
+	if err := rep.Circuit.Validate(); err != nil {
+		return nil, err
+	}
+
+	if cfg.SnapshotBudget > 0 && cfg.Workers > 1 {
+		return nil, fmt.Errorf("core: SnapshotBudget and Workers cannot be combined")
+	}
+
+	gen, err := trial.NewGeneratorMode(rep.Circuit, model, cfg.ErrorMode)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rep.Trials = gen.Generate(rng, cfg.Trials)
+	rep.TrialStats = trial.Summarize(rep.Trials)
+
+	if cfg.SnapshotBudget > 0 {
+		rep.Plan, err = reorder.BuildPlanBudget(rep.Circuit, rep.Trials, cfg.SnapshotBudget)
+	} else {
+		rep.Plan, err = reorder.BuildPlan(rep.Circuit, rep.Trials)
+	}
+	if err != nil {
+		return nil, err
+	}
+	rep.Analysis = rep.Plan.Analysis()
+
+	opt := sim.Options{KeepStates: cfg.KeepStates}
+	runReordered := func() (*sim.Result, error) {
+		if cfg.Workers > 1 {
+			return sim.Parallel(rep.Circuit, rep.Trials, cfg.Workers, opt)
+		}
+		return sim.ExecutePlan(rep.Circuit, rep.Plan, opt)
+	}
+	switch cfg.Mode {
+	case ModeStatic:
+	case ModeBaseline:
+		rep.Baseline, err = sim.Baseline(rep.Circuit, rep.Trials, opt)
+	case ModeReordered:
+		rep.Reordered, err = runReordered()
+	case ModeBoth:
+		rep.Baseline, err = sim.Baseline(rep.Circuit, rep.Trials, opt)
+		if err == nil {
+			rep.Reordered, err = runReordered()
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown mode %v", cfg.Mode)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// MeasuredSaving returns 1 - executedReorderedOps/executedBaselineOps when
+// both simulators ran, falling back to the static analysis otherwise.
+func (r *Report) MeasuredSaving() float64 {
+	if r.Baseline != nil && r.Reordered != nil && r.Baseline.Ops > 0 {
+		return 1 - float64(r.Reordered.Ops)/float64(r.Baseline.Ops)
+	}
+	return r.Analysis.Saving
+}

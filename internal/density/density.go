@@ -1,0 +1,431 @@
+// Package density implements the density-matrix simulation approach the
+// paper's Related Work contrasts against: the full 2^N x 2^N mixed-state
+// representation that models noise exactly in a single run, at the cost of
+// squaring the memory footprint.
+//
+// Here it serves as the ground truth for the Monte Carlo simulators: the
+// trial-averaged output distribution of internal/sim must converge to the
+// exact channel-evolved density matrix as the number of trials grows, and
+// the integration tests assert exactly that. The implementation is direct
+// and favors clarity over speed — it only ever runs on the small circuits
+// where 4^N is affordable, which is precisely the paper's point about why
+// state-vector Monte Carlo is preferred.
+package density
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/circuit"
+	"repro/internal/gate"
+	"repro/internal/noise"
+	"repro/internal/qmath"
+	"repro/internal/trial"
+)
+
+// Matrix is an N-qubit density matrix: Hermitian, positive semidefinite,
+// unit trace, dimension 2^N.
+type Matrix struct {
+	n   int
+	dim int
+	rho []complex128 // row-major dim x dim
+}
+
+// New returns the pure state |0...0><0...0| over n qubits. It panics for
+// n outside [1, 13] — a 13-qubit density matrix is already 1 GiB.
+func New(n int) *Matrix {
+	if n < 1 || n > 13 {
+		panic(fmt.Sprintf("density: qubit count %d outside supported range [1,13]", n))
+	}
+	dim := 1 << uint(n)
+	m := &Matrix{n: n, dim: dim, rho: make([]complex128, dim*dim)}
+	m.rho[0] = 1
+	return m
+}
+
+// FromPure builds the density matrix |psi><psi| from a state vector.
+func FromPure(amp []complex128) (*Matrix, error) {
+	n := qmath.Log2Dim(len(amp))
+	if n < 1 {
+		return nil, fmt.Errorf("density: amplitude length %d is not a power of two >= 2", len(amp))
+	}
+	m := New(n)
+	for i := range amp {
+		for j := range amp {
+			m.rho[i*m.dim+j] = amp[i] * cmplx.Conj(amp[j])
+		}
+	}
+	return m, nil
+}
+
+// NumQubits returns the register width.
+func (m *Matrix) NumQubits() int { return m.n }
+
+// Dim returns the Hilbert-space dimension 2^n.
+func (m *Matrix) Dim() int { return m.dim }
+
+// At returns the element rho[i][j].
+func (m *Matrix) At(i, j int) complex128 { return m.rho[i*m.dim+j] }
+
+// Trace returns tr(rho), which is 1 for a valid state.
+func (m *Matrix) Trace() complex128 {
+	var t complex128
+	for i := 0; i < m.dim; i++ {
+		t += m.rho[i*m.dim+i]
+	}
+	return t
+}
+
+// Purity returns tr(rho^2): 1 for pure states, 1/2^n for the maximally
+// mixed state.
+func (m *Matrix) Purity() float64 {
+	var p complex128
+	for i := 0; i < m.dim; i++ {
+		for j := 0; j < m.dim; j++ {
+			p += m.rho[i*m.dim+j] * m.rho[j*m.dim+i]
+		}
+	}
+	return real(p)
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := &Matrix{n: m.n, dim: m.dim, rho: make([]complex128, len(m.rho))}
+	copy(c.rho, m.rho)
+	return c
+}
+
+// Probabilities returns the diagonal of rho: the computational-basis
+// outcome distribution.
+func (m *Matrix) Probabilities() []float64 {
+	p := make([]float64, m.dim)
+	for i := 0; i < m.dim; i++ {
+		p[i] = real(m.rho[i*m.dim+i])
+	}
+	return p
+}
+
+// IsValid checks the density-matrix invariants within tol: unit trace,
+// Hermiticity, and non-negative diagonal (a cheap necessary condition for
+// positive semidefiniteness).
+func (m *Matrix) IsValid(tol float64) error {
+	if d := cmplx.Abs(m.Trace() - 1); d > tol {
+		return fmt.Errorf("density: trace deviates from 1 by %g", d)
+	}
+	for i := 0; i < m.dim; i++ {
+		if real(m.rho[i*m.dim+i]) < -tol {
+			return fmt.Errorf("density: negative diagonal at %d: %g", i, real(m.rho[i*m.dim+i]))
+		}
+		for j := i + 1; j < m.dim; j++ {
+			if cmplx.Abs(m.rho[i*m.dim+j]-cmplx.Conj(m.rho[j*m.dim+i])) > tol {
+				return fmt.Errorf("density: not Hermitian at (%d,%d)", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// expandOperator lifts a k-qubit operator to the full 2^n space as a dense
+// matrix-index mapping. Returns the full operator (2^n x 2^n, dense). Used
+// only at n <= 13 so the cost is acceptable.
+func (m *Matrix) expandOperator(u qmath.Matrix, qubits []int) qmath.Matrix {
+	k := len(qubits)
+	full := qmath.New(m.dim)
+	sub := 1 << uint(k)
+	// For each basis column, compute the operator's action.
+	for col := 0; col < m.dim; col++ {
+		subIn := 0
+		for j, q := range qubits {
+			if col>>uint(q)&1 == 1 {
+				subIn |= 1 << uint(k-1-j)
+			}
+		}
+		rest := col
+		for _, q := range qubits {
+			rest &^= 1 << uint(q)
+		}
+		for subOut := 0; subOut < sub; subOut++ {
+			coef := u.At(subOut, subIn)
+			if coef == 0 {
+				continue
+			}
+			row := rest
+			for j, q := range qubits {
+				if subOut>>uint(k-1-j)&1 == 1 {
+					row |= 1 << uint(q)
+				}
+			}
+			full.Set(row, col, coef)
+		}
+	}
+	return full
+}
+
+// ApplyUnitary evolves rho -> U rho U† for a gate on the given qubits.
+func (m *Matrix) ApplyUnitary(g gate.Gate, qubits ...int) {
+	u := m.expandOperator(g.Matrix(), qubits)
+	m.applyFull(u)
+}
+
+// applyFull computes rho -> A rho A† for a full-dimension operator.
+func (m *Matrix) applyFull(a qmath.Matrix) {
+	m.transform([]qmath.Matrix{a})
+}
+
+// ApplyKraus applies a quantum channel given by Kraus operators on the
+// listed qubits: rho -> sum_k K_k rho K_k†. The operators must satisfy
+// sum K†K = I, which Channel constructors in this package guarantee.
+func (m *Matrix) ApplyKraus(ks []qmath.Matrix, qubits ...int) {
+	full := make([]qmath.Matrix, len(ks))
+	for i, k := range ks {
+		full[i] = m.expandOperator(k, qubits)
+	}
+	m.transform(full)
+}
+
+// transform computes rho' = sum_k A_k rho A_k†.
+func (m *Matrix) transform(as []qmath.Matrix) {
+	out := make([]complex128, len(m.rho))
+	dim := m.dim
+	tmp := make([]complex128, dim*dim)
+	for _, a := range as {
+		// tmp = A * rho
+		for i := range tmp {
+			tmp[i] = 0
+		}
+		for i := 0; i < dim; i++ {
+			for k := 0; k < dim; k++ {
+				av := a.At(i, k)
+				if av == 0 {
+					continue
+				}
+				rrow := m.rho[k*dim : (k+1)*dim]
+				trow := tmp[i*dim : (i+1)*dim]
+				for j := 0; j < dim; j++ {
+					trow[j] += av * rrow[j]
+				}
+			}
+		}
+		// out += tmp * A†  (i.e. out[i][j] += sum_k tmp[i][k] * conj(a[j][k]))
+		for i := 0; i < dim; i++ {
+			trow := tmp[i*dim : (i+1)*dim]
+			orow := out[i*dim : (i+1)*dim]
+			for j := 0; j < dim; j++ {
+				var acc complex128
+				for k := 0; k < dim; k++ {
+					av := a.At(j, k)
+					if av == 0 {
+						continue
+					}
+					acc += trow[k] * cmplx.Conj(av)
+				}
+				orow[j] += acc
+			}
+		}
+	}
+	copy(m.rho, out)
+}
+
+// DepolarizingKraus returns the single-qubit symmetric depolarizing
+// channel of the paper's Figure 3 as Kraus operators: identity with
+// probability 1-p, and each Pauli with probability p/3. p is the total
+// error probability, matching noise.Model's convention.
+func DepolarizingKraus(p float64) []qmath.Matrix {
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("density: depolarizing probability %g outside [0,1]", p))
+	}
+	id := qmath.Identity(2).Scale(complex(math.Sqrt(1-p), 0))
+	third := complex(math.Sqrt(p/3), 0)
+	return []qmath.Matrix{
+		id,
+		gate.X().Matrix().Scale(third),
+		gate.Y().Matrix().Scale(third),
+		gate.Z().Matrix().Scale(third),
+	}
+}
+
+// TwoQubitDepolarizingKraus returns the two-qubit depolarizing channel:
+// identity with probability 1-p, each of the 15 non-identity Pauli pairs
+// with probability p/15 — the channel the per-gate Monte Carlo injection
+// of internal/trial samples from.
+func TwoQubitDepolarizingKraus(p float64) []qmath.Matrix {
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("density: depolarizing probability %g outside [0,1]", p))
+	}
+	paulis := []qmath.Matrix{
+		qmath.Identity(2), gate.X().Matrix(), gate.Y().Matrix(), gate.Z().Matrix(),
+	}
+	out := make([]qmath.Matrix, 0, 16)
+	out = append(out, qmath.Identity(4).Scale(complex(math.Sqrt(1-p), 0)))
+	w := complex(math.Sqrt(p/15), 0)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if i == 0 && j == 0 {
+				continue
+			}
+			out = append(out, paulis[i].Kron(paulis[j]).Scale(w))
+		}
+	}
+	return out
+}
+
+// AmplitudeDampingKraus returns the T1-decay channel (|1> relaxing to |0>
+// with probability gamma), the "decaying from high-energy state" error
+// the paper mentions as position-independent noise.
+func AmplitudeDampingKraus(gamma float64) []qmath.Matrix {
+	if gamma < 0 || gamma > 1 {
+		panic(fmt.Sprintf("density: damping probability %g outside [0,1]", gamma))
+	}
+	k0 := qmath.FromRows([][]complex128{
+		{1, 0},
+		{0, complex(math.Sqrt(1-gamma), 0)},
+	})
+	k1 := qmath.FromRows([][]complex128{
+		{0, complex(math.Sqrt(gamma), 0)},
+		{0, 0},
+	})
+	return []qmath.Matrix{k0, k1}
+}
+
+// PhaseDampingKraus returns the pure-dephasing (T2) channel.
+func PhaseDampingKraus(lambda float64) []qmath.Matrix {
+	if lambda < 0 || lambda > 1 {
+		panic(fmt.Sprintf("density: dephasing probability %g outside [0,1]", lambda))
+	}
+	k0 := qmath.FromRows([][]complex128{
+		{1, 0},
+		{0, complex(math.Sqrt(1-lambda), 0)},
+	})
+	k1 := qmath.FromRows([][]complex128{
+		{0, 0},
+		{0, complex(math.Sqrt(lambda), 0)},
+	})
+	return []qmath.Matrix{k0, k1}
+}
+
+// BitFlipKraus returns the classical readout-error channel as a quantum
+// bit-flip channel, used to model measurement errors exactly in the
+// density picture.
+func BitFlipKraus(p float64) []qmath.Matrix {
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("density: flip probability %g outside [0,1]", p))
+	}
+	return []qmath.Matrix{
+		qmath.Identity(2).Scale(complex(math.Sqrt(1-p), 0)),
+		gate.X().Matrix().Scale(complex(math.Sqrt(p), 0)),
+	}
+}
+
+// ValidateKraus checks the completeness relation sum_k K†K = I within tol.
+func ValidateKraus(ks []qmath.Matrix, tol float64) error {
+	if len(ks) == 0 {
+		return fmt.Errorf("density: empty Kraus set")
+	}
+	dim := ks[0].Dim()
+	sum := qmath.New(dim)
+	for _, k := range ks {
+		if k.Dim() != dim {
+			return fmt.Errorf("density: inconsistent Kraus dimensions")
+		}
+		sum = sum.Add(k.Dagger().Mul(k))
+	}
+	if !sum.Equal(qmath.Identity(dim), tol) {
+		return fmt.Errorf("density: Kraus completeness violated")
+	}
+	return nil
+}
+
+// Simulate evolves the circuit under the noise model exactly, applying
+// the depolarizing channel after each gate per the paper's error model
+// (Figure 3: one error operator slot per gate, at the end of its layer)
+// and the bit-flip channel at each measurement. It returns the final
+// density matrix, whose diagonal is the exact noisy output distribution
+// the Monte Carlo simulators estimate.
+//
+// The injection semantics mirror trial.PerGate exactly: single-qubit
+// depolarizing (rate = model.Single) after 1q gates, two-qubit
+// depolarizing over the 15 Pauli pairs (rate = model.Two) after 2q gates.
+func Simulate(c *circuit.Circuit, m *noise.Model, mode trial.ErrorMode) (*Matrix, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if m.NumQubits() < c.NumQubits() {
+		return nil, fmt.Errorf("density: model covers %d qubits, circuit needs %d", m.NumQubits(), c.NumQubits())
+	}
+	if c.NumQubits() > 13 {
+		return nil, fmt.Errorf("density: %d qubits exceed the density simulator's 13-qubit ceiling", c.NumQubits())
+	}
+	rho := New(c.NumQubits())
+	for _, layer := range c.Layers() {
+		busy := make(map[int]bool)
+		for _, oi := range layer {
+			for _, q := range c.Op(oi).Qubits {
+				busy[q] = true
+			}
+		}
+		// Gates first, then the layer's error channels, matching the
+		// Monte Carlo injection position (end of layer).
+		for _, oi := range layer {
+			op := c.Op(oi)
+			rho.ApplyUnitary(op.Gate, op.Qubits...)
+		}
+		for _, oi := range layer {
+			op := c.Op(oi)
+			switch {
+			case len(op.Qubits) == 1:
+				if p := m.Single(op.Qubits[0]); p > 0 {
+					rho.ApplyKraus(DepolarizingKraus(p), op.Qubits[0])
+				}
+			case len(op.Qubits) == 2 && mode == trial.PerGate:
+				if p := m.Two(op.Qubits[0], op.Qubits[1]); p > 0 {
+					rho.ApplyKraus(TwoQubitDepolarizingKraus(p), op.Qubits[0], op.Qubits[1])
+				}
+			case len(op.Qubits) == 2:
+				p := m.Two(op.Qubits[0], op.Qubits[1])
+				for _, q := range op.Qubits {
+					if p > 0 {
+						rho.ApplyKraus(DepolarizingKraus(p), q)
+					}
+				}
+			default:
+				return nil, fmt.Errorf("density: decompose %d-qubit gate %q before noisy simulation", len(op.Qubits), op.Gate.Name())
+			}
+		}
+		// Idle-qubit channels, mirroring the Monte Carlo idle slots.
+		for q := 0; q < c.NumQubits(); q++ {
+			if !busy[q] {
+				if p := m.Idle(q); p > 0 {
+					rho.ApplyKraus(DepolarizingKraus(p), q)
+				}
+			}
+		}
+	}
+	for _, meas := range c.Measurements() {
+		if p := m.Measure(meas.Qubit); p > 0 {
+			rho.ApplyKraus(BitFlipKraus(p), meas.Qubit)
+		}
+	}
+	return rho, nil
+}
+
+// MeasuredDistribution maps the density matrix's diagonal onto classical
+// bit patterns through the circuit's qubit-to-bit measurement routing,
+// marginalizing out unmeasured qubits.
+func MeasuredDistribution(rho *Matrix, c *circuit.Circuit) map[uint64]float64 {
+	out := make(map[uint64]float64)
+	probs := rho.Probabilities()
+	for idx, p := range probs {
+		if p == 0 {
+			continue
+		}
+		var bits uint64
+		for _, meas := range c.Measurements() {
+			if idx>>uint(meas.Qubit)&1 == 1 {
+				bits |= 1 << uint(meas.Bit)
+			}
+		}
+		out[bits] += p
+	}
+	return out
+}

@@ -1,0 +1,354 @@
+package density
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/circuit"
+	"repro/internal/gate"
+	"repro/internal/noise"
+	"repro/internal/qmath"
+	"repro/internal/sim"
+	"repro/internal/statevec"
+	"repro/internal/trial"
+)
+
+func TestNewIsPureZero(t *testing.T) {
+	m := New(2)
+	if m.At(0, 0) != 1 {
+		t.Error("rho[0][0] != 1")
+	}
+	if err := m.IsValid(1e-12); err != nil {
+		t.Error(err)
+	}
+	if math.Abs(m.Purity()-1) > 1e-12 {
+		t.Errorf("purity = %g", m.Purity())
+	}
+}
+
+func TestNewPanicsOutOfRange(t *testing.T) {
+	for _, n := range []int{0, 14} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", n)
+				}
+			}()
+			New(n)
+		}()
+	}
+}
+
+func TestFromPure(t *testing.T) {
+	// |+> state.
+	amp := []complex128{qmath.SqrtHalf, qmath.SqrtHalf}
+	m, err := FromPure(amp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if !qmath.AlmostEqual(m.At(i, j), 0.5) {
+				t.Errorf("rho[%d][%d] = %v, want 0.5", i, j, m.At(i, j))
+			}
+		}
+	}
+	if _, err := FromPure(make([]complex128, 3)); err == nil {
+		t.Error("bad length accepted")
+	}
+}
+
+func TestUnitaryEvolutionMatchesStateVector(t *testing.T) {
+	// Evolve the same random circuit in both pictures and compare
+	// rho against |psi><psi|.
+	rng := rand.New(rand.NewSource(1))
+	c := circuit.New("fuzz", 3)
+	for i := 0; i < 12; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			c.Append(gate.H(), rng.Intn(3))
+		case 1:
+			c.Append(gate.U3(rng.Float64(), rng.Float64(), rng.Float64()), rng.Intn(3))
+		default:
+			a := rng.Intn(3)
+			b := (a + 1 + rng.Intn(2)) % 3
+			c.Append(gate.CX(), a, b)
+		}
+	}
+	sv := statevec.NewState(3)
+	rho := New(3)
+	for _, op := range c.Ops() {
+		sv.ApplyOp(op.Gate, op.Qubits...)
+		rho.ApplyUnitary(op.Gate, op.Qubits...)
+	}
+	want, err := FromPure(sv.Amplitudes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rho.Dim(); i++ {
+		for j := 0; j < rho.Dim(); j++ {
+			if !qmath.AlmostEqualTol(rho.At(i, j), want.At(i, j), 1e-9) {
+				t.Fatalf("rho[%d][%d] = %v, want %v", i, j, rho.At(i, j), want.At(i, j))
+			}
+		}
+	}
+	if math.Abs(rho.Purity()-1) > 1e-9 {
+		t.Errorf("unitary evolution lost purity: %g", rho.Purity())
+	}
+}
+
+func TestKrausChannelsComplete(t *testing.T) {
+	channels := map[string][]qmath.Matrix{
+		"depolarizing(0.1)":    DepolarizingKraus(0.1),
+		"depolarizing(1)":      DepolarizingKraus(1),
+		"two-depolarizing(.2)": TwoQubitDepolarizingKraus(0.2),
+		"amplitude(0.3)":       AmplitudeDampingKraus(0.3),
+		"phase(0.4)":           PhaseDampingKraus(0.4),
+		"bitflip(0.25)":        BitFlipKraus(0.25),
+	}
+	for name, ks := range channels {
+		if err := ValidateKraus(ks, 1e-12); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestValidateKrausRejectsIncomplete(t *testing.T) {
+	bad := []qmath.Matrix{qmath.Identity(2).Scale(0.5)}
+	if err := ValidateKraus(bad, 1e-9); err == nil {
+		t.Error("incomplete Kraus set accepted")
+	}
+	if err := ValidateKraus(nil, 1e-9); err == nil {
+		t.Error("empty Kraus set accepted")
+	}
+}
+
+func TestDepolarizingFixedPoint(t *testing.T) {
+	// Full depolarizing (p=1, uniform over Paulis at p/3 each) applied to
+	// |0><0| gives diag(2/3... compute: X,Y flip -> 1/3+1/3 on |1>,
+	// I(0) + Z keeps |0>. With p=1: weights X=Y=Z=1/3.
+	m := New(1)
+	m.ApplyKraus(DepolarizingKraus(1), 0)
+	if err := m.IsValid(1e-12); err != nil {
+		t.Fatal(err)
+	}
+	p := m.Probabilities()
+	if math.Abs(p[0]-1.0/3.0) > 1e-12 || math.Abs(p[1]-2.0/3.0) > 1e-12 {
+		t.Errorf("p = %v, want [1/3, 2/3]", p)
+	}
+}
+
+func TestAmplitudeDampingDecaysExcitedState(t *testing.T) {
+	m := New(1)
+	m.ApplyUnitary(gate.X(), 0) // |1>
+	m.ApplyKraus(AmplitudeDampingKraus(0.25), 0)
+	p := m.Probabilities()
+	if math.Abs(p[0]-0.25) > 1e-12 || math.Abs(p[1]-0.75) > 1e-12 {
+		t.Errorf("p = %v, want [0.25, 0.75]", p)
+	}
+}
+
+func TestPhaseDampingKillsCoherence(t *testing.T) {
+	m := New(1)
+	m.ApplyUnitary(gate.H(), 0)
+	before := m.At(0, 1)
+	m.ApplyKraus(PhaseDampingKraus(0.5), 0)
+	after := m.At(0, 1)
+	if real(after) >= real(before) {
+		t.Errorf("coherence did not decay: %v -> %v", before, after)
+	}
+	// Diagonal untouched.
+	p := m.Probabilities()
+	if math.Abs(p[0]-0.5) > 1e-12 {
+		t.Errorf("dephasing changed populations: %v", p)
+	}
+}
+
+func TestDepolarizingLosesPurity(t *testing.T) {
+	m := New(2)
+	m.ApplyUnitary(gate.H(), 0)
+	m.ApplyKraus(DepolarizingKraus(0.2), 0)
+	if m.Purity() >= 1-1e-9 {
+		t.Errorf("purity %g did not drop", m.Purity())
+	}
+	if err := m.IsValid(1e-9); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMonteCarloConvergesToDensityMatrix is the cross-validation at the
+// heart of this package: the reordered Monte Carlo simulator's averaged
+// output distribution must converge to the exact channel evolution.
+func TestMonteCarloConvergesToDensityMatrix(t *testing.T) {
+	circuits := map[string]*circuit.Circuit{
+		"bell": func() *circuit.Circuit {
+			c := circuit.New("bell", 2)
+			c.Append(gate.H(), 0)
+			c.Append(gate.CX(), 0, 1)
+			c.MeasureAll()
+			return c
+		}(),
+		"bv4":    bench.BV(4, 0b101),
+		"wstate": bench.WState3(),
+	}
+	for name, c := range circuits {
+		m := noise.Uniform("u", c.NumQubits(), 2e-2, 8e-2, 3e-2)
+		exact, err := Simulate(c, m, trial.PerGate)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := exact.IsValid(1e-9); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		wantDist := MeasuredDistribution(exact, c)
+
+		gen, err := trial.NewGenerator(c, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const trialsN = 60000
+		trials := gen.Generate(rand.New(rand.NewSource(9)), trialsN)
+		res, err := sim.Reordered(c, trials, sim.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := res.Distribution()
+
+		// Total-variation distance between the Monte Carlo estimate and
+		// the exact distribution should be within sampling error
+		// (~sqrt(K/trials), generously bounded).
+		var tv float64
+		keys := map[uint64]bool{}
+		for k := range wantDist {
+			keys[k] = true
+		}
+		for k := range got {
+			keys[k] = true
+		}
+		for k := range keys {
+			tv += math.Abs(wantDist[k] - got[k])
+		}
+		tv /= 2
+		if tv > 0.02 {
+			t.Errorf("%s: Monte Carlo deviates from density matrix by TV=%g", name, tv)
+		}
+	}
+}
+
+// TestMonteCarloPerQubitModeConvergence validates the per-qubit ablation
+// mode against its density-channel counterpart.
+func TestMonteCarloPerQubitModeConvergence(t *testing.T) {
+	c := circuit.New("2q", 2)
+	c.Append(gate.H(), 0)
+	c.Append(gate.CX(), 0, 1)
+	c.Append(gate.H(), 1)
+	c.MeasureAll()
+	m := noise.Uniform("u", 2, 3e-2, 9e-2, 0)
+	exact, err := Simulate(c, m, trial.PerQubit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDist := MeasuredDistribution(exact, c)
+
+	gen, err := trial.NewGeneratorMode(c, m, trial.PerQubit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trials := gen.Generate(rand.New(rand.NewSource(10)), 60000)
+	res, err := sim.Reordered(c, trials, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Distribution()
+	var tv float64
+	for k := uint64(0); k < 4; k++ {
+		tv += math.Abs(wantDist[k] - got[k])
+	}
+	if tv/2 > 0.02 {
+		t.Errorf("per-qubit mode deviates: TV=%g", tv/2)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	c := bench.BV(4, 1)
+	narrow := noise.Uniform("u", 2, 0.1, 0.1, 0)
+	if _, err := Simulate(c, narrow, trial.PerGate); err == nil {
+		t.Error("narrow model accepted")
+	}
+	wide := circuit.New("wide", 14)
+	wide.Append(gate.H(), 13)
+	if _, err := Simulate(wide, noise.Uniform("u", 14, 0, 0, 0), trial.PerGate); err == nil {
+		t.Error("14-qubit circuit accepted")
+	}
+}
+
+func TestMeasuredDistributionRouting(t *testing.T) {
+	c := circuit.New("route", 2)
+	c.Append(gate.X(), 0)
+	c.Measure(0, 1) // qubit 0 -> bit 1
+	c.Measure(1, 0)
+	rho, err := Simulate(c, noise.NewModel("clean", 2), trial.PerGate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := MeasuredDistribution(rho, c)
+	if math.Abs(dist[0b10]-1) > 1e-12 {
+		t.Errorf("routing wrong: %v", dist)
+	}
+}
+
+func TestMeasurementErrorChannelMatchesClassicalFlip(t *testing.T) {
+	// A noiseless circuit leaving |0> with 10% readout error must give
+	// P(1) = 0.1 in both pictures.
+	c := circuit.New("m", 1)
+	c.Append(gate.I(), 0)
+	c.Measure(0, 0)
+	m := noise.NewModel("meas", 1)
+	m.SetMeasure(0, 0.1)
+	rho, err := Simulate(c, m, trial.PerGate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := MeasuredDistribution(rho, c)
+	if math.Abs(dist[1]-0.1) > 1e-12 {
+		t.Errorf("P(1) = %g, want 0.1", dist[1])
+	}
+}
+
+// TestIdleErrorConvergence: Monte Carlo with idle-qubit errors converges
+// to the density-channel evolution with matching idle channels.
+func TestIdleErrorConvergence(t *testing.T) {
+	c := circuit.New("idle", 2)
+	c.Append(gate.H(), 0) // q1 idles this layer
+	c.Append(gate.CX(), 0, 1)
+	c.Append(gate.T(), 1) // q0 idles this layer
+	c.MeasureAll()
+	m := noise.Uniform("u", 2, 1e-2, 4e-2, 0)
+	m.SetIdle(0, 2e-2).SetIdle(1, 2e-2)
+
+	exact, err := Simulate(c, m, trial.PerGate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDist := MeasuredDistribution(exact, c)
+
+	gen, err := trial.NewGenerator(c, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trials := gen.Generate(rand.New(rand.NewSource(11)), 80000)
+	res, err := sim.Reordered(c, trials, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Distribution()
+	var tv float64
+	for k := uint64(0); k < 4; k++ {
+		tv += math.Abs(wantDist[k] - got[k])
+	}
+	if tv/2 > 0.02 {
+		t.Errorf("idle-error Monte Carlo deviates: TV=%g", tv/2)
+	}
+}

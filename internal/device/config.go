@@ -1,0 +1,171 @@
+package device
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/noise"
+)
+
+// Config is the JSON-serializable description of a device, so users can
+// model their own hardware calibration without writing Go:
+//
+//	{
+//	  "name": "my-chip",
+//	  "qubits": 5,
+//	  "edges": [[0,1],[1,2],[2,3],[3,4]],
+//	  "single_error": {"default": 1e-3, "per_qubit": {"2": 2e-3}},
+//	  "two_error": {"default": 1e-2, "per_pair": [{"a":0,"b":1,"rate":2e-2}]},
+//	  "measure_error": {"default": 2e-2},
+//	  "idle_error": {"default": 0}
+//	}
+type Config struct {
+	Name    string   `json:"name"`
+	Qubits  int      `json:"qubits"`
+	Edges   [][2]int `json:"edges"`
+	Single  RateSpec `json:"single_error"`
+	Two     PairSpec `json:"two_error"`
+	Measure RateSpec `json:"measure_error"`
+	Idle    RateSpec `json:"idle_error"`
+}
+
+// RateSpec gives a default rate with per-qubit overrides (keys are qubit
+// indices as decimal strings, as JSON object keys must be strings).
+type RateSpec struct {
+	Default  float64            `json:"default"`
+	PerQubit map[string]float64 `json:"per_qubit,omitempty"`
+}
+
+// PairSpec gives a default two-qubit rate with per-pair overrides.
+type PairSpec struct {
+	Default float64    `json:"default"`
+	PerPair []PairRate `json:"per_pair,omitempty"`
+}
+
+// PairRate is one pair override.
+type PairRate struct {
+	A    int     `json:"a"`
+	B    int     `json:"b"`
+	Rate float64 `json:"rate"`
+}
+
+// resolve returns the rate for qubit q.
+func (r RateSpec) resolve(q int) (float64, error) {
+	if v, ok := r.PerQubit[fmt.Sprintf("%d", q)]; ok {
+		return v, nil
+	}
+	return r.Default, nil
+}
+
+// FromConfig builds a Device from a parsed Config.
+func FromConfig(cfg Config) (*Device, error) {
+	if cfg.Qubits <= 0 {
+		return nil, fmt.Errorf("device: config %q has %d qubits", cfg.Name, cfg.Qubits)
+	}
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("device: config missing name")
+	}
+	for key, spec := range map[string]RateSpec{"single_error": cfg.Single, "measure_error": cfg.Measure, "idle_error": cfg.Idle} {
+		if err := validateSpec(spec, cfg.Qubits); err != nil {
+			return nil, fmt.Errorf("device: config %q %s: %v", cfg.Name, key, err)
+		}
+	}
+	if cfg.Two.Default < 0 || cfg.Two.Default > 1 {
+		return nil, fmt.Errorf("device: config %q two_error default %g outside [0,1]", cfg.Name, cfg.Two.Default)
+	}
+
+	m := noise.NewModel(cfg.Name, cfg.Qubits)
+	for q := 0; q < cfg.Qubits; q++ {
+		s, err := cfg.Single.resolve(q)
+		if err != nil {
+			return nil, err
+		}
+		mm, err := cfg.Measure.resolve(q)
+		if err != nil {
+			return nil, err
+		}
+		idle, err := cfg.Idle.resolve(q)
+		if err != nil {
+			return nil, err
+		}
+		m.SetSingle(q, s)
+		m.SetMeasure(q, mm)
+		m.SetIdle(q, idle)
+	}
+	m.SetTwoDefault(cfg.Two.Default)
+	for _, pr := range cfg.Two.PerPair {
+		if pr.A < 0 || pr.A >= cfg.Qubits || pr.B < 0 || pr.B >= cfg.Qubits || pr.A == pr.B {
+			return nil, fmt.Errorf("device: config %q has invalid pair (%d,%d)", cfg.Name, pr.A, pr.B)
+		}
+		if pr.Rate < 0 || pr.Rate > 1 {
+			return nil, fmt.Errorf("device: config %q pair (%d,%d) rate %g outside [0,1]", cfg.Name, pr.A, pr.B, pr.Rate)
+		}
+		m.SetTwo(pr.A, pr.B, pr.Rate)
+	}
+	return New(cfg.Name, cfg.Qubits, cfg.Edges, m)
+}
+
+// LoadJSON reads a device configuration from JSON.
+func LoadJSON(r io.Reader) (*Device, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var cfg Config
+	if err := dec.Decode(&cfg); err != nil {
+		return nil, fmt.Errorf("device: parsing config: %v", err)
+	}
+	return FromConfig(cfg)
+}
+
+// ToConfig exports a device back into its JSON-serializable form,
+// round-tripping every rate the model holds.
+func (d *Device) ToConfig() Config {
+	m := d.Model()
+	cfg := Config{
+		Name:   d.Name(),
+		Qubits: d.NumQubits(),
+		Edges:  d.Edges(),
+		Single: RateSpec{PerQubit: map[string]float64{}},
+		Measure: RateSpec{
+			PerQubit: map[string]float64{},
+		},
+		Idle: RateSpec{PerQubit: map[string]float64{}},
+	}
+	for q := 0; q < d.NumQubits(); q++ {
+		cfg.Single.PerQubit[fmt.Sprintf("%d", q)] = m.Single(q)
+		cfg.Measure.PerQubit[fmt.Sprintf("%d", q)] = m.Measure(q)
+		cfg.Idle.PerQubit[fmt.Sprintf("%d", q)] = m.Idle(q)
+	}
+	for _, e := range d.Edges() {
+		cfg.Two.PerPair = append(cfg.Two.PerPair, PairRate{A: e[0], B: e[1], Rate: m.Two(e[0], e[1])})
+	}
+	// The fallback rate for pairs without explicit entries: read it from
+	// any uncoupled pair (Model.Two returns the default there).
+	cfg.Two.Default = 0
+outer:
+	for a := 0; a < d.NumQubits(); a++ {
+		for b := a + 1; b < d.NumQubits(); b++ {
+			if !d.Coupled(a, b) {
+				cfg.Two.Default = m.Two(a, b)
+				break outer
+			}
+		}
+	}
+	return cfg
+}
+
+func validateSpec(r RateSpec, n int) error {
+	if r.Default < 0 || r.Default > 1 {
+		return fmt.Errorf("default rate %g outside [0,1]", r.Default)
+	}
+	for k, v := range r.PerQubit {
+		var q int
+		if _, err := fmt.Sscanf(k, "%d", &q); err != nil || q < 0 || q >= n {
+			return fmt.Errorf("per-qubit key %q invalid for %d qubits", k, n)
+		}
+		if v < 0 || v > 1 {
+			return fmt.Errorf("rate %g for qubit %s outside [0,1]", v, k)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+package device
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+const sampleConfig = `{
+  "name": "my-chip",
+  "qubits": 3,
+  "edges": [[0,1],[1,2]],
+  "single_error": {"default": 0.001, "per_qubit": {"2": 0.002}},
+  "two_error": {"default": 0.01, "per_pair": [{"a":0,"b":1,"rate":0.02}]},
+  "measure_error": {"default": 0.03},
+  "idle_error": {"default": 0.0005}
+}`
+
+func TestLoadJSON(t *testing.T) {
+	d, err := LoadJSON(strings.NewReader(sampleConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name() != "my-chip" || d.NumQubits() != 3 {
+		t.Fatalf("metadata wrong: %s, %d", d.Name(), d.NumQubits())
+	}
+	m := d.Model()
+	if m.Single(0) != 0.001 || m.Single(2) != 0.002 {
+		t.Error("single rates wrong")
+	}
+	if m.Two(0, 1) != 0.02 || m.Two(1, 2) != 0.01 {
+		t.Error("pair rates wrong")
+	}
+	if m.Measure(1) != 0.03 || m.Idle(0) != 0.0005 {
+		t.Error("measure/idle rates wrong")
+	}
+	if !d.Coupled(0, 1) || d.Coupled(0, 2) {
+		t.Error("edges wrong")
+	}
+}
+
+func TestLoadJSONErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad json":      `{`,
+		"no name":       `{"qubits": 2}`,
+		"zero qubits":   `{"name":"x","qubits":0}`,
+		"unknown field": `{"name":"x","qubits":2,"wat":1}`,
+		"bad rate":      `{"name":"x","qubits":2,"single_error":{"default":2}}`,
+		"bad key":       `{"name":"x","qubits":2,"single_error":{"default":0.1,"per_qubit":{"9":0.1}}}`,
+		"bad pair":      `{"name":"x","qubits":2,"two_error":{"default":0.1,"per_pair":[{"a":0,"b":5,"rate":0.1}]}}`,
+		"bad pair rate": `{"name":"x","qubits":2,"two_error":{"default":0.1,"per_pair":[{"a":0,"b":1,"rate":7}]}}`,
+		"bad edge":      `{"name":"x","qubits":2,"edges":[[0,9]]}`,
+	}
+	for name, src := range cases {
+		if _, err := LoadJSON(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestConfigRoundTrip(t *testing.T) {
+	orig := Yorktown()
+	cfg := orig.ToConfig()
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(cfg); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumQubits() != orig.NumQubits() || len(back.Edges()) != len(orig.Edges()) {
+		t.Fatal("round trip changed topology")
+	}
+	mo, mb := orig.Model(), back.Model()
+	for q := 0; q < orig.NumQubits(); q++ {
+		if math.Abs(mo.Single(q)-mb.Single(q)) > 1e-15 ||
+			math.Abs(mo.Measure(q)-mb.Measure(q)) > 1e-15 ||
+			math.Abs(mo.Idle(q)-mb.Idle(q)) > 1e-15 {
+			t.Errorf("qubit %d rates changed in round trip", q)
+		}
+	}
+	for _, e := range orig.Edges() {
+		if math.Abs(mo.Two(e[0], e[1])-mb.Two(e[0], e[1])) > 1e-15 {
+			t.Errorf("pair %v rate changed", e)
+		}
+	}
+	// The uncoupled-pair fallback survives too.
+	if math.Abs(mo.Two(0, 3)-mb.Two(0, 3)) > 1e-15 {
+		t.Errorf("fallback pair rate changed: %g vs %g", mo.Two(0, 3), mb.Two(0, 3))
+	}
+}
+
+func TestFromConfigDefaultsOnly(t *testing.T) {
+	d, err := FromConfig(Config{Name: "flat", Qubits: 4, Single: RateSpec{Default: 0.01}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Model().Single(3) != 0.01 || d.Model().Measure(0) != 0 {
+		t.Error("defaults not applied")
+	}
+	if len(d.Edges()) != 0 {
+		t.Error("edges appeared from nowhere")
+	}
+}

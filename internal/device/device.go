@@ -1,0 +1,186 @@
+// Package device models the NISQ hardware the paper evaluates against: the
+// IBM 5-qubit Yorktown superconducting processor with its published
+// calibration (Figure 4), and the artificial larger devices of the
+// scalability study (Section V-B) with uniform error rates where two-qubit
+// and measurement errors are 10x the single-qubit rate.
+//
+// A Device couples a coupling graph (which qubit pairs support a CNOT)
+// with a noise.Model. The transpiler routes circuits onto the coupling
+// graph; the trial generator draws error injections from the model.
+package device
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/noise"
+)
+
+// Device is a hardware model: name, qubit count, CNOT coupling graph, and
+// calibrated error rates.
+type Device struct {
+	name     string
+	nqubits  int
+	couples  map[noise.PairKey]bool
+	adjacent [][]int
+	model    *noise.Model
+}
+
+// New builds a device with the given coupling edges (unordered pairs) and
+// noise model. The model must have exactly n qubits.
+func New(name string, n int, edges [][2]int, model *noise.Model) (*Device, error) {
+	if model.NumQubits() != n {
+		return nil, fmt.Errorf("device: model covers %d qubits, device has %d", model.NumQubits(), n)
+	}
+	d := &Device{
+		name:     name,
+		nqubits:  n,
+		couples:  make(map[noise.PairKey]bool),
+		adjacent: make([][]int, n),
+		model:    model,
+	}
+	for _, e := range edges {
+		a, b := e[0], e[1]
+		if a < 0 || a >= n || b < 0 || b >= n || a == b {
+			return nil, fmt.Errorf("device: invalid coupling edge (%d,%d)", a, b)
+		}
+		k := noise.MakePair(a, b)
+		if d.couples[k] {
+			continue
+		}
+		d.couples[k] = true
+		d.adjacent[a] = append(d.adjacent[a], b)
+		d.adjacent[b] = append(d.adjacent[b], a)
+	}
+	for q := range d.adjacent {
+		sort.Ints(d.adjacent[q])
+	}
+	return d, nil
+}
+
+// Name returns the device name.
+func (d *Device) Name() string { return d.name }
+
+// NumQubits returns the device's qubit count.
+func (d *Device) NumQubits() int { return d.nqubits }
+
+// Model returns the device's noise model.
+func (d *Device) Model() *noise.Model { return d.model }
+
+// Coupled reports whether qubits a and b share a coupling edge.
+func (d *Device) Coupled(a, b int) bool { return d.couples[noise.MakePair(a, b)] }
+
+// Neighbors returns the qubits coupled to q, ascending.
+func (d *Device) Neighbors(q int) []int { return d.adjacent[q] }
+
+// Edges returns all coupling edges, canonically ordered.
+func (d *Device) Edges() [][2]int {
+	keys := make([]noise.PairKey, 0, len(d.couples))
+	for k := range d.couples {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Lo != keys[j].Lo {
+			return keys[i].Lo < keys[j].Lo
+		}
+		return keys[i].Hi < keys[j].Hi
+	})
+	out := make([][2]int, len(keys))
+	for i, k := range keys {
+		out[i] = [2]int{k.Lo, k.Hi}
+	}
+	return out
+}
+
+// FullyConnected reports whether every pair is coupled.
+func (d *Device) FullyConnected() bool {
+	return len(d.couples) == d.nqubits*(d.nqubits-1)/2
+}
+
+// yorktownCalibration holds the Figure 4 numbers: per-qubit single-qubit
+// gate error (x 1e-3), per-edge two-qubit gate error (x 1e-2), and
+// per-qubit measurement error (x 1e-2), for IBM's 5-qubit Yorktown chip.
+var yorktownSingle = [5]float64{1.37e-3, 1.37e-3, 2.23e-3, 1.72e-3, 0.94e-3}
+
+var yorktownMeasure = [5]float64{2.40e-2, 2.60e-2, 3.00e-2, 2.20e-2, 4.50e-2}
+
+// yorktownTwo lists the bowtie coupling edges of Yorktown with their CNOT
+// error rates (x 1e-2) as reported in Figure 4. The figure labels six
+// edge rates on the bowtie graph (0-1, 0-2, 1-2, 2-3, 2-4, 3-4).
+var yorktownTwo = []struct {
+	a, b int
+	rate float64
+}{
+	{0, 1, 2.72e-2},
+	{0, 2, 3.77e-2},
+	{1, 2, 4.18e-2},
+	{2, 3, 3.97e-2},
+	{2, 4, 3.62e-2},
+	{3, 4, 3.51e-2},
+}
+
+// Yorktown returns the IBM 5-qubit Yorktown (ibmqx2) device with the
+// calibration of the paper's Figure 4: bowtie coupling, per-qubit 1q and
+// readout rates, per-edge CNOT rates.
+func Yorktown() *Device {
+	m := noise.NewModel("ibmq-yorktown", 5)
+	for q := 0; q < 5; q++ {
+		m.SetSingle(q, yorktownSingle[q])
+		m.SetMeasure(q, yorktownMeasure[q])
+	}
+	var edges [][2]int
+	for _, e := range yorktownTwo {
+		m.SetTwo(e.a, e.b, e.rate)
+		edges = append(edges, [2]int{e.a, e.b})
+	}
+	// Pairs without a coupling edge never host a CNOT after routing; give
+	// them the worst edge rate so un-routed circuits still simulate
+	// conservatively.
+	m.SetTwoDefault(4.18e-2)
+	d, err := New("ibmq-yorktown", 5, edges, m)
+	if err != nil {
+		panic(fmt.Sprintf("device: yorktown construction failed: %v", err))
+	}
+	return d
+}
+
+// Artificial returns a fully connected n-qubit device with uniform error
+// rates: single-qubit gate error p1, two-qubit and measurement errors
+// 10 x p1 — the future-device models of the paper's scalability study.
+func Artificial(n int, p1 float64) *Device {
+	p2 := 10 * p1
+	if p2 > 1 {
+		p2 = 1
+	}
+	m := noise.Uniform(fmt.Sprintf("artificial-n%d-p%g", n, p1), n, p1, p2, p2)
+	var edges [][2]int
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			edges = append(edges, [2]int{a, b})
+		}
+	}
+	d, err := New(m.Name(), n, edges, m)
+	if err != nil {
+		panic(fmt.Sprintf("device: artificial construction failed: %v", err))
+	}
+	return d
+}
+
+// Linear returns an n-qubit device with nearest-neighbor line coupling and
+// uniform rates, useful for routing tests and ablations.
+func Linear(n int, p1 float64) *Device {
+	p2 := 10 * p1
+	if p2 > 1 {
+		p2 = 1
+	}
+	m := noise.Uniform(fmt.Sprintf("linear-n%d-p%g", n, p1), n, p1, p2, p2)
+	var edges [][2]int
+	for q := 0; q+1 < n; q++ {
+		edges = append(edges, [2]int{q, q + 1})
+	}
+	d, err := New(m.Name(), n, edges, m)
+	if err != nil {
+		panic(fmt.Sprintf("device: linear construction failed: %v", err))
+	}
+	return d
+}

@@ -1,0 +1,121 @@
+package device
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/noise"
+)
+
+func TestYorktownShape(t *testing.T) {
+	d := Yorktown()
+	if d.NumQubits() != 5 {
+		t.Fatalf("qubits = %d, want 5", d.NumQubits())
+	}
+	// Bowtie coupling: 6 edges.
+	if got := len(d.Edges()); got != 6 {
+		t.Errorf("edges = %d, want 6", got)
+	}
+	wantEdges := [][2]int{{0, 1}, {0, 2}, {1, 2}, {2, 3}, {2, 4}, {3, 4}}
+	for _, e := range wantEdges {
+		if !d.Coupled(e[0], e[1]) {
+			t.Errorf("edge (%d,%d) missing", e[0], e[1])
+		}
+		if !d.Coupled(e[1], e[0]) {
+			t.Errorf("edge (%d,%d) not symmetric", e[1], e[0])
+		}
+	}
+	if d.Coupled(0, 3) || d.Coupled(0, 4) || d.Coupled(1, 3) || d.Coupled(1, 4) {
+		t.Error("bowtie has spurious edges")
+	}
+}
+
+func TestYorktownFigure4Rates(t *testing.T) {
+	m := Yorktown().Model()
+	// Figure 4 single-qubit rates (x 1e-3).
+	singles := []float64{1.37e-3, 1.37e-3, 2.23e-3, 1.72e-3, 0.94e-3}
+	for q, want := range singles {
+		if got := m.Single(q); math.Abs(got-want) > 1e-12 {
+			t.Errorf("q%d single = %g, want %g", q, got, want)
+		}
+	}
+	meas := []float64{2.40e-2, 2.60e-2, 3.00e-2, 2.20e-2, 4.50e-2}
+	for q, want := range meas {
+		if got := m.Measure(q); math.Abs(got-want) > 1e-12 {
+			t.Errorf("q%d measure = %g, want %g", q, got, want)
+		}
+	}
+	pairs := map[[2]int]float64{
+		{0, 1}: 2.72e-2, {0, 2}: 3.77e-2, {1, 2}: 4.18e-2,
+		{2, 3}: 3.97e-2, {2, 4}: 3.62e-2, {3, 4}: 3.51e-2,
+	}
+	for pq, want := range pairs {
+		if got := m.Two(pq[0], pq[1]); math.Abs(got-want) > 1e-12 {
+			t.Errorf("pair %v = %g, want %g", pq, got, want)
+		}
+	}
+}
+
+func TestArtificial(t *testing.T) {
+	d := Artificial(10, 1e-3)
+	if d.NumQubits() != 10 {
+		t.Fatal("width wrong")
+	}
+	if !d.FullyConnected() {
+		t.Error("artificial device should be fully connected")
+	}
+	m := d.Model()
+	if m.Single(3) != 1e-3 || m.Two(0, 9) != 1e-2 || m.Measure(5) != 1e-2 {
+		t.Error("10x rate rule violated")
+	}
+}
+
+func TestArtificialClampsRates(t *testing.T) {
+	d := Artificial(4, 0.5)
+	if d.Model().Two(0, 1) != 1 {
+		t.Error("2q rate not clamped to 1")
+	}
+}
+
+func TestLinear(t *testing.T) {
+	d := Linear(5, 1e-3)
+	if len(d.Edges()) != 4 {
+		t.Errorf("linear-5 edges = %d, want 4", len(d.Edges()))
+	}
+	if !d.Coupled(2, 3) || d.Coupled(0, 2) {
+		t.Error("line coupling wrong")
+	}
+	if got := d.Neighbors(2); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Errorf("Neighbors(2) = %v", got)
+	}
+	if d.FullyConnected() {
+		t.Error("line reported fully connected")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	m := noise.NewModel("m", 2)
+	if _, err := New("d", 3, nil, m); err == nil {
+		t.Error("width mismatch accepted")
+	}
+	if _, err := New("d", 2, [][2]int{{0, 0}}, m); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if _, err := New("d", 2, [][2]int{{0, 5}}, m); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+}
+
+func TestDuplicateEdgesDeduplicated(t *testing.T) {
+	m := noise.NewModel("m", 2)
+	d, err := New("d", 2, [][2]int{{0, 1}, {1, 0}, {0, 1}}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Edges()) != 1 {
+		t.Errorf("edges = %d, want 1", len(d.Edges()))
+	}
+	if len(d.Neighbors(0)) != 1 {
+		t.Errorf("neighbors = %v", d.Neighbors(0))
+	}
+}

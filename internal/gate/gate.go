@@ -1,0 +1,450 @@
+// Package gate defines the quantum gate library used by the circuit IR and
+// the state-vector simulator: the standard one- and two-qubit gates of the
+// OpenQASM 2.0 dialect plus the Pauli error operators the noise model
+// injects.
+//
+// A Gate is an immutable description — a name, a parameter list, and the
+// unitary matrix it denotes. The simulator dispatches on Kind for the
+// gates it has specialized kernels for and falls back to the dense matrix
+// for everything else, so adding a gate here is enough to make it
+// simulatable.
+package gate
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/qmath"
+)
+
+// Kind enumerates the gates the library knows by name. Specialized
+// simulator kernels key off this value.
+type Kind int
+
+// Gate kinds. The order is stable and used in tests; append only.
+const (
+	KindI Kind = iota
+	KindX
+	KindY
+	KindZ
+	KindH
+	KindS
+	KindSdg
+	KindT
+	KindTdg
+	KindSX // sqrt(X)
+	KindRX
+	KindRY
+	KindRZ
+	KindP  // phase gate, diag(1, e^{i λ})
+	KindU1 // alias of P in OpenQASM 2
+	KindU2 // u2(φ, λ)
+	KindU3 // u3(θ, φ, λ)
+	KindCX
+	KindCZ
+	KindSwap
+	KindCCX
+	KindCustom // arbitrary unitary supplied by the caller
+)
+
+// String returns the lowercase OpenQASM-style mnemonic for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindI:
+		return "id"
+	case KindX:
+		return "x"
+	case KindY:
+		return "y"
+	case KindZ:
+		return "z"
+	case KindH:
+		return "h"
+	case KindS:
+		return "s"
+	case KindSdg:
+		return "sdg"
+	case KindT:
+		return "t"
+	case KindTdg:
+		return "tdg"
+	case KindSX:
+		return "sx"
+	case KindRX:
+		return "rx"
+	case KindRY:
+		return "ry"
+	case KindRZ:
+		return "rz"
+	case KindP:
+		return "p"
+	case KindU1:
+		return "u1"
+	case KindU2:
+		return "u2"
+	case KindU3:
+		return "u3"
+	case KindCX:
+		return "cx"
+	case KindCZ:
+		return "cz"
+	case KindSwap:
+		return "swap"
+	case KindCCX:
+		return "ccx"
+	case KindCustom:
+		return "unitary"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Gate is an immutable gate instance: a kind, the real parameters that
+// specialize it (rotation angles), and its unitary matrix. Construct gates
+// with the package-level constructors; the zero value is not a valid gate.
+type Gate struct {
+	kind   Kind
+	name   string
+	params []float64
+	matrix qmath.Matrix
+	qubits int // number of qubits the gate acts on
+}
+
+// Kind returns the gate's kind.
+func (g Gate) Kind() Kind { return g.kind }
+
+// Name returns the OpenQASM-style mnemonic, e.g. "cx" or "rz".
+func (g Gate) Name() string { return g.name }
+
+// Params returns a copy of the gate's real parameters (rotation angles).
+func (g Gate) Params() []float64 {
+	if len(g.params) == 0 {
+		return nil
+	}
+	out := make([]float64, len(g.params))
+	copy(out, g.params)
+	return out
+}
+
+// Qubits returns the number of qubits the gate acts on (1, 2, or 3).
+func (g Gate) Qubits() int { return g.qubits }
+
+// Matrix returns the gate's unitary. The returned matrix is shared; treat
+// it as read-only.
+func (g Gate) Matrix() qmath.Matrix { return g.matrix }
+
+// String renders the gate with its parameters, e.g. "rz(1.5708)".
+func (g Gate) String() string {
+	if len(g.params) == 0 {
+		return g.name
+	}
+	s := g.name + "("
+	for i, p := range g.params {
+		if i > 0 {
+			s += ","
+		}
+		s += fmt.Sprintf("%g", p)
+	}
+	return s + ")"
+}
+
+func mk(kind Kind, nq int, m qmath.Matrix, params ...float64) Gate {
+	return Gate{kind: kind, name: kind.String(), params: params, matrix: m, qubits: nq}
+}
+
+// Fixed single-qubit gate matrices. Each constructor returns a fresh Gate
+// sharing the precomputed matrix.
+var (
+	matI = qmath.FromRows([][]complex128{{1, 0}, {0, 1}})
+	matX = qmath.FromRows([][]complex128{{0, 1}, {1, 0}})
+	matY = qmath.FromRows([][]complex128{{0, -1i}, {1i, 0}})
+	matZ = qmath.FromRows([][]complex128{{1, 0}, {0, -1}})
+	matH = qmath.FromRows([][]complex128{
+		{qmath.SqrtHalf, qmath.SqrtHalf},
+		{qmath.SqrtHalf, -qmath.SqrtHalf},
+	})
+	matS   = qmath.FromRows([][]complex128{{1, 0}, {0, 1i}})
+	matSdg = qmath.FromRows([][]complex128{{1, 0}, {0, -1i}})
+	matT   = qmath.FromRows([][]complex128{{1, 0}, {0, qmath.Phase(math.Pi / 4)}})
+	matTdg = qmath.FromRows([][]complex128{{1, 0}, {0, qmath.Phase(-math.Pi / 4)}})
+	matSX  = qmath.FromRows([][]complex128{
+		{complex(0.5, 0.5), complex(0.5, -0.5)},
+		{complex(0.5, -0.5), complex(0.5, 0.5)},
+	})
+
+	matCX = qmath.FromRows([][]complex128{
+		{1, 0, 0, 0},
+		{0, 1, 0, 0},
+		{0, 0, 0, 1},
+		{0, 0, 1, 0},
+	})
+	matCZ = qmath.FromRows([][]complex128{
+		{1, 0, 0, 0},
+		{0, 1, 0, 0},
+		{0, 0, 1, 0},
+		{0, 0, 0, -1},
+	})
+	matSwap = qmath.FromRows([][]complex128{
+		{1, 0, 0, 0},
+		{0, 0, 1, 0},
+		{0, 1, 0, 0},
+		{0, 0, 0, 1},
+	})
+	matCCX = ccxMatrix()
+)
+
+func ccxMatrix() qmath.Matrix {
+	m := qmath.Identity(8)
+	// Flip the target (low bit) when both controls (high bits) are set:
+	// swap rows/cols 6 (110) and 7 (111).
+	m.Set(6, 6, 0)
+	m.Set(7, 7, 0)
+	m.Set(6, 7, 1)
+	m.Set(7, 6, 1)
+	return m
+}
+
+// I returns the single-qubit identity gate.
+func I() Gate { return mk(KindI, 1, matI) }
+
+// X returns the Pauli-X (NOT) gate.
+func X() Gate { return mk(KindX, 1, matX) }
+
+// Y returns the Pauli-Y gate.
+func Y() Gate { return mk(KindY, 1, matY) }
+
+// Z returns the Pauli-Z gate.
+func Z() Gate { return mk(KindZ, 1, matZ) }
+
+// H returns the Hadamard gate.
+func H() Gate { return mk(KindH, 1, matH) }
+
+// S returns the phase gate S = diag(1, i).
+func S() Gate { return mk(KindS, 1, matS) }
+
+// Sdg returns the adjoint of S.
+func Sdg() Gate { return mk(KindSdg, 1, matSdg) }
+
+// T returns the T gate diag(1, e^{iπ/4}).
+func T() Gate { return mk(KindT, 1, matT) }
+
+// Tdg returns the adjoint of T.
+func Tdg() Gate { return mk(KindTdg, 1, matTdg) }
+
+// SX returns the square root of X.
+func SX() Gate { return mk(KindSX, 1, matSX) }
+
+// RX returns a rotation about the X axis by theta.
+func RX(theta float64) Gate {
+	c := complex(math.Cos(theta/2), 0)
+	s := complex(0, -math.Sin(theta/2))
+	m := qmath.FromRows([][]complex128{{c, s}, {s, c}})
+	return mk(KindRX, 1, m, theta)
+}
+
+// RY returns a rotation about the Y axis by theta.
+func RY(theta float64) Gate {
+	c := complex(math.Cos(theta/2), 0)
+	s := complex(math.Sin(theta/2), 0)
+	m := qmath.FromRows([][]complex128{{c, -s}, {s, c}})
+	return mk(KindRY, 1, m, theta)
+}
+
+// RZ returns a rotation about the Z axis by theta.
+func RZ(theta float64) Gate {
+	m := qmath.FromRows([][]complex128{
+		{qmath.Phase(-theta / 2), 0},
+		{0, qmath.Phase(theta / 2)},
+	})
+	return mk(KindRZ, 1, m, theta)
+}
+
+// P returns the phase gate diag(1, e^{iλ}).
+func P(lambda float64) Gate {
+	m := qmath.FromRows([][]complex128{{1, 0}, {0, qmath.Phase(lambda)}})
+	return mk(KindP, 1, m, lambda)
+}
+
+// U1 returns the OpenQASM u1 gate, identical to P up to global phase.
+func U1(lambda float64) Gate {
+	g := P(lambda)
+	g.kind = KindU1
+	g.name = KindU1.String()
+	return g
+}
+
+// U2 returns the OpenQASM u2(φ, λ) gate, a π/2 X-axis family rotation.
+func U2(phi, lambda float64) Gate {
+	inv := qmath.SqrtHalf
+	m := qmath.FromRows([][]complex128{
+		{inv, -inv * qmath.Phase(lambda)},
+		{inv * qmath.Phase(phi), inv * qmath.Phase(phi+lambda)},
+	})
+	return mk(KindU2, 1, m, phi, lambda)
+}
+
+// U3 returns the general single-qubit OpenQASM u3(θ, φ, λ) gate.
+func U3(theta, phi, lambda float64) Gate {
+	c := complex(math.Cos(theta/2), 0)
+	s := complex(math.Sin(theta/2), 0)
+	m := qmath.FromRows([][]complex128{
+		{c, -s * qmath.Phase(lambda)},
+		{s * qmath.Phase(phi), c * qmath.Phase(phi+lambda)},
+	})
+	return mk(KindU3, 1, m, theta, phi, lambda)
+}
+
+// CX returns the controlled-X (CNOT) gate; qubit order is (control, target).
+func CX() Gate { return mk(KindCX, 2, matCX) }
+
+// CZ returns the controlled-Z gate.
+func CZ() Gate { return mk(KindCZ, 2, matCZ) }
+
+// Swap returns the two-qubit SWAP gate.
+func Swap() Gate { return mk(KindSwap, 2, matSwap) }
+
+// CCX returns the Toffoli gate; qubit order is (control, control, target).
+func CCX() Gate { return mk(KindCCX, 3, matCCX) }
+
+// Custom wraps an arbitrary unitary as a gate. The matrix dimension must be
+// a power of two; name is used for display and QASM output. Custom verifies
+// unitarity and panics otherwise, because a non-unitary "gate" silently
+// corrupts every downstream simulation.
+func Custom(name string, m qmath.Matrix) Gate {
+	k := qmath.Log2Dim(m.Dim())
+	if k < 1 {
+		panic(fmt.Sprintf("gate: custom matrix dimension %d is not a power of two >= 2", m.Dim()))
+	}
+	if !m.IsUnitary(1e-9) {
+		panic(fmt.Sprintf("gate: custom matrix %q is not unitary", name))
+	}
+	g := mk(KindCustom, k, m.Clone())
+	g.name = name
+	return g
+}
+
+// Controlled returns the controlled version of a single-qubit gate g, a
+// two-qubit gate applying g to the target when the control is |1>. Qubit
+// order is (control, target).
+func Controlled(g Gate) Gate {
+	if g.Qubits() != 1 {
+		panic(fmt.Sprintf("gate: Controlled requires a single-qubit gate, got %q on %d qubits", g.Name(), g.Qubits()))
+	}
+	m := qmath.Identity(4)
+	u := g.Matrix()
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			m.Set(2+i, 2+j, u.At(i, j))
+		}
+	}
+	cg := mk(KindCustom, 2, m)
+	cg.name = "c" + g.Name()
+	cg.params = g.Params()
+	return cg
+}
+
+// Dagger returns the adjoint of g as a custom gate (or the named inverse
+// when the library has one).
+func Dagger(g Gate) Gate {
+	switch g.Kind() {
+	case KindI, KindX, KindY, KindZ, KindH, KindCX, KindCZ, KindSwap, KindCCX:
+		return g // self-inverse
+	case KindS:
+		return Sdg()
+	case KindSdg:
+		return S()
+	case KindT:
+		return Tdg()
+	case KindTdg:
+		return T()
+	case KindRX:
+		return RX(-g.params[0])
+	case KindRY:
+		return RY(-g.params[0])
+	case KindRZ:
+		return RZ(-g.params[0])
+	case KindP:
+		return P(-g.params[0])
+	case KindU1:
+		return U1(-g.params[0])
+	default:
+		d := g.Matrix().Dagger()
+		inv := mk(KindCustom, g.qubits, d)
+		inv.name = g.name + "_dg"
+		return inv
+	}
+}
+
+// Pauli identifies one of the three Pauli error operators the noise model
+// can inject. It is deliberately a tiny enum rather than a Gate so that
+// trial records stay compact: a million-trial Monte Carlo run stores these
+// by the hundreds of thousands.
+type Pauli uint8
+
+// The three Pauli error operators.
+const (
+	PauliX Pauli = iota
+	PauliY
+	PauliZ
+)
+
+// String returns "X", "Y" or "Z".
+func (p Pauli) String() string {
+	switch p {
+	case PauliX:
+		return "X"
+	case PauliY:
+		return "Y"
+	case PauliZ:
+		return "Z"
+	default:
+		return fmt.Sprintf("Pauli(%d)", int(p))
+	}
+}
+
+// Gate returns the gate implementing the Pauli operator.
+func (p Pauli) Gate() Gate {
+	switch p {
+	case PauliX:
+		return X()
+	case PauliY:
+		return Y()
+	case PauliZ:
+		return Z()
+	default:
+		panic(fmt.Sprintf("gate: invalid Pauli %d", int(p)))
+	}
+}
+
+// GlobalPhaseEqual reports whether two unitaries are equal up to a global
+// phase, the physically meaningful notion of gate equality.
+func GlobalPhaseEqual(a, b qmath.Matrix, tol float64) bool {
+	if a.Dim() != b.Dim() {
+		return false
+	}
+	// Find the first element of b with significant magnitude and derive
+	// the candidate phase from it.
+	var phase complex128
+	found := false
+	n := a.Dim()
+	for i := 0; i < n*n; i++ {
+		bv := b.Data()[i]
+		if cmplx.Abs(bv) > 1e-9 {
+			av := a.Data()[i]
+			if cmplx.Abs(av) < 1e-9 {
+				return false
+			}
+			phase = av / bv
+			found = true
+			break
+		}
+	}
+	if !found {
+		return a.Equal(b, tol)
+	}
+	if math.Abs(cmplx.Abs(phase)-1) > tol {
+		return false
+	}
+	return a.Equal(b.Scale(phase), tol)
+}

@@ -1,0 +1,312 @@
+package gate
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/qmath"
+)
+
+// allFixedGates returns every parameterless library gate.
+func allFixedGates() []Gate {
+	return []Gate{
+		I(), X(), Y(), Z(), H(), S(), Sdg(), T(), Tdg(), SX(),
+		CX(), CZ(), Swap(), CCX(),
+	}
+}
+
+func TestAllFixedGatesUnitary(t *testing.T) {
+	for _, g := range allFixedGates() {
+		if !g.Matrix().IsUnitary(1e-12) {
+			t.Errorf("gate %q is not unitary", g.Name())
+		}
+	}
+}
+
+func TestGateArity(t *testing.T) {
+	cases := map[string]int{
+		"id": 1, "x": 1, "y": 1, "z": 1, "h": 1, "s": 1, "sdg": 1,
+		"t": 1, "tdg": 1, "sx": 1, "cx": 2, "cz": 2, "swap": 2, "ccx": 3,
+	}
+	for _, g := range allFixedGates() {
+		want, ok := cases[g.Name()]
+		if !ok {
+			t.Fatalf("missing arity expectation for %q", g.Name())
+		}
+		if g.Qubits() != want {
+			t.Errorf("gate %q arity = %d, want %d", g.Name(), g.Qubits(), want)
+		}
+		if g.Matrix().Dim() != 1<<uint(want) {
+			t.Errorf("gate %q matrix dim = %d, want %d", g.Name(), g.Matrix().Dim(), 1<<uint(want))
+		}
+	}
+}
+
+func TestParameterizedGatesUnitary(t *testing.T) {
+	f := func(theta, phi, lambda float64) bool {
+		theta = math.Mod(theta, 2*math.Pi)
+		phi = math.Mod(phi, 2*math.Pi)
+		lambda = math.Mod(lambda, 2*math.Pi)
+		for _, g := range []Gate{
+			RX(theta), RY(theta), RZ(theta), P(lambda), U1(lambda),
+			U2(phi, lambda), U3(theta, phi, lambda),
+		} {
+			if !g.Matrix().IsUnitary(1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPauliAlgebra(t *testing.T) {
+	x, y, z := X().Matrix(), Y().Matrix(), Z().Matrix()
+	// XY = iZ
+	if !x.Mul(y).Equal(z.Scale(1i), 1e-12) {
+		t.Error("XY != iZ")
+	}
+	// X^2 = Y^2 = Z^2 = I
+	id := qmath.Identity(2)
+	for name, m := range map[string]qmath.Matrix{"X": x, "Y": y, "Z": z} {
+		if !m.Mul(m).Equal(id, 1e-12) {
+			t.Errorf("%s^2 != I", name)
+		}
+	}
+}
+
+func TestHadamardConjugation(t *testing.T) {
+	h, x, z := H().Matrix(), X().Matrix(), Z().Matrix()
+	// HXH = Z
+	if !h.Mul(x).Mul(h).Equal(z, 1e-12) {
+		t.Error("HXH != Z")
+	}
+}
+
+func TestSSquaredIsZ(t *testing.T) {
+	s := S().Matrix()
+	if !s.Mul(s).Equal(Z().Matrix(), 1e-12) {
+		t.Error("S^2 != Z")
+	}
+}
+
+func TestTSquaredIsS(t *testing.T) {
+	tm := T().Matrix()
+	if !tm.Mul(tm).Equal(S().Matrix(), 1e-12) {
+		t.Error("T^2 != S")
+	}
+}
+
+func TestSXSquaredIsX(t *testing.T) {
+	sx := SX().Matrix()
+	if !sx.Mul(sx).Equal(X().Matrix(), 1e-12) {
+		t.Error("SX^2 != X")
+	}
+}
+
+func TestRotationComposition(t *testing.T) {
+	// RZ(a) RZ(b) = RZ(a+b)
+	a, b := 0.7, 1.9
+	got := RZ(a).Matrix().Mul(RZ(b).Matrix())
+	if !got.Equal(RZ(a+b).Matrix(), 1e-12) {
+		t.Error("RZ(a)RZ(b) != RZ(a+b)")
+	}
+}
+
+func TestRXPiIsXUpToPhase(t *testing.T) {
+	if !GlobalPhaseEqual(RX(math.Pi).Matrix(), X().Matrix(), 1e-12) {
+		t.Error("RX(pi) != X up to phase")
+	}
+}
+
+func TestU3Specializations(t *testing.T) {
+	// u3(0, 0, λ) = p(λ)
+	if !U3(0, 0, 1.1).Matrix().Equal(P(1.1).Matrix(), 1e-12) {
+		t.Error("u3(0,0,λ) != p(λ)")
+	}
+	// u3(π/2, φ, λ) = u2(φ, λ)
+	if !U3(math.Pi/2, 0.4, 1.3).Matrix().Equal(U2(0.4, 1.3).Matrix(), 1e-12) {
+		t.Error("u3(π/2,φ,λ) != u2(φ,λ)")
+	}
+	// u3(π, 0, π) = X
+	if !U3(math.Pi, 0, math.Pi).Matrix().Equal(X().Matrix(), 1e-12) {
+		t.Error("u3(π,0,π) != X")
+	}
+}
+
+func TestCXMatrix(t *testing.T) {
+	// CX|10> = |11> with (control, target) ordering and control as the
+	// high matrix-index bit.
+	m := CX().Matrix()
+	if m.At(3, 2) != 1 || m.At(2, 3) != 1 || m.At(0, 0) != 1 || m.At(1, 1) != 1 {
+		t.Errorf("CX matrix wrong:\n%v", m)
+	}
+}
+
+func TestCCXFlipsOnlyWithBothControls(t *testing.T) {
+	m := CCX().Matrix()
+	for in := 0; in < 8; in++ {
+		want := in
+		if in&0b110 == 0b110 {
+			want = in ^ 1
+		}
+		if m.At(want, in) != 1 {
+			t.Errorf("CCX maps |%03b> incorrectly", in)
+		}
+	}
+}
+
+func TestControlled(t *testing.T) {
+	cx := Controlled(X())
+	if !cx.Matrix().Equal(CX().Matrix(), 1e-12) {
+		t.Error("Controlled(X) != CX")
+	}
+	cz := Controlled(Z())
+	if !cz.Matrix().Equal(CZ().Matrix(), 1e-12) {
+		t.Error("Controlled(Z) != CZ")
+	}
+	if cx.Qubits() != 2 {
+		t.Errorf("controlled gate arity = %d, want 2", cx.Qubits())
+	}
+}
+
+func TestControlledRejectsMultiQubit(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Controlled(CX) did not panic")
+		}
+	}()
+	Controlled(CX())
+}
+
+func TestDaggerInvertsEveryGate(t *testing.T) {
+	gates := append(allFixedGates(),
+		RX(0.3), RY(1.2), RZ(2.2), P(0.5), U1(0.9), U2(0.1, 0.2), U3(0.3, 0.4, 0.5))
+	for _, g := range gates {
+		prod := g.Matrix().Mul(Dagger(g).Matrix())
+		if !prod.Equal(qmath.Identity(g.Matrix().Dim()), 1e-9) {
+			t.Errorf("gate %q: g * dagger(g) != I", g.Name())
+		}
+	}
+}
+
+func TestCustomValidatesUnitarity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Custom with non-unitary matrix did not panic")
+		}
+	}()
+	Custom("bad", qmath.FromRows([][]complex128{{1, 1}, {0, 1}}))
+}
+
+func TestCustomAcceptsUnitary(t *testing.T) {
+	g := Custom("myh", H().Matrix())
+	if g.Qubits() != 1 || g.Name() != "myh" {
+		t.Errorf("custom gate metadata wrong: %v qubits, name %q", g.Qubits(), g.Name())
+	}
+}
+
+func TestPauliGateRoundTrip(t *testing.T) {
+	for p, want := range map[Pauli]Kind{PauliX: KindX, PauliY: KindY, PauliZ: KindZ} {
+		if got := p.Gate().Kind(); got != want {
+			t.Errorf("Pauli %v gate kind = %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestPauliString(t *testing.T) {
+	if PauliX.String() != "X" || PauliY.String() != "Y" || PauliZ.String() != "Z" {
+		t.Error("Pauli String() wrong")
+	}
+}
+
+func TestGateString(t *testing.T) {
+	if got := H().String(); got != "h" {
+		t.Errorf("H string = %q", got)
+	}
+	if got := RZ(0.5).String(); got != "rz(0.5)" {
+		t.Errorf("RZ string = %q", got)
+	}
+}
+
+func TestParamsCopied(t *testing.T) {
+	g := RZ(1.5)
+	p := g.Params()
+	p[0] = 99
+	if g.Params()[0] != 1.5 {
+		t.Error("Params() exposed internal storage")
+	}
+}
+
+func TestGlobalPhaseEqual(t *testing.T) {
+	a := H().Matrix()
+	b := a.Scale(qmath.Phase(1.234))
+	if !GlobalPhaseEqual(a, b, 1e-12) {
+		t.Error("phase-scaled matrices reported unequal")
+	}
+	if GlobalPhaseEqual(a, X().Matrix(), 1e-12) {
+		t.Error("H and X reported phase-equal")
+	}
+	if GlobalPhaseEqual(a, b.Scale(2), 1e-9) {
+		t.Error("non-unit scaling reported phase-equal")
+	}
+}
+
+// TestSingleQubitCliffordGroupSize: H and S generate the 24-element
+// single-qubit Clifford group (up to global phase) — a structural check
+// on the gate matrices that the stabilizer simulator's gate set relies on.
+func TestSingleQubitCliffordGroupSize(t *testing.T) {
+	canon := func(m qmath.Matrix) string {
+		// Normalize global phase: scale so the first element with
+		// significant magnitude becomes real positive.
+		var phase complex128
+		for i := 0; i < 4; i++ {
+			v := m.Data()[i]
+			if cmplxAbs(v) > 1e-9 {
+				phase = v / complex(cmplxAbs(v), 0)
+				break
+			}
+		}
+		snap := func(x float64) float64 {
+			r := math.Round(x*1e6) / 1e6
+			if r == 0 {
+				return 0 // kill -0, which formats differently
+			}
+			return r
+		}
+		out := ""
+		for i := 0; i < 4; i++ {
+			v := m.Data()[i] / phase
+			out += fmt.Sprintf("%+.6f%+.6f|", snap(real(v)), snap(imag(v)))
+		}
+		return out
+	}
+	seen := map[string]bool{canon(qmath.Identity(2)): true}
+	frontier := []qmath.Matrix{qmath.Identity(2)}
+	gens := []qmath.Matrix{H().Matrix(), S().Matrix()}
+	for len(frontier) > 0 {
+		var next []qmath.Matrix
+		for _, m := range frontier {
+			for _, g := range gens {
+				prod := g.Mul(m)
+				key := canon(prod)
+				if !seen[key] {
+					seen[key] = true
+					next = append(next, prod)
+				}
+			}
+		}
+		frontier = next
+	}
+	if len(seen) != 24 {
+		t.Errorf("H,S generate %d distinct unitaries, want 24", len(seen))
+	}
+}
+
+func cmplxAbs(v complex128) float64 {
+	return math.Hypot(real(v), imag(v))
+}

@@ -1,0 +1,230 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// quickCfg returns a config sized for unit tests.
+func quickCfg() Config {
+	c := DefaultConfig()
+	c.Fig5Trials = []int{256, 1024}
+	c.Fig6Trials = 256
+	c.ScalabilityTrials = 2000
+	return c
+}
+
+func TestTableIIncludesAllBenchmarks(t *testing.T) {
+	tab, err := TableI(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(bench.TableI) {
+		t.Fatalf("rows = %d, want %d", len(tab.Rows), len(bench.TableI))
+	}
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, ref := range bench.TableI {
+		if !strings.Contains(buf.String(), ref.Name) {
+			t.Errorf("rendered table missing %q", ref.Name)
+		}
+	}
+}
+
+func TestFig4RatesRendered(t *testing.T) {
+	tab := Fig4()
+	var buf bytes.Buffer
+	if err := tab.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Q0", "Q4", "Q2-Q3", "1.37e-03", "4.50e-02"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("Fig4 CSV missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+// TestFig5Trends asserts the paper's two headline observations on the
+// realistic-model experiment: substantial average saving, and savings that
+// grow (normalized computation that falls) with more trials.
+func TestFig5Trends(t *testing.T) {
+	cfg := quickCfg()
+	data, err := Fig5Data(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != len(bench.TableI)*len(cfg.Fig5Trials) {
+		t.Fatalf("cells = %d", len(data))
+	}
+	byTrials := map[int][]float64{}
+	for _, r := range data {
+		if r.Normalized <= 0 || r.Normalized > 1 {
+			t.Errorf("%s/%d: normalized %g out of range", r.Benchmark, r.Trials, r.Normalized)
+		}
+		byTrials[r.Trials] = append(byTrials[r.Trials], r.Normalized)
+	}
+	mean := func(xs []float64) float64 {
+		var s float64
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	lo, hi := mean(byTrials[cfg.Fig5Trials[1]]), mean(byTrials[cfg.Fig5Trials[0]])
+	if lo >= hi {
+		t.Errorf("average normalized computation did not fall with trials: %g -> %g", hi, lo)
+	}
+	// Paper: ~75-85% average saving. Allow a generous band for the
+	// reduced trial counts of the test config.
+	if hi > 0.5 {
+		t.Errorf("average normalized computation %g too high (paper: 0.15-0.25)", hi)
+	}
+}
+
+func TestFig6MSVsSmall(t *testing.T) {
+	tab, err := Fig6(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		if len(row[1]) > 2 { // MSV should be a 1-2 digit number
+			t.Errorf("%s: MSV %q suspiciously large", row[0], row[1])
+		}
+	}
+}
+
+// TestScalabilityTrends asserts Figure 7/8's shapes: lower error rates
+// save more; MSVs stay in single digits.
+func TestScalabilityTrends(t *testing.T) {
+	cfg := quickCfg()
+	data, err := ScalabilityData(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byShape := map[[2]int]map[float64]ScalResult{}
+	for _, r := range data {
+		k := [2]int{r.N, r.D}
+		if byShape[k] == nil {
+			byShape[k] = map[float64]ScalResult{}
+		}
+		byShape[k][r.Rate1Q] = r
+		if r.MSV > 12 {
+			t.Errorf("n%d,d%d @ %g: MSV %d not single-digit-ish", r.N, r.D, r.Rate1Q, r.MSV)
+		}
+	}
+	for shape, rates := range byShape {
+		hi := rates[ScalabilityRates[0]].Normalized // highest error rate
+		lo := rates[ScalabilityRates[len(ScalabilityRates)-1]].Normalized
+		if lo >= hi {
+			t.Errorf("n%d,d%d: lower error rate did not reduce normalized computation (%g vs %g)",
+				shape[0], shape[1], lo, hi)
+		}
+	}
+	// Depth trend at fixed width and rate: deeper circuits save less.
+	d5 := byShape[[2]int{10, 5}][1e-3].Normalized
+	d20 := byShape[[2]int{10, 20}][1e-3].Normalized
+	if d20 <= d5 {
+		t.Errorf("depth trend inverted: d5 %g vs d20 %g", d5, d20)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{Title: "t", Header: []string{"a", "bb"}}
+	tab.AddRow("1", "2")
+	var text, csv bytes.Buffer
+	if err := tab.Render(&text); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.RenderCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "t\n") || !strings.Contains(csv.String(), "a,bb") {
+		t.Errorf("rendering wrong:\n%s\n%s", text.String(), csv.String())
+	}
+}
+
+func TestTableAddRowPanicsOnWidthMismatch(t *testing.T) {
+	tab := &Table{Header: []string{"a"}}
+	defer func() {
+		if recover() == nil {
+			t.Error("short row accepted")
+		}
+	}()
+	tab.AddRow("1", "2")
+}
+
+func TestExperimentsRegistryComplete(t *testing.T) {
+	cfg := quickCfg()
+	exps := Experiments(cfg)
+	for _, name := range ExperimentOrder {
+		if _, ok := exps[name]; !ok {
+			t.Errorf("registry missing %q", name)
+		}
+	}
+	if len(exps) != len(ExperimentOrder) {
+		t.Errorf("registry has %d entries, order lists %d", len(exps), len(ExperimentOrder))
+	}
+}
+
+func TestDefaultAndPaperConfigs(t *testing.T) {
+	d := DefaultConfig()
+	p := PaperConfig()
+	if p.ScalabilityTrials != 1_000_000 {
+		t.Errorf("paper trials = %d", p.ScalabilityTrials)
+	}
+	if d.ScalabilityTrials >= p.ScalabilityTrials {
+		t.Error("default config should be quicker than paper config")
+	}
+	if len(d.Fig5Trials) != 4 || d.Fig5Trials[0] != 1024 || d.Fig5Trials[3] != 8192 {
+		t.Errorf("Fig5 trials = %v", d.Fig5Trials)
+	}
+}
+
+func TestFig7AndFig8Render(t *testing.T) {
+	cfg := quickCfg()
+	cfg.ScalabilityTrials = 500
+	for name, run := range map[string]func(Config) (*Table, error){"fig7": Fig7, "fig8": Fig8} {
+		tab, err := run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(tab.Rows) != len(ScalabilityConfigs) {
+			t.Errorf("%s rows = %d, want %d", name, len(tab.Rows), len(ScalabilityConfigs))
+		}
+		if len(tab.Header) != 1+len(ScalabilityRates) {
+			t.Errorf("%s header = %v", name, tab.Header)
+		}
+		var buf bytes.Buffer
+		if err := tab.Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(buf.String(), "n40,d20") {
+			t.Errorf("%s missing n40,d20 row", name)
+		}
+	}
+}
+
+func TestExperimentsRunAll(t *testing.T) {
+	cfg := quickCfg()
+	cfg.ScalabilityTrials = 200
+	cfg.Fig5Trials = []int{128}
+	cfg.Fig6Trials = 128
+	for _, name := range ExperimentOrder {
+		tab, err := Experiments(cfg)[name]()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(tab.Rows) == 0 {
+			t.Errorf("%s produced no rows", name)
+		}
+		var buf bytes.Buffer
+		if err := tab.RenderCSV(&buf); err != nil {
+			t.Fatalf("%s csv: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,277 @@
+// Package noise defines the error models driving Monte Carlo noisy
+// simulation, following Section III-B of the paper: an error model is the
+// triple (error operator, error position, error probability).
+//
+//   - Error operators are the Pauli matrices X, Y, Z (symmetric
+//     depolarization distributes a gate's error rate equally across the
+//     three, Figure 3).
+//   - Error positions are the ends of circuit layers, on the qubits the
+//     layer's gates touched: an E slot follows each gate on each qubit line
+//     it occupies, exactly as drawn in Figure 3.
+//   - Error probabilities come from device calibration (per-qubit 1q rates,
+//     per-pair 2q rates, per-qubit readout flip rates — Figure 4 for IBM
+//     Yorktown) or from the uniform artificial models of the scalability
+//     study (Section V-B).
+//
+// Measurement errors flip the classical readout bit with the per-qubit
+// probability, applied after sampling (Section III-B1, "Measurement
+// Error").
+package noise
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PairKey canonicalizes an unordered qubit pair for rate lookup.
+type PairKey struct{ Lo, Hi int }
+
+// MakePair returns the canonical key for qubits a and b.
+func MakePair(a, b int) PairKey {
+	if a > b {
+		a, b = b, a
+	}
+	return PairKey{Lo: a, Hi: b}
+}
+
+// Model is a device error model. The zero value is a noiseless model of
+// width zero; build models with NewModel and the With* setters, or use the
+// constructors in internal/device for calibrated hardware.
+type Model struct {
+	name       string
+	nqubits    int
+	single     []float64           // per-qubit 1q-gate error probability
+	two        map[PairKey]float64 // per-pair 2q-gate error probability
+	twoDefault float64
+	measure    []float64 // per-qubit readout bit-flip probability
+	idle       []float64 // per-qubit per-layer idle error probability
+}
+
+// NewModel returns a noiseless model over n qubits named name.
+func NewModel(name string, n int) *Model {
+	if n <= 0 {
+		panic(fmt.Sprintf("noise: invalid qubit count %d", n))
+	}
+	return &Model{
+		name:    name,
+		nqubits: n,
+		single:  make([]float64, n),
+		two:     make(map[PairKey]float64),
+		measure: make([]float64, n),
+		idle:    make([]float64, n),
+	}
+}
+
+// Uniform returns a model with the same 1q gate error p1 on every qubit,
+// 2q error p2 on every pair, and readout error pm on every qubit — the
+// artificial-device models of the paper's scalability study, where 2q and
+// measurement rates are 10x the 1q rate.
+func Uniform(name string, n int, p1, p2, pm float64) *Model {
+	m := NewModel(name, n)
+	for q := 0; q < n; q++ {
+		m.single[q] = p1
+		m.measure[q] = pm
+	}
+	m.twoDefault = p2
+	return m
+}
+
+// Name returns the model's name.
+func (m *Model) Name() string { return m.name }
+
+// NumQubits returns the model's register width.
+func (m *Model) NumQubits() int { return m.nqubits }
+
+// SetSingle sets the 1q-gate error probability for qubit q.
+func (m *Model) SetSingle(q int, p float64) *Model {
+	m.checkQubit(q)
+	checkProb(p)
+	m.single[q] = p
+	return m
+}
+
+// SetTwo sets the 2q-gate error probability for the (unordered) pair a, b.
+func (m *Model) SetTwo(a, b int, p float64) *Model {
+	m.checkQubit(a)
+	m.checkQubit(b)
+	checkProb(p)
+	m.two[MakePair(a, b)] = p
+	return m
+}
+
+// SetTwoDefault sets the 2q-gate error probability used for pairs without
+// an explicit entry.
+func (m *Model) SetTwoDefault(p float64) *Model {
+	checkProb(p)
+	m.twoDefault = p
+	return m
+}
+
+// SetMeasure sets the readout bit-flip probability for qubit q.
+func (m *Model) SetMeasure(q int, p float64) *Model {
+	m.checkQubit(q)
+	checkProb(p)
+	m.measure[q] = p
+	return m
+}
+
+// Single returns the 1q-gate error probability of qubit q: the total
+// probability that one Pauli from {X, Y, Z} is injected after a 1q gate on
+// q (each with a third of this probability).
+func (m *Model) Single(q int) float64 {
+	m.checkQubit(q)
+	return m.single[q]
+}
+
+// Two returns the 2q-gate error probability for the pair a, b.
+func (m *Model) Two(a, b int) float64 {
+	m.checkQubit(a)
+	m.checkQubit(b)
+	if p, ok := m.two[MakePair(a, b)]; ok {
+		return p
+	}
+	return m.twoDefault
+}
+
+// Measure returns the readout bit-flip probability of qubit q.
+func (m *Model) Measure(q int) float64 {
+	m.checkQubit(q)
+	return m.measure[q]
+}
+
+// SetIdle sets the per-layer idle error probability of qubit q: the
+// probability that a Pauli is injected on q at the end of a layer in
+// which no gate touched q. This models the paper's position-independent
+// errors ("decaying from high-energy state |1> ... could appear at any
+// place across the quantum circuit"). Zero (the default) disables idle
+// errors, matching the paper's gate-triggered evaluation model.
+func (m *Model) SetIdle(q int, p float64) *Model {
+	m.checkQubit(q)
+	checkProb(p)
+	m.idle[q] = p
+	return m
+}
+
+// Idle returns the per-layer idle error probability of qubit q.
+func (m *Model) Idle(q int) float64 {
+	m.checkQubit(q)
+	return m.idle[q]
+}
+
+// HasIdleErrors reports whether any qubit has a nonzero idle rate.
+func (m *Model) HasIdleErrors() bool {
+	for _, p := range m.idle {
+		if p != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// GateQubitError returns the probability that a Pauli error is injected on
+// qubit q as a consequence of a gate of the given arity acting on the pair
+// (q, other). For 1q gates other is ignored.
+func (m *Model) GateQubitError(arity, q, other int) float64 {
+	switch arity {
+	case 1:
+		return m.Single(q)
+	case 2:
+		return m.Two(q, other)
+	default:
+		// Multi-qubit gates are decomposed before noisy simulation; treat
+		// a direct application conservatively with the pairwise default.
+		return m.twoDefault
+	}
+}
+
+// IsNoiseless reports whether every rate in the model is zero.
+func (m *Model) IsNoiseless() bool {
+	for _, p := range m.single {
+		if p != 0 {
+			return false
+		}
+	}
+	for _, p := range m.measure {
+		if p != 0 {
+			return false
+		}
+	}
+	for _, p := range m.idle {
+		if p != 0 {
+			return false
+		}
+	}
+	if m.twoDefault != 0 {
+		return false
+	}
+	for _, p := range m.two {
+		if p != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Scale returns a copy of the model with every probability multiplied by
+// factor (clamped to [0, 1]). Used by ablation studies sweeping error
+// rates.
+func (m *Model) Scale(factor float64) *Model {
+	out := NewModel(fmt.Sprintf("%s(x%g)", m.name, factor), m.nqubits)
+	clamp := func(p float64) float64 {
+		p *= factor
+		if p < 0 {
+			return 0
+		}
+		if p > 1 {
+			return 1
+		}
+		return p
+	}
+	for q := 0; q < m.nqubits; q++ {
+		out.single[q] = clamp(m.single[q])
+		out.measure[q] = clamp(m.measure[q])
+		out.idle[q] = clamp(m.idle[q])
+	}
+	out.twoDefault = clamp(m.twoDefault)
+	for k, p := range m.two {
+		out.two[k] = clamp(p)
+	}
+	return out
+}
+
+// String summarizes the model for logs and reports.
+func (m *Model) String() string {
+	pairs := make([]PairKey, 0, len(m.two))
+	for k := range m.two {
+		pairs = append(pairs, k)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].Lo != pairs[j].Lo {
+			return pairs[i].Lo < pairs[j].Lo
+		}
+		return pairs[i].Hi < pairs[j].Hi
+	})
+	s := fmt.Sprintf("noise model %q over %d qubits\n", m.name, m.nqubits)
+	for q := 0; q < m.nqubits; q++ {
+		s += fmt.Sprintf("  q%d: 1q %.3g, readout %.3g\n", q, m.single[q], m.measure[q])
+	}
+	for _, k := range pairs {
+		s += fmt.Sprintf("  (%d,%d): 2q %.3g\n", k.Lo, k.Hi, m.two[k])
+	}
+	if len(pairs) == 0 && m.twoDefault > 0 {
+		s += fmt.Sprintf("  2q default: %.3g\n", m.twoDefault)
+	}
+	return s
+}
+
+func (m *Model) checkQubit(q int) {
+	if q < 0 || q >= m.nqubits {
+		panic(fmt.Sprintf("noise: qubit %d out of range [0,%d)", q, m.nqubits))
+	}
+}
+
+func checkProb(p float64) {
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("noise: probability %g outside [0,1]", p))
+	}
+}

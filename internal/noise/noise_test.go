@@ -1,0 +1,173 @@
+package noise
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMakePairCanonical(t *testing.T) {
+	if MakePair(3, 1) != MakePair(1, 3) {
+		t.Error("MakePair not symmetric")
+	}
+	p := MakePair(5, 2)
+	if p.Lo != 2 || p.Hi != 5 {
+		t.Errorf("MakePair(5,2) = %+v", p)
+	}
+}
+
+func TestNewModelNoiseless(t *testing.T) {
+	m := NewModel("m", 3)
+	if !m.IsNoiseless() {
+		t.Error("fresh model should be noiseless")
+	}
+	if m.Name() != "m" || m.NumQubits() != 3 {
+		t.Error("metadata wrong")
+	}
+}
+
+func TestNewModelPanicsOnBadWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewModel(0) did not panic")
+		}
+	}()
+	NewModel("bad", 0)
+}
+
+func TestSettersAndGetters(t *testing.T) {
+	m := NewModel("m", 4)
+	m.SetSingle(1, 0.01).SetTwo(0, 2, 0.05).SetTwoDefault(0.02).SetMeasure(3, 0.1)
+	if m.Single(1) != 0.01 || m.Single(0) != 0 {
+		t.Error("single rates wrong")
+	}
+	if m.Two(2, 0) != 0.05 {
+		t.Error("pair rate not symmetric on lookup")
+	}
+	if m.Two(1, 3) != 0.02 {
+		t.Error("pair default not applied")
+	}
+	if m.Measure(3) != 0.1 {
+		t.Error("measure rate wrong")
+	}
+	if m.IsNoiseless() {
+		t.Error("configured model reported noiseless")
+	}
+}
+
+func TestProbabilityValidation(t *testing.T) {
+	m := NewModel("m", 2)
+	for _, fn := range []func(){
+		func() { m.SetSingle(0, -0.1) },
+		func() { m.SetSingle(0, 1.1) },
+		func() { m.SetTwo(0, 1, 2) },
+		func() { m.SetMeasure(0, -1) },
+		func() { m.SetSingle(5, 0.1) },
+		func() { m.Single(9) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid model mutation did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestUniform(t *testing.T) {
+	m := Uniform("u", 5, 1e-3, 1e-2, 2e-2)
+	for q := 0; q < 5; q++ {
+		if m.Single(q) != 1e-3 || m.Measure(q) != 2e-2 {
+			t.Fatalf("qubit %d rates wrong", q)
+		}
+	}
+	if m.Two(0, 4) != 1e-2 {
+		t.Error("pair default wrong")
+	}
+}
+
+func TestGateQubitError(t *testing.T) {
+	m := NewModel("m", 3)
+	m.SetSingle(0, 0.01)
+	m.SetTwo(0, 1, 0.07)
+	if got := m.GateQubitError(1, 0, -1); got != 0.01 {
+		t.Errorf("1q error = %g", got)
+	}
+	if got := m.GateQubitError(2, 0, 1); got != 0.07 {
+		t.Errorf("2q error = %g", got)
+	}
+}
+
+func TestScale(t *testing.T) {
+	m := Uniform("u", 2, 0.1, 0.2, 0.3)
+	m.SetTwo(0, 1, 0.4)
+	s := m.Scale(0.5)
+	if s.Single(0) != 0.05 || s.Measure(1) != 0.15 || s.Two(0, 1) != 0.2 {
+		t.Error("scaled rates wrong")
+	}
+	// Clamping.
+	big := m.Scale(100)
+	if big.Single(0) != 1 || big.Two(0, 1) != 1 {
+		t.Error("scaling did not clamp to 1")
+	}
+	// Original untouched.
+	if m.Single(0) != 0.1 {
+		t.Error("Scale mutated the receiver")
+	}
+}
+
+func TestStringContainsRates(t *testing.T) {
+	m := Uniform("u", 2, 0.001, 0.01, 0.02)
+	m.SetTwo(0, 1, 0.03)
+	s := m.String()
+	for _, want := range []string{"u", "q0", "0.001", "0.03"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestScaleName(t *testing.T) {
+	m := Uniform("base", 2, 0.1, 0.1, 0.1)
+	if !strings.Contains(m.Scale(2).Name(), "base") {
+		t.Error("scaled model lost base name")
+	}
+}
+
+func TestScaleZeroGivesNoiseless(t *testing.T) {
+	m := Uniform("u", 2, 0.1, 0.2, 0.3)
+	if !m.Scale(0).IsNoiseless() {
+		t.Error("zero-scaled model not noiseless")
+	}
+}
+
+func TestTwoDefaultZero(t *testing.T) {
+	m := NewModel("m", 2)
+	if m.Two(0, 1) != 0 {
+		t.Error("default pair rate should be 0")
+	}
+	if got := m.GateQubitError(3, 0, 1); got != 0 {
+		t.Errorf("multi-qubit fallback = %g, want 0", got)
+	}
+	_ = math.Pi
+}
+
+func TestIdleRates(t *testing.T) {
+	m := NewModel("m", 3)
+	if m.HasIdleErrors() {
+		t.Error("fresh model reports idle errors")
+	}
+	m.SetIdle(1, 0.01)
+	if !m.HasIdleErrors() || m.Idle(1) != 0.01 || m.Idle(0) != 0 {
+		t.Error("idle rate accessors wrong")
+	}
+	if m.IsNoiseless() {
+		t.Error("idle-only model reported noiseless")
+	}
+	s := m.Scale(0.5)
+	if s.Idle(1) != 0.005 {
+		t.Errorf("scaled idle = %g", s.Idle(1))
+	}
+}

@@ -1,0 +1,299 @@
+// Package observable provides Pauli-string observables and the expectation
+// estimation workflow the paper's introduction motivates (variational
+// molecule simulation): express a Hamiltonian as a weighted sum of Pauli
+// strings, estimate each term's expectation either exactly from a state
+// vector or from Monte Carlo measurement samples, and combine.
+//
+// The sampling path composes with the noisy simulators: append the term's
+// basis-change gates to the circuit, run the (reordered) Monte Carlo
+// simulation, and average the eigenvalue readout — giving noisy
+// expectation values whose error bars come from internal/stats.
+package observable
+
+import (
+	"fmt"
+	"math/cmplx"
+	"sort"
+	"strings"
+
+	"repro/internal/circuit"
+	"repro/internal/gate"
+	"repro/internal/qmath"
+	"repro/internal/statevec"
+)
+
+// PauliString is a tensor product of Pauli operators on named qubits,
+// e.g. Z0*Z1 or X0*Y2. Qubits not present act as identity.
+type PauliString struct {
+	ops map[int]gate.Pauli
+}
+
+// NewPauliString builds a Pauli string from a map of qubit to operator.
+// The map is copied; an empty map is the identity string.
+func NewPauliString(ops map[int]gate.Pauli) PauliString {
+	cp := make(map[int]gate.Pauli, len(ops))
+	for q, p := range ops {
+		cp[q] = p
+	}
+	return PauliString{ops: cp}
+}
+
+// ParsePauliString parses compact text like "ZZ" (qubit 0 leftmost... no:
+// rightmost = qubit 0 would be confusing; we use leftmost = qubit 0) or
+// "IXZ": character i names the operator on qubit i; 'I' skips.
+func ParsePauliString(s string) (PauliString, error) {
+	ops := make(map[int]gate.Pauli)
+	for i, r := range strings.ToUpper(s) {
+		switch r {
+		case 'I':
+		case 'X':
+			ops[i] = gate.PauliX
+		case 'Y':
+			ops[i] = gate.PauliY
+		case 'Z':
+			ops[i] = gate.PauliZ
+		default:
+			return PauliString{}, fmt.Errorf("observable: invalid Pauli character %q in %q", r, s)
+		}
+	}
+	return PauliString{ops: ops}, nil
+}
+
+// Ops returns the (qubit, operator) pairs sorted by qubit.
+func (p PauliString) Ops() []struct {
+	Qubit int
+	Op    gate.Pauli
+} {
+	out := make([]struct {
+		Qubit int
+		Op    gate.Pauli
+	}, 0, len(p.ops))
+	for q, op := range p.ops {
+		out = append(out, struct {
+			Qubit int
+			Op    gate.Pauli
+		}{q, op})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Qubit < out[j].Qubit })
+	return out
+}
+
+// Weight returns the number of non-identity factors.
+func (p PauliString) Weight() int { return len(p.ops) }
+
+// MaxQubit returns the largest qubit index used, or -1 for the identity.
+func (p PauliString) MaxQubit() int {
+	m := -1
+	for q := range p.ops {
+		if q > m {
+			m = q
+		}
+	}
+	return m
+}
+
+// String renders e.g. "X0*Z2"; the identity renders as "I".
+func (p PauliString) String() string {
+	if len(p.ops) == 0 {
+		return "I"
+	}
+	parts := make([]string, 0, len(p.ops))
+	for _, o := range p.Ops() {
+		parts = append(parts, fmt.Sprintf("%s%d", o.Op, o.Qubit))
+	}
+	return strings.Join(parts, "*")
+}
+
+// CommutesWith reports whether two Pauli strings commute: they do iff the
+// number of positions where both act with different non-identity
+// operators is even.
+func (p PauliString) CommutesWith(o PauliString) bool {
+	anti := 0
+	for q, a := range p.ops {
+		if b, ok := o.ops[q]; ok && a != b {
+			anti++
+		}
+	}
+	return anti%2 == 0
+}
+
+// ExpectationState computes <psi|P|psi> exactly on a state vector.
+func (p PauliString) ExpectationState(st *statevec.State) float64 {
+	if p.MaxQubit() >= st.NumQubits() {
+		panic(fmt.Sprintf("observable: string %v exceeds register width %d", p, st.NumQubits()))
+	}
+	// <psi|P|psi> = <psi|phi> with |phi> = P|psi>.
+	phi := st.Clone()
+	for q, op := range p.ops {
+		phi.ApplyPauli(op, q)
+	}
+	var acc complex128
+	a := st.Amplitudes()
+	b := phi.Amplitudes()
+	for i := range a {
+		acc += cmplx.Conj(a[i]) * b[i]
+	}
+	return real(acc)
+}
+
+// MeasurementBasisCircuit returns the basis-change prefix that maps the
+// string's eigenbasis onto the computational basis: H for X factors,
+// Sdg-H for Y factors. Appending it to a state-preparation circuit and
+// measuring Z gives the string's eigenvalue readout.
+func (p PauliString) MeasurementBasisCircuit(n int) *circuit.Circuit {
+	c := circuit.New("basis-"+p.String(), n)
+	for _, o := range p.Ops() {
+		switch o.Op {
+		case gate.PauliX:
+			c.Append(gate.H(), o.Qubit)
+		case gate.PauliY:
+			c.Append(gate.Sdg(), o.Qubit)
+			c.Append(gate.H(), o.Qubit)
+		case gate.PauliZ:
+			// Z is already diagonal.
+		}
+	}
+	return c
+}
+
+// EigenvalueFromBits returns the string's eigenvalue (+1/-1) for a
+// measured bit pattern, assuming the basis-change circuit was applied and
+// classical bit i holds qubit i's readout.
+func (p PauliString) EigenvalueFromBits(bits uint64) int {
+	parity := 0
+	for q := range p.ops {
+		if bits>>uint(q)&1 == 1 {
+			parity ^= 1
+		}
+	}
+	if parity == 1 {
+		return -1
+	}
+	return 1
+}
+
+// Term is one weighted Pauli string of a Hamiltonian.
+type Term struct {
+	Coefficient float64
+	Pauli       PauliString
+}
+
+// Hamiltonian is a real-weighted sum of Pauli strings (Hermitian by
+// construction).
+type Hamiltonian struct {
+	Terms []Term
+}
+
+// NumQubits returns the register width the Hamiltonian needs.
+func (h Hamiltonian) NumQubits() int {
+	n := 0
+	for _, t := range h.Terms {
+		if m := t.Pauli.MaxQubit() + 1; m > n {
+			n = m
+		}
+	}
+	if n == 0 {
+		n = 1
+	}
+	return n
+}
+
+// String renders e.g. "0.5*Z0*Z1 + -0.3*X0".
+func (h Hamiltonian) String() string {
+	if len(h.Terms) == 0 {
+		return "0"
+	}
+	parts := make([]string, len(h.Terms))
+	for i, t := range h.Terms {
+		parts[i] = fmt.Sprintf("%g*%s", t.Coefficient, t.Pauli)
+	}
+	return strings.Join(parts, " + ")
+}
+
+// ExpectationState computes <psi|H|psi> exactly.
+func (h Hamiltonian) ExpectationState(st *statevec.State) float64 {
+	var e float64
+	for _, t := range h.Terms {
+		e += t.Coefficient * t.Pauli.ExpectationState(st)
+	}
+	return e
+}
+
+// GroupCommuting partitions the terms into groups of mutually commuting
+// strings (greedy first-fit), the standard trick to measure several terms
+// from one circuit execution. Identity terms join the first group.
+func (h Hamiltonian) GroupCommuting() [][]Term {
+	var groups [][]Term
+next:
+	for _, t := range h.Terms {
+		for gi := range groups {
+			ok := true
+			for _, u := range groups[gi] {
+				if !t.Pauli.CommutesWith(u.Pauli) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				groups[gi] = append(groups[gi], t)
+				continue next
+			}
+		}
+		groups = append(groups, []Term{t})
+	}
+	return groups
+}
+
+// EstimateFromOutcomes estimates <P> from measured bit patterns (each the
+// readout after the string's basis-change circuit): the average
+// eigenvalue.
+func (p PauliString) EstimateFromOutcomes(outcomes []uint64) float64 {
+	if len(outcomes) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, bits := range outcomes {
+		sum += p.EigenvalueFromBits(bits)
+	}
+	return float64(sum) / float64(len(outcomes))
+}
+
+// Matrix builds the Hamiltonian's dense matrix over n qubits (n must
+// cover every term). Exponential in n; intended for small reference
+// calculations such as exact ground energies.
+func (h Hamiltonian) Matrix(n int) (qmath.Matrix, error) {
+	if need := h.NumQubits(); n < need {
+		return qmath.Matrix{}, fmt.Errorf("observable: %d qubits cannot hold %d-qubit Hamiltonian", n, need)
+	}
+	if n > 12 {
+		return qmath.Matrix{}, fmt.Errorf("observable: %d qubits too wide for a dense matrix", n)
+	}
+	dim := 1 << uint(n)
+	out := qmath.New(dim)
+	for _, t := range h.Terms {
+		// Build the term's full operator via Kronecker products, qubit 0
+		// as the least-significant factor (rightmost in the product).
+		term := qmath.Identity(1)
+		for q := n - 1; q >= 0; q-- {
+			factor := qmath.Identity(2)
+			if op, ok := t.Pauli.ops[q]; ok {
+				factor = op.Gate().Matrix()
+			}
+			term = term.Kron(factor)
+		}
+		out = out.Add(term.Scale(complex(t.Coefficient, 0)))
+	}
+	return out, nil
+}
+
+// GroundEnergy returns the Hamiltonian's smallest eigenvalue over n
+// qubits via dense power iteration — the exact reference a variational
+// experiment compares against.
+func (h Hamiltonian) GroundEnergy(n int) (float64, error) {
+	m, err := h.Matrix(n)
+	if err != nil {
+		return 0, err
+	}
+	lo, _ := qmath.HermitianEigenRange(m, 3000)
+	return lo, nil
+}

@@ -1,0 +1,283 @@
+package observable
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/gate"
+	"repro/internal/noise"
+	"repro/internal/qmath"
+	"repro/internal/sim"
+	"repro/internal/statevec"
+	"repro/internal/trial"
+)
+
+func TestParsePauliString(t *testing.T) {
+	p, err := ParsePauliString("IXZ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Weight() != 2 || p.String() != "X1*Z2" {
+		t.Errorf("parsed %v (weight %d)", p, p.Weight())
+	}
+	id, err := ParsePauliString("III")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.Weight() != 0 || id.String() != "I" || id.MaxQubit() != -1 {
+		t.Errorf("identity parsed wrong: %v", id)
+	}
+	if _, err := ParsePauliString("XQ"); err == nil {
+		t.Error("bad character accepted")
+	}
+}
+
+func TestCommutesWith(t *testing.T) {
+	zz, _ := ParsePauliString("ZZ")
+	xx, _ := ParsePauliString("XX")
+	zi, _ := ParsePauliString("ZI")
+	xi, _ := ParsePauliString("XI")
+	if !zz.CommutesWith(xx) {
+		t.Error("ZZ and XX should commute (two anticommuting positions)")
+	}
+	if zi.CommutesWith(xi) {
+		t.Error("Z0 and X0 should anticommute")
+	}
+	if !zz.CommutesWith(zi) {
+		t.Error("ZZ and ZI should commute")
+	}
+}
+
+func TestExpectationStateBasics(t *testing.T) {
+	// |0>: <Z>=1, <X>=0. |+>: <X>=1, <Z>=0.
+	z, _ := ParsePauliString("Z")
+	x, _ := ParsePauliString("X")
+	st := statevec.NewState(1)
+	if got := z.ExpectationState(st); math.Abs(got-1) > 1e-12 {
+		t.Errorf("<Z> of |0> = %g", got)
+	}
+	if got := x.ExpectationState(st); math.Abs(got) > 1e-12 {
+		t.Errorf("<X> of |0> = %g", got)
+	}
+	st.ApplyOp(gate.H(), 0)
+	if got := x.ExpectationState(st); math.Abs(got-1) > 1e-12 {
+		t.Errorf("<X> of |+> = %g", got)
+	}
+}
+
+func TestExpectationStateBell(t *testing.T) {
+	st := statevec.NewState(2)
+	st.ApplyOp(gate.H(), 0)
+	st.ApplyOp(gate.CX(), 0, 1)
+	for s, want := range map[string]float64{"ZZ": 1, "XX": 1, "YY": -1, "ZI": 0, "IX": 0} {
+		p, err := ParsePauliString(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := p.ExpectationState(st); math.Abs(got-want) > 1e-12 {
+			t.Errorf("<%s> of Bell = %g, want %g", s, got, want)
+		}
+	}
+}
+
+func TestEigenvalueFromBits(t *testing.T) {
+	zz, _ := ParsePauliString("ZZ")
+	cases := map[uint64]int{0b00: 1, 0b01: -1, 0b10: -1, 0b11: 1}
+	for bits, want := range cases {
+		if got := zz.EigenvalueFromBits(bits); got != want {
+			t.Errorf("ZZ eigenvalue of %02b = %d, want %d", bits, got, want)
+		}
+	}
+}
+
+// TestSampledExpectationMatchesExact: basis-change + Z readout estimates
+// <P> to sampling accuracy for X, Y and Z strings.
+func TestSampledExpectationMatchesExact(t *testing.T) {
+	// Prepare a non-trivial 2-qubit state.
+	prep := circuit.New("prep", 2)
+	prep.Append(gate.RY(0.8), 0)
+	prep.Append(gate.CX(), 0, 1)
+	prep.Append(gate.RZ(0.5), 1)
+	prep.Append(gate.H(), 1)
+
+	exact := statevec.NewState(2)
+	for _, op := range prep.Ops() {
+		exact.ApplyOp(op.Gate, op.Qubits...)
+	}
+
+	m := noise.NewModel("clean", 2)
+	for _, s := range []string{"ZZ", "XI", "IY", "XY"} {
+		p, err := ParsePauliString(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := p.ExpectationState(exact)
+
+		// Full measured circuit: prep + basis change + measure.
+		mc := prep.Clone()
+		for _, op := range p.MeasurementBasisCircuit(2).Ops() {
+			mc.Append(op.Gate, op.Qubits...)
+		}
+		mc.MeasureAll()
+		gen, err := trial.NewGenerator(mc, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trials := gen.Generate(rand.New(rand.NewSource(5)), 40000)
+		res, err := sim.Reordered(mc, trials, sim.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs := make([]uint64, len(res.Outcomes))
+		for i, o := range res.Outcomes {
+			outs[i] = o.Bits
+		}
+		got := p.EstimateFromOutcomes(outs)
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("<%s>: sampled %g, exact %g", s, got, want)
+		}
+	}
+}
+
+func TestHamiltonianExpectation(t *testing.T) {
+	zz, _ := ParsePauliString("ZZ")
+	x0, _ := ParsePauliString("XI")
+	h := Hamiltonian{Terms: []Term{
+		{Coefficient: 0.5, Pauli: zz},
+		{Coefficient: -0.3, Pauli: x0},
+	}}
+	if h.NumQubits() != 2 {
+		t.Errorf("width = %d", h.NumQubits())
+	}
+	st := statevec.NewState(2) // |00>: <ZZ>=1, <X0>=0
+	if got := h.ExpectationState(st); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("<H> = %g, want 0.5", got)
+	}
+	if h.String() != "0.5*Z0*Z1 + -0.3*X0" {
+		t.Errorf("String = %q", h.String())
+	}
+}
+
+func TestGroupCommuting(t *testing.T) {
+	mk := func(s string) PauliString {
+		p, err := ParsePauliString(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	h := Hamiltonian{Terms: []Term{
+		{1, mk("ZZ")}, {1, mk("ZI")}, {1, mk("IZ")}, // mutually commuting
+		{1, mk("XX")}, // commutes with ZZ but not ZI
+		{1, mk("XI")}, // anticommutes with ZI, ZZ... ZZ vs XI: one position differs -> anticommute
+	}}
+	groups := h.GroupCommuting()
+	// Every group must be internally commuting.
+	for gi, g := range groups {
+		for i := range g {
+			for j := i + 1; j < len(g); j++ {
+				if !g[i].Pauli.CommutesWith(g[j].Pauli) {
+					t.Errorf("group %d contains anticommuting pair %v, %v", gi, g[i].Pauli, g[j].Pauli)
+				}
+			}
+		}
+	}
+	// All terms preserved.
+	total := 0
+	for _, g := range groups {
+		total += len(g)
+	}
+	if total != len(h.Terms) {
+		t.Errorf("grouping lost terms: %d of %d", total, len(h.Terms))
+	}
+	if len(groups) >= len(h.Terms) {
+		t.Errorf("grouping produced no sharing: %d groups for %d terms", len(groups), len(h.Terms))
+	}
+}
+
+func TestNewPauliStringCopies(t *testing.T) {
+	ops := map[int]gate.Pauli{0: gate.PauliZ}
+	p := NewPauliString(ops)
+	ops[1] = gate.PauliX
+	if p.Weight() != 1 {
+		t.Error("NewPauliString aliased caller map")
+	}
+}
+
+func TestExpectationPanicsOnNarrowState(t *testing.T) {
+	p, _ := ParsePauliString("IIZ")
+	st := statevec.NewState(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("width mismatch did not panic")
+		}
+	}()
+	p.ExpectationState(st)
+}
+
+func TestMeasurementBasisCircuit(t *testing.T) {
+	p, _ := ParsePauliString("XYZ")
+	c := p.MeasurementBasisCircuit(3)
+	// X -> 1 gate (H), Y -> 2 gates (Sdg, H), Z -> none.
+	if c.NumOps() != 3 {
+		t.Errorf("basis circuit ops = %d, want 3", c.NumOps())
+	}
+}
+
+func TestHamiltonianMatrixAndGroundEnergy(t *testing.T) {
+	// Transverse-field Ising on 2 qubits: H = -Z0Z1 - h(X0 + X1).
+	// Exact ground energy: -sqrt(1 + ... ) — compute via known closed
+	// form for this 2-spin case: eigenvalues of H are ±sqrt(1+0), let's
+	// verify against the state-vector expectation on the true ground
+	// state obtained from dense diagonalization bounds instead.
+	zz, _ := ParsePauliString("ZZ")
+	x0, _ := ParsePauliString("XI")
+	x1, _ := ParsePauliString("IX")
+	hf := 0.7
+	h := Hamiltonian{Terms: []Term{
+		{Coefficient: -1, Pauli: zz},
+		{Coefficient: -hf, Pauli: x0},
+		{Coefficient: -hf, Pauli: x1},
+	}}
+	m, err := h.Matrix(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.IsHermitian(1e-12) {
+		t.Fatal("Hamiltonian matrix not Hermitian")
+	}
+	// The 2-spin TFIM has ground energy -sqrt(1 + 4h^2) for H = -ZZ - h(X0+X1)?
+	// Verify numerically instead: ground energy must lower-bound every
+	// ansatz expectation, and tr(H) = 0.
+	if qmath.AlmostEqualTol(m.Trace(), 0, 1e-12) == false {
+		t.Errorf("tr(H) = %v, want 0", m.Trace())
+	}
+	ground, err := h.GroundEnergy(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact closed form for this Hamiltonian: eigenvalues are
+	// -1, 1, ±sqrt(1+4h^2)... check ground = -sqrt(1+4h^2).
+	want := -math.Sqrt(1 + 4*hf*hf)
+	if math.Abs(ground-want) > 1e-6 {
+		t.Errorf("ground energy = %g, want %g", ground, want)
+	}
+	// Any product-state ansatz sits above the ground energy.
+	st := statevec.NewState(2)
+	if e := h.ExpectationState(st); e < ground-1e-9 {
+		t.Errorf("ansatz energy %g below ground %g", e, ground)
+	}
+}
+
+func TestHamiltonianMatrixValidation(t *testing.T) {
+	p, _ := ParsePauliString("IIZ")
+	h := Hamiltonian{Terms: []Term{{1, p}}}
+	if _, err := h.Matrix(2); err == nil {
+		t.Error("narrow register accepted")
+	}
+	if _, err := h.Matrix(13); err == nil {
+		t.Error("13-qubit dense matrix accepted")
+	}
+}

@@ -1,0 +1,322 @@
+// Package qmath provides the dense complex linear-algebra kernels that the
+// state-vector simulator is built on: small square complex matrices,
+// Kronecker products, and the vector norms and distances used to validate
+// simulation results.
+//
+// All matrices are dense, row-major, and square with a power-of-two
+// dimension, since every quantum operator on k qubits is a 2^k x 2^k
+// unitary. The package deliberately avoids cleverness: the simulator's hot
+// loops live in internal/statevec and apply 2x2 and 4x4 operators with
+// specialized code; qmath is the reference implementation and the toolbox
+// for constructing operators and checking invariants.
+package qmath
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"strings"
+)
+
+// Matrix is a dense, row-major, square complex matrix. The zero value is an
+// empty matrix; use New or one of the constructors to build a usable one.
+type Matrix struct {
+	n    int          // dimension (n x n)
+	data []complex128 // row-major, len n*n
+}
+
+// New returns an n x n zero matrix. It panics if n <= 0, since a
+// zero-dimension operator is always a programming error in this domain.
+func New(n int) Matrix {
+	if n <= 0 {
+		panic(fmt.Sprintf("qmath: invalid matrix dimension %d", n))
+	}
+	return Matrix{n: n, data: make([]complex128, n*n)}
+}
+
+// FromRows builds a matrix from row slices. All rows must have the same
+// length as the number of rows.
+func FromRows(rows [][]complex128) Matrix {
+	n := len(rows)
+	m := New(n)
+	for i, row := range rows {
+		if len(row) != n {
+			panic(fmt.Sprintf("qmath: row %d has %d entries, want %d", i, len(row), n))
+		}
+		copy(m.data[i*n:(i+1)*n], row)
+	}
+	return m
+}
+
+// Identity returns the n x n identity matrix.
+func Identity(n int) Matrix {
+	m := New(n)
+	for i := 0; i < n; i++ {
+		m.data[i*n+i] = 1
+	}
+	return m
+}
+
+// Dim returns the dimension n of the n x n matrix.
+func (m Matrix) Dim() int { return m.n }
+
+// At returns the element at row i, column j.
+func (m Matrix) At(i, j int) complex128 { return m.data[i*m.n+j] }
+
+// Set assigns the element at row i, column j.
+func (m Matrix) Set(i, j int, v complex128) { m.data[i*m.n+j] = v }
+
+// Clone returns a deep copy of m.
+func (m Matrix) Clone() Matrix {
+	c := Matrix{n: m.n, data: make([]complex128, len(m.data))}
+	copy(c.data, m.data)
+	return c
+}
+
+// Data exposes the underlying row-major storage. Callers must treat the
+// slice as read-only; it is shared with the matrix.
+func (m Matrix) Data() []complex128 { return m.data }
+
+// Mul returns the matrix product m * b. Both matrices must have the same
+// dimension.
+func (m Matrix) Mul(b Matrix) Matrix {
+	if m.n != b.n {
+		panic(fmt.Sprintf("qmath: dimension mismatch %d x %d", m.n, b.n))
+	}
+	n := m.n
+	out := New(n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			a := m.data[i*n+k]
+			if a == 0 {
+				continue
+			}
+			row := b.data[k*n : (k+1)*n]
+			dst := out.data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				dst[j] += a * row[j]
+			}
+		}
+	}
+	return out
+}
+
+// Add returns the element-wise sum m + b.
+func (m Matrix) Add(b Matrix) Matrix {
+	if m.n != b.n {
+		panic(fmt.Sprintf("qmath: dimension mismatch %d x %d", m.n, b.n))
+	}
+	out := New(m.n)
+	for i := range m.data {
+		out.data[i] = m.data[i] + b.data[i]
+	}
+	return out
+}
+
+// Scale returns the matrix s * m.
+func (m Matrix) Scale(s complex128) Matrix {
+	out := New(m.n)
+	for i := range m.data {
+		out.data[i] = s * m.data[i]
+	}
+	return out
+}
+
+// Dagger returns the conjugate transpose of m.
+func (m Matrix) Dagger() Matrix {
+	n := m.n
+	out := New(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			out.data[j*n+i] = cmplx.Conj(m.data[i*n+j])
+		}
+	}
+	return out
+}
+
+// MulVec computes the matrix-vector product m * v into dst. dst and v must
+// both have length m.Dim() and must not alias each other.
+func (m Matrix) MulVec(dst, v []complex128) {
+	n := m.n
+	if len(v) != n || len(dst) != n {
+		panic(fmt.Sprintf("qmath: MulVec length mismatch: matrix %d, v %d, dst %d", n, len(v), len(dst)))
+	}
+	for i := 0; i < n; i++ {
+		var acc complex128
+		row := m.data[i*n : (i+1)*n]
+		for j, x := range v {
+			acc += row[j] * x
+		}
+		dst[i] = acc
+	}
+}
+
+// Kron returns the Kronecker product m ⊗ b, the operator acting on the
+// combined system with m on the high-order qubits.
+func (m Matrix) Kron(b Matrix) Matrix {
+	n := m.n * b.n
+	out := New(n)
+	for i := 0; i < m.n; i++ {
+		for j := 0; j < m.n; j++ {
+			a := m.data[i*m.n+j]
+			if a == 0 {
+				continue
+			}
+			for k := 0; k < b.n; k++ {
+				for l := 0; l < b.n; l++ {
+					out.data[(i*b.n+k)*n+(j*b.n+l)] = a * b.data[k*b.n+l]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Equal reports whether m and b agree element-wise within tol in absolute
+// value.
+func (m Matrix) Equal(b Matrix, tol float64) bool {
+	if m.n != b.n {
+		return false
+	}
+	for i := range m.data {
+		if cmplx.Abs(m.data[i]-b.data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// IsUnitary reports whether m†m = I within tol. Every quantum gate must
+// satisfy this; the gate package asserts it for its whole library.
+func (m Matrix) IsUnitary(tol float64) bool {
+	return m.Dagger().Mul(m).Equal(Identity(m.n), tol)
+}
+
+// IsHermitian reports whether m = m† within tol.
+func (m Matrix) IsHermitian(tol float64) bool {
+	return m.Equal(m.Dagger(), tol)
+}
+
+// Trace returns the sum of the diagonal elements.
+func (m Matrix) Trace() complex128 {
+	var t complex128
+	for i := 0; i < m.n; i++ {
+		t += m.data[i*m.n+i]
+	}
+	return t
+}
+
+// String renders the matrix with aligned columns, useful in test failures.
+func (m Matrix) String() string {
+	var sb strings.Builder
+	for i := 0; i < m.n; i++ {
+		sb.WriteString("[")
+		for j := 0; j < m.n; j++ {
+			if j > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "%.4g", m.data[i*m.n+j])
+		}
+		sb.WriteString("]\n")
+	}
+	return sb.String()
+}
+
+// KronAll returns the Kronecker product of all given matrices left to
+// right: KronAll(a, b, c) = a ⊗ b ⊗ c. It panics if ms is empty.
+func KronAll(ms ...Matrix) Matrix {
+	if len(ms) == 0 {
+		panic("qmath: KronAll requires at least one matrix")
+	}
+	out := ms[0]
+	for _, m := range ms[1:] {
+		out = out.Kron(m)
+	}
+	return out
+}
+
+// Log2Dim returns k such that 2^k == n, or -1 if n is not a power of two.
+// Operators in the simulator always act on an integer number of qubits.
+func Log2Dim(n int) int {
+	if n <= 0 || n&(n-1) != 0 {
+		return -1
+	}
+	k := 0
+	for n > 1 {
+		n >>= 1
+		k++
+	}
+	return k
+}
+
+// almostZero is the tolerance used by the convenience predicates below.
+const almostZero = 1e-12
+
+// AlmostEqual reports whether two complex scalars agree within 1e-12.
+func AlmostEqual(a, b complex128) bool {
+	return cmplx.Abs(a-b) <= almostZero
+}
+
+// AlmostEqualTol reports whether two complex scalars agree within tol.
+func AlmostEqualTol(a, b complex128, tol float64) bool {
+	return cmplx.Abs(a-b) <= tol
+}
+
+// Phase returns exp(i*theta) as a complex128.
+func Phase(theta float64) complex128 {
+	return cmplx.Exp(complex(0, theta))
+}
+
+// SqrtHalf is 1/sqrt(2), the amplitude produced by a Hadamard.
+var SqrtHalf = complex(1/math.Sqrt2, 0)
+
+// HermitianEigenRange estimates the extremal eigenvalues of a Hermitian
+// matrix by power iteration: the largest-magnitude eigenvalue first, then
+// the spectrum edges via shifted iterations. It returns (min, max)
+// eigenvalue estimates, accurate to ~1e-9 for well-separated spectra —
+// enough to give reference ground energies for the observable package's
+// variational experiments. It panics if m is not Hermitian.
+func HermitianEigenRange(m Matrix, iters int) (lo, hi float64) {
+	if !m.IsHermitian(1e-9) {
+		panic("qmath: HermitianEigenRange requires a Hermitian matrix")
+	}
+	n := m.Dim()
+	// Largest |eigenvalue| via power iteration from a deterministic
+	// full-support start vector.
+	dominant := powerIterate(m, iters)
+	// Shift so the spectrum is nonnegative: B = m + |dominant| I has the
+	// same eigenvectors; its largest eigenvalue is max + |dominant|.
+	shift := math.Abs(dominant) + 1
+	bPlus := m.Add(Identity(n).Scale(complex(shift, 0)))
+	hi = powerIterate(bPlus, iters) - shift
+	// Largest eigenvalue of (shift I - m) is shift - min.
+	bMinus := Identity(n).Scale(complex(shift, 0)).Add(m.Scale(-1))
+	lo = shift - powerIterate(bMinus, iters)
+	return lo, hi
+}
+
+// powerIterate returns the Rayleigh quotient after iters rounds of power
+// iteration (the dominant eigenvalue for PSD-shifted Hermitian input).
+func powerIterate(m Matrix, iters int) float64 {
+	n := m.Dim()
+	v := make([]complex128, n)
+	for i := range v {
+		// Deterministic, full-support, non-symmetric start.
+		v[i] = complex(1+float64(i%7)/7, float64(i%3)/5)
+	}
+	Normalize(v)
+	w := make([]complex128, n)
+	for it := 0; it < iters; it++ {
+		m.MulVec(w, v)
+		nrm := Norm(w)
+		if nrm == 0 {
+			return 0
+		}
+		inv := complex(1/nrm, 0)
+		for i := range w {
+			v[i] = w[i] * inv
+		}
+	}
+	m.MulVec(w, v)
+	return real(Inner(v, w))
+}

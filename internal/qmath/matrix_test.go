@@ -1,0 +1,272 @@
+package qmath
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIdentity(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8} {
+		id := Identity(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want := complex128(0)
+				if i == j {
+					want = 1
+				}
+				if id.At(i, j) != want {
+					t.Fatalf("Identity(%d)[%d][%d] = %v, want %v", n, i, j, id.At(i, j), want)
+				}
+			}
+		}
+	}
+}
+
+func TestNewPanicsOnBadDim(t *testing.T) {
+	for _, n := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", n)
+				}
+			}()
+			New(n)
+		}()
+	}
+}
+
+func TestFromRowsPanicsOnRagged(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("FromRows with ragged rows did not panic")
+		}
+	}()
+	FromRows([][]complex128{{1, 2}, {3}})
+}
+
+func TestMulIdentity(t *testing.T) {
+	m := randomMatrix(rand.New(rand.NewSource(1)), 4)
+	if !m.Mul(Identity(4)).Equal(m, 1e-12) {
+		t.Error("m * I != m")
+	}
+	if !Identity(4).Mul(m).Equal(m, 1e-12) {
+		t.Error("I * m != m")
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	x := FromRows([][]complex128{{0, 1}, {1, 0}})
+	z := FromRows([][]complex128{{1, 0}, {0, -1}})
+	// XZ = -iY
+	got := x.Mul(z)
+	want := FromRows([][]complex128{{0, -1}, {1, 0}})
+	if !got.Equal(want, 1e-12) {
+		t.Errorf("X*Z = %v, want %v", got, want)
+	}
+}
+
+func TestDaggerInvolution(t *testing.T) {
+	m := randomMatrix(rand.New(rand.NewSource(2)), 4)
+	if !m.Dagger().Dagger().Equal(m, 0) {
+		t.Error("dagger(dagger(m)) != m")
+	}
+}
+
+func TestMulVecMatchesMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := randomMatrix(rng, 8)
+	v := randomVector(rng, 8)
+	dst := make([]complex128, 8)
+	m.MulVec(dst, v)
+	// Compare against explicit row-by-row computation via Mul with a
+	// column-matrix embedding.
+	for i := 0; i < 8; i++ {
+		var want complex128
+		for j := 0; j < 8; j++ {
+			want += m.At(i, j) * v[j]
+		}
+		if cmplx.Abs(dst[i]-want) > 1e-12 {
+			t.Fatalf("MulVec[%d] = %v, want %v", i, dst[i], want)
+		}
+	}
+}
+
+func TestKronDimensions(t *testing.T) {
+	a := Identity(2)
+	b := Identity(4)
+	if got := a.Kron(b).Dim(); got != 8 {
+		t.Errorf("Kron dim = %d, want 8", got)
+	}
+}
+
+func TestKronKnown(t *testing.T) {
+	x := FromRows([][]complex128{{0, 1}, {1, 0}})
+	i2 := Identity(2)
+	// X ⊗ I should swap the two 2x2 blocks.
+	k := x.Kron(i2)
+	want := FromRows([][]complex128{
+		{0, 0, 1, 0},
+		{0, 0, 0, 1},
+		{1, 0, 0, 0},
+		{0, 1, 0, 0},
+	})
+	if !k.Equal(want, 1e-12) {
+		t.Errorf("X ⊗ I =\n%v, want\n%v", k, want)
+	}
+}
+
+func TestKronMixedProduct(t *testing.T) {
+	// (A ⊗ B)(C ⊗ D) = AC ⊗ BD
+	rng := rand.New(rand.NewSource(4))
+	a, b, c, d := randomMatrix(rng, 2), randomMatrix(rng, 2), randomMatrix(rng, 2), randomMatrix(rng, 2)
+	left := a.Kron(b).Mul(c.Kron(d))
+	right := a.Mul(c).Kron(b.Mul(d))
+	if !left.Equal(right, 1e-9) {
+		t.Error("Kronecker mixed-product identity violated")
+	}
+}
+
+func TestKronAll(t *testing.T) {
+	x := FromRows([][]complex128{{0, 1}, {1, 0}})
+	if got := KronAll(x, x, x).Dim(); got != 8 {
+		t.Errorf("KronAll dim = %d, want 8", got)
+	}
+	if !KronAll(x).Equal(x, 0) {
+		t.Error("KronAll of one matrix should be that matrix")
+	}
+}
+
+func TestIsUnitary(t *testing.T) {
+	h := FromRows([][]complex128{
+		{SqrtHalf, SqrtHalf},
+		{SqrtHalf, -SqrtHalf},
+	})
+	if !h.IsUnitary(1e-12) {
+		t.Error("H should be unitary")
+	}
+	notU := FromRows([][]complex128{{1, 1}, {0, 1}})
+	if notU.IsUnitary(1e-12) {
+		t.Error("upper-triangular ones matrix should not be unitary")
+	}
+}
+
+func TestIsHermitian(t *testing.T) {
+	y := FromRows([][]complex128{{0, -1i}, {1i, 0}})
+	if !y.IsHermitian(1e-12) {
+		t.Error("Y should be Hermitian")
+	}
+	s := FromRows([][]complex128{{1, 0}, {0, 1i}})
+	if s.IsHermitian(1e-12) {
+		t.Error("S should not be Hermitian")
+	}
+}
+
+func TestTrace(t *testing.T) {
+	if got := Identity(4).Trace(); got != 4 {
+		t.Errorf("tr(I4) = %v, want 4", got)
+	}
+}
+
+func TestLog2Dim(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 4: 2, 8: 3, 1024: 10, 3: -1, 0: -1, -4: -1, 6: -1}
+	for n, want := range cases {
+		if got := Log2Dim(n); got != want {
+			t.Errorf("Log2Dim(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestPhase(t *testing.T) {
+	if !AlmostEqual(Phase(0), 1) {
+		t.Error("Phase(0) != 1")
+	}
+	if !AlmostEqual(Phase(math.Pi), -1) {
+		t.Error("Phase(pi) != -1")
+	}
+	if !AlmostEqual(Phase(math.Pi/2), 1i) {
+		t.Error("Phase(pi/2) != i")
+	}
+}
+
+// Property: scaling a unitary by a phase keeps it unitary.
+func TestUnitaryPhaseInvariantProperty(t *testing.T) {
+	f := func(theta float64) bool {
+		theta = math.Mod(theta, 2*math.Pi)
+		h := FromRows([][]complex128{
+			{SqrtHalf, SqrtHalf},
+			{SqrtHalf, -SqrtHalf},
+		})
+		return h.Scale(Phase(theta)).IsUnitary(1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: (A*B)† = B† * A†.
+func TestDaggerProductProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomMatrix(rng, 4)
+		b := randomMatrix(rng, 4)
+		return a.Mul(b).Dagger().Equal(b.Dagger().Mul(a.Dagger()), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomMatrix(rng *rand.Rand, n int) Matrix {
+	m := New(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.Set(i, j, complex(rng.NormFloat64(), rng.NormFloat64()))
+		}
+	}
+	return m
+}
+
+func randomVector(rng *rand.Rand, n int) []complex128 {
+	v := make([]complex128, n)
+	for i := range v {
+		v[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return v
+}
+
+func TestHermitianEigenRangePauli(t *testing.T) {
+	z := FromRows([][]complex128{{1, 0}, {0, -1}})
+	lo, hi := HermitianEigenRange(z, 500)
+	if math.Abs(lo+1) > 1e-6 || math.Abs(hi-1) > 1e-6 {
+		t.Errorf("Z spectrum = [%g, %g], want [-1, 1]", lo, hi)
+	}
+	x := FromRows([][]complex128{{0, 1}, {1, 0}})
+	lo, hi = HermitianEigenRange(x, 500)
+	if math.Abs(lo+1) > 1e-6 || math.Abs(hi-1) > 1e-6 {
+		t.Errorf("X spectrum = [%g, %g], want [-1, 1]", lo, hi)
+	}
+}
+
+func TestHermitianEigenRangeShifted(t *testing.T) {
+	// diag(2, 5, -3, 0)
+	m := New(4)
+	for i, v := range []float64{2, 5, -3, 0} {
+		m.Set(i, i, complex(v, 0))
+	}
+	lo, hi := HermitianEigenRange(m, 2000)
+	if math.Abs(lo+3) > 1e-6 || math.Abs(hi-5) > 1e-6 {
+		t.Errorf("spectrum = [%g, %g], want [-3, 5]", lo, hi)
+	}
+}
+
+func TestHermitianEigenRangeRejectsNonHermitian(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-Hermitian matrix accepted")
+		}
+	}()
+	HermitianEigenRange(FromRows([][]complex128{{0, 1}, {0, 0}}), 10)
+}

@@ -1,0 +1,109 @@
+package qmath
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Norm returns the Euclidean (L2) norm of a complex vector.
+func Norm(v []complex128) float64 {
+	var s float64
+	for _, x := range v {
+		s += real(x)*real(x) + imag(x)*imag(x)
+	}
+	return math.Sqrt(s)
+}
+
+// Normalize scales v in place to unit L2 norm. It panics on the zero
+// vector, which never represents a valid quantum state.
+func Normalize(v []complex128) {
+	n := Norm(v)
+	if n == 0 {
+		panic("qmath: cannot normalize zero vector")
+	}
+	inv := complex(1/n, 0)
+	for i := range v {
+		v[i] *= inv
+	}
+}
+
+// Inner returns the inner product <a|b> = sum conj(a_i) * b_i.
+func Inner(a, b []complex128) complex128 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("qmath: Inner length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s complex128
+	for i := range a {
+		s += cmplx.Conj(a[i]) * b[i]
+	}
+	return s
+}
+
+// Fidelity returns |<a|b>|^2, the squared overlap of two pure states.
+func Fidelity(a, b []complex128) float64 {
+	ip := Inner(a, b)
+	return real(ip)*real(ip) + imag(ip)*imag(ip)
+}
+
+// VecEqual reports whether two vectors agree element-wise within tol.
+func VecEqual(a, b []complex128, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if cmplx.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxAbsDiff returns the largest element-wise absolute difference between
+// two equal-length vectors.
+func MaxAbsDiff(a, b []complex128) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("qmath: MaxAbsDiff length mismatch %d vs %d", len(a), len(b)))
+	}
+	var m float64
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Probabilities returns |v_i|^2 for every amplitude. For a normalized
+// state the result sums to 1 within floating-point error.
+func Probabilities(v []complex128) []float64 {
+	p := make([]float64, len(v))
+	for i, x := range v {
+		p[i] = real(x)*real(x) + imag(x)*imag(x)
+	}
+	return p
+}
+
+// TotalVariation returns the total-variation distance between two discrete
+// distributions of equal length: 1/2 * sum |p_i - q_i|.
+func TotalVariation(p, q []float64) float64 {
+	if len(p) != len(q) {
+		panic(fmt.Sprintf("qmath: TotalVariation length mismatch %d vs %d", len(p), len(q)))
+	}
+	var s float64
+	for i := range p {
+		s += math.Abs(p[i] - q[i])
+	}
+	return s / 2
+}
+
+// BasisState returns the 2^n-dimensional computational basis state |index>.
+func BasisState(n, index int) []complex128 {
+	dim := 1 << uint(n)
+	if index < 0 || index >= dim {
+		panic(fmt.Sprintf("qmath: basis index %d out of range for %d qubits", index, n))
+	}
+	v := make([]complex128, dim)
+	v[index] = 1
+	return v
+}

@@ -1,0 +1,175 @@
+package qmath
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNorm(t *testing.T) {
+	if got := Norm([]complex128{3, 4i}); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Norm = %g, want 5", got)
+	}
+	if got := Norm(nil); got != 0 {
+		t.Errorf("Norm(nil) = %g, want 0", got)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	v := []complex128{2, 2i, 0}
+	Normalize(v)
+	if math.Abs(Norm(v)-1) > 1e-12 {
+		t.Errorf("normalized norm = %g", Norm(v))
+	}
+}
+
+func TestNormalizeZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Normalize(zero) did not panic")
+		}
+	}()
+	Normalize([]complex128{0, 0})
+}
+
+func TestInner(t *testing.T) {
+	a := []complex128{1i, 0}
+	b := []complex128{1i, 0}
+	if got := Inner(a, b); !AlmostEqual(got, 1) {
+		t.Errorf("<a|a> = %v, want 1", got)
+	}
+	// <a|b> = conj(<b|a>)
+	rng := rand.New(rand.NewSource(5))
+	x := randomVector(rng, 8)
+	y := randomVector(rng, 8)
+	if !AlmostEqualTol(Inner(x, y), complex(real(Inner(y, x)), -imag(Inner(y, x))), 1e-9) {
+		t.Error("inner product conjugate symmetry violated")
+	}
+}
+
+func TestFidelityBounds(t *testing.T) {
+	a := BasisState(2, 0)
+	b := BasisState(2, 3)
+	if got := Fidelity(a, a); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Fidelity(a,a) = %g, want 1", got)
+	}
+	if got := Fidelity(a, b); got != 0 {
+		t.Errorf("Fidelity(orthogonal) = %g, want 0", got)
+	}
+}
+
+func TestVecEqual(t *testing.T) {
+	a := []complex128{1, 2}
+	b := []complex128{1, 2 + 1e-15}
+	if !VecEqual(a, b, 1e-12) {
+		t.Error("nearly equal vectors reported unequal")
+	}
+	if VecEqual(a, []complex128{1}, 1e-12) {
+		t.Error("different lengths reported equal")
+	}
+	if VecEqual(a, []complex128{1, 3}, 1e-12) {
+		t.Error("different values reported equal")
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	a := []complex128{0, 1, 2}
+	b := []complex128{0, 1, 2.5}
+	if got := MaxAbsDiff(a, b); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("MaxAbsDiff = %g, want 0.5", got)
+	}
+}
+
+func TestProbabilitiesSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	v := randomVector(rng, 16)
+	Normalize(v)
+	p := Probabilities(v)
+	var s float64
+	for _, x := range p {
+		s += x
+	}
+	if math.Abs(s-1) > 1e-9 {
+		t.Errorf("probabilities sum to %g", s)
+	}
+}
+
+func TestTotalVariation(t *testing.T) {
+	p := []float64{1, 0}
+	q := []float64{0, 1}
+	if got := TotalVariation(p, q); math.Abs(got-1) > 1e-12 {
+		t.Errorf("TV of disjoint = %g, want 1", got)
+	}
+	if got := TotalVariation(p, p); got != 0 {
+		t.Errorf("TV of identical = %g, want 0", got)
+	}
+}
+
+func TestBasisState(t *testing.T) {
+	v := BasisState(3, 5)
+	if len(v) != 8 {
+		t.Fatalf("len = %d, want 8", len(v))
+	}
+	for i, a := range v {
+		want := complex128(0)
+		if i == 5 {
+			want = 1
+		}
+		if a != want {
+			t.Errorf("amp[%d] = %v, want %v", i, a, want)
+		}
+	}
+}
+
+func TestBasisStatePanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("BasisState out of range did not panic")
+		}
+	}()
+	BasisState(2, 4)
+}
+
+// Property: TV distance is symmetric and within [0, 1] for distributions.
+func TestTotalVariationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomDist(rng, 8)
+		q := randomDist(rng, 8)
+		tv := TotalVariation(p, q)
+		return tv >= 0 && tv <= 1+1e-12 && math.Abs(tv-TotalVariation(q, p)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Cauchy-Schwarz — fidelity of normalized states is in [0, 1].
+func TestFidelityRangeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomVector(rng, 8)
+		b := randomVector(rng, 8)
+		Normalize(a)
+		Normalize(b)
+		fid := Fidelity(a, b)
+		return fid >= -1e-12 && fid <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomDist(rng *rand.Rand, n int) []float64 {
+	p := make([]float64, n)
+	var s float64
+	for i := range p {
+		p[i] = rng.Float64()
+		s += p[i]
+	}
+	for i := range p {
+		p[i] /= s
+	}
+	return p
+}

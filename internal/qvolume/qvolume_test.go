@@ -1,0 +1,171 @@
+package qvolume
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/circuit"
+	"repro/internal/gate"
+	"repro/internal/noise"
+	"repro/internal/sim"
+	"repro/internal/trial"
+)
+
+func TestHeavySetDeterministicCircuit(t *testing.T) {
+	// X on one qubit: the only nonzero output is heavy.
+	c := circuit.New("x", 2)
+	c.Append(gate.X(), 0)
+	c.MeasureAll()
+	heavy, err := HeavySet(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(heavy) != 1 || !heavy[0b01] {
+		t.Errorf("heavy set = %v, want {01}", heavy)
+	}
+}
+
+func TestHeavySetUniformIsEmpty(t *testing.T) {
+	// Uniform superposition: every probability equals the median, so no
+	// output is strictly heavy.
+	c := circuit.New("u", 2)
+	c.Append(gate.H(), 0)
+	c.Append(gate.H(), 1)
+	c.MeasureAll()
+	heavy, err := HeavySet(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(heavy) != 0 {
+		t.Errorf("heavy set of uniform distribution = %v, want empty", heavy)
+	}
+}
+
+func TestHeavySetRejectsWide(t *testing.T) {
+	c := circuit.New("wide", 30)
+	c.Append(gate.H(), 0)
+	if _, err := HeavySet(c); err == nil {
+		t.Error("30-qubit heavy set accepted")
+	}
+}
+
+// TestNoiselessHOPNearAsymptote: for random QV circuits without noise the
+// heavy-output probability approaches (1 + ln 2)/2 ~ 0.8466.
+func TestNoiselessHOPNearAsymptote(t *testing.T) {
+	res, err := Run(Config{
+		Qubits:   4,
+		Circuits: 8,
+		Trials:   2000,
+		Model:    noise.NewModel("clean", 4),
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (1 + math.Ln2) / 2
+	if math.Abs(res.MeanHOP-want) > 0.06 {
+		t.Errorf("noiseless HOP = %g, want ~%g", res.MeanHOP, want)
+	}
+	if !res.Pass {
+		t.Error("noiseless QV run should pass")
+	}
+}
+
+// TestHeavyNoiseDrivesHOPToHalf: with strong depolarizing noise the
+// output approaches uniform, so HOP falls toward ~1/2 and the protocol
+// fails.
+func TestHeavyNoiseDrivesHOPToHalf(t *testing.T) {
+	res, err := Run(Config{
+		Qubits:   4,
+		Circuits: 4,
+		Trials:   2000,
+		Model:    noise.Uniform("loud", 4, 5e-2, 2e-1, 0),
+		Seed:     2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanHOP > 0.6 {
+		t.Errorf("noisy HOP = %g, expected near 0.5", res.MeanHOP)
+	}
+	if res.Pass {
+		t.Error("heavily noisy QV run should fail")
+	}
+}
+
+func TestHOPMonotoneInNoise(t *testing.T) {
+	prev := 1.0
+	for _, p1 := range []float64{0, 2e-3, 2e-2} {
+		res, err := Run(Config{
+			Qubits: 3, Circuits: 6, Trials: 1500,
+			Model: noise.Uniform("m", 3, p1, 10*p1, 0),
+			Seed:  3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.MeanHOP > prev+0.03 {
+			t.Errorf("HOP rose with noise: %g after %g", res.MeanHOP, prev)
+		}
+		prev = res.MeanHOP
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	m := noise.NewModel("m", 4)
+	cases := []Config{
+		{Qubits: 1, Circuits: 1, Trials: 1, Model: m},
+		{Qubits: 4, Circuits: 0, Trials: 1, Model: m},
+		{Qubits: 4, Circuits: 1, Trials: 0, Model: m},
+		{Qubits: 4, Circuits: 1, Trials: 1},
+	}
+	for i, cfg := range cases {
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestHeavyOutputProbabilityCounting(t *testing.T) {
+	heavy := map[uint64]bool{3: true}
+	res := &sim.Result{Outcomes: []sim.Outcome{
+		{TrialID: 0, Bits: 3}, {TrialID: 1, Bits: 0},
+		{TrialID: 2, Bits: 3}, {TrialID: 3, Bits: 1},
+	}}
+	if got := HeavyOutputProbability(heavy, res); got != 0.5 {
+		t.Errorf("HOP = %g, want 0.5", got)
+	}
+	if got := HeavyOutputProbability(heavy, &sim.Result{}); got != 0 {
+		t.Errorf("empty HOP = %g", got)
+	}
+}
+
+// TestHOPConsistentAcrossSimulators: baseline and reordered give the same
+// HOP on the same trials (outcomes are bit-identical).
+func TestHOPConsistentAcrossSimulators(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	c := bench.QV(4, 4, rng)
+	heavy, err := HeavySet(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := noise.Uniform("m", 4, 1e-3, 1e-2, 1e-2)
+	gen, err := trial.NewGenerator(c, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trials := gen.Generate(rng, 1000)
+	base, err := sim.Baseline(c, trials, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reord, err := sim.Reordered(c, trials, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if HeavyOutputProbability(heavy, base) != HeavyOutputProbability(heavy, reord) {
+		t.Error("HOP differs between simulators")
+	}
+}

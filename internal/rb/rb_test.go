@@ -1,0 +1,135 @@
+package rb
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/noise"
+	"repro/internal/statevec"
+)
+
+func TestSequenceIsIdentityNoiseless(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, depth := range []int{1, 3, 8} {
+		c := Sequence(2, depth, rng)
+		st := statevec.NewState(2)
+		for _, op := range c.Ops() {
+			st.ApplyOp(op.Gate, op.Qubits...)
+		}
+		if p := st.Probability(0); math.Abs(p-1) > 1e-9 {
+			t.Errorf("depth %d: P(|00>) = %g, want 1", depth, p)
+		}
+	}
+}
+
+func TestSequenceDepthScalesGates(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	shallow := Sequence(2, 2, rng)
+	deep := Sequence(2, 10, rng)
+	if deep.NumOps() <= shallow.NumOps() {
+		t.Errorf("deeper sequence not longer: %d vs %d", deep.NumOps(), shallow.NumOps())
+	}
+}
+
+func TestRunDecay(t *testing.T) {
+	res, err := Run(Config{
+		Qubits:    2,
+		Depths:    []int{1, 4, 8, 16},
+		Sequences: 3,
+		Trials:    3000,
+		Model:     noise.Uniform("m", 2, 2e-3, 2e-2, 0),
+		Seed:      3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Survival decays with depth.
+	first := res.Points[0].Survival
+	last := res.Points[len(res.Points)-1].Survival
+	if last >= first {
+		t.Errorf("survival did not decay: %g -> %g", first, last)
+	}
+	// Fit parameters sane.
+	f := res.Fit
+	if f.P <= 0 || f.P > 1 {
+		t.Errorf("fitted p = %g", f.P)
+	}
+	if f.ErrorPerClifford <= 0 || f.ErrorPerClifford > 0.5 {
+		t.Errorf("error per Clifford = %g", f.ErrorPerClifford)
+	}
+	// Savings should be substantial at these rates.
+	if res.Points[0].OpsSaved < 0.5 {
+		t.Errorf("ops saved = %g, want > 0.5", res.Points[0].OpsSaved)
+	}
+}
+
+func TestErrorPerCliffordTracksNoise(t *testing.T) {
+	run := func(p1 float64) float64 {
+		res, err := Run(Config{
+			Qubits:    1,
+			Depths:    []int{1, 4, 8, 16, 32},
+			Sequences: 4,
+			Trials:    4000,
+			Model:     noise.Uniform("m", 1, p1, 0, 0),
+			Seed:      4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Fit.ErrorPerClifford
+	}
+	low := run(1e-3)
+	high := run(1e-2)
+	if high <= low {
+		t.Errorf("error per Clifford not monotone in noise: %g vs %g", low, high)
+	}
+}
+
+func TestFitDecayExact(t *testing.T) {
+	// Synthesize exact decay points and recover the parameters.
+	a, p, b := 0.75, 0.93, 0.25
+	var pts []Point
+	for _, m := range []int{1, 2, 4, 8, 16, 32} {
+		pts = append(pts, Point{Depth: m, Survival: a*math.Pow(p, float64(m)) + b})
+	}
+	fit, err := FitDecay(pts, 2) // b = 1/4 matches nQubits=2
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.P-p) > 1e-6 || math.Abs(fit.A-a) > 1e-6 {
+		t.Errorf("fit = A %g, p %g; want %g, %g", fit.A, fit.P, a, p)
+	}
+}
+
+func TestFitDecayErrors(t *testing.T) {
+	if _, err := FitDecay([]Point{{Depth: 1, Survival: 1}}, 1); err == nil {
+		t.Error("single point accepted")
+	}
+	// All points at the floor.
+	floor := []Point{{Depth: 1, Survival: 0.5}, {Depth: 2, Survival: 0.5}}
+	if _, err := FitDecay(floor, 1); err == nil {
+		t.Error("floor-only points accepted")
+	}
+	// Degenerate: identical depths.
+	same := []Point{{Depth: 3, Survival: 0.9}, {Depth: 3, Survival: 0.8}}
+	if _, err := FitDecay(same, 1); err == nil {
+		t.Error("identical depths accepted")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	m := noise.NewModel("m", 2)
+	bad := []Config{
+		{Qubits: 0, Depths: []int{1, 2}, Sequences: 1, Trials: 1, Model: m},
+		{Qubits: 2, Depths: []int{1}, Sequences: 1, Trials: 1, Model: m},
+		{Qubits: 2, Depths: []int{1, 2}, Sequences: 0, Trials: 1, Model: m},
+		{Qubits: 2, Depths: []int{1, 2}, Sequences: 1, Trials: 0, Model: m},
+		{Qubits: 2, Depths: []int{1, 2}, Sequences: 1, Trials: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}

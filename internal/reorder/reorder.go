@@ -1,0 +1,586 @@
+// Package reorder implements the paper's core contribution: reordering
+// statically generated Monte Carlo trials so that consecutive trials share
+// the longest possible computation prefix (Algorithm 1), building an
+// explicit execution plan with prefix-state snapshots that are stored at
+// branch points and dropped as soon as their last consumer has run, and
+// statically analyzing that plan for the paper's two evaluation metrics —
+// basic-operation count and Maintained State Vectors (MSV) — without
+// touching a single amplitude.
+//
+// The static analyzer is what makes the paper's scalability experiments
+// (Figures 7 and 8: 40-qubit circuits, 10^6 trials) reproducible on a
+// laptop: both metrics are functions of the reordered trial multiset and
+// the circuit's layer structure only, so no 16-TiB state vector is ever
+// allocated.
+package reorder
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/circuit"
+	"repro/internal/gate"
+	"repro/internal/trial"
+)
+
+// Sort returns the trials in the paper's optimized execution order: the
+// lexicographic order of packed injection sequences with exhausted trials
+// sorting last. This single comparison-sort is equivalent to Algorithm 1's
+// recursive grouping (AlgorithmOne below implements the recursion
+// literally; the test suite proves the two orders identical). The input
+// slice is not modified.
+func Sort(trials []*trial.Trial) []*trial.Trial {
+	out := make([]*trial.Trial, len(trials))
+	copy(out, trials)
+	sort.SliceStable(out, func(i, j int) bool { return trial.Compare(out[i], out[j]) < 0 })
+	return out
+}
+
+// AlgorithmOne is the literal transcription of the paper's Algorithm 1
+// (Trial_Reorder): order the trials by the location of the n-th injected
+// error, divide them into groups sharing that error, and recurse into each
+// group with n+1. Trials that have no n-th error form the final group and
+// terminate the recursion (they are fully identical within their group, so
+// there is nothing left to order). The input slice is not modified.
+//
+// Sort is the production implementation; AlgorithmOne exists to document
+// the paper's pseudocode faithfully and to cross-check Sort in tests.
+func AlgorithmOne(trials []*trial.Trial) []*trial.Trial {
+	out := make([]*trial.Trial, len(trials))
+	copy(out, trials)
+	algorithmOneRec(out, 0)
+	return out
+}
+
+func algorithmOneRec(s []*trial.Trial, n int) {
+	if len(s) <= 1 {
+		return
+	}
+	// Line 4: order the trials by the location of the nth injected error.
+	// Trials without an nth error take a +inf sentinel, placing them last
+	// (see trial.Compare for why that convention minimizes MSV).
+	key := func(t *trial.Trial) uint64 {
+		if n >= len(t.Inj) {
+			return ^uint64(0)
+		}
+		return uint64(t.Inj[n])
+	}
+	sort.SliceStable(s, func(i, j int) bool { return key(s[i]) < key(s[j]) })
+	// Lines 5-9: divide into groups sharing the nth error and recurse.
+	for lo := 0; lo < len(s); {
+		k := key(s[lo])
+		hi := lo + 1
+		for hi < len(s) && key(s[hi]) == k {
+			hi++
+		}
+		if k != ^uint64(0) { // exhausted group: identical trials, stop
+			algorithmOneRec(s[lo:hi], n+1)
+		}
+		lo = hi
+	}
+}
+
+// StepKind discriminates plan steps.
+type StepKind uint8
+
+// Plan step kinds. The executor (internal/sim) and the static analyzer
+// both interpret exactly these five.
+const (
+	// StepAdvance applies gate layers [From, To) of the circuit to the
+	// working state, error-free.
+	StepAdvance StepKind = iota
+	// StepPush snapshots the working state onto the prefix-state stack;
+	// the working copy then continues as the child branch.
+	StepPush
+	// StepInject applies the Pauli Op to Qubit of the working state.
+	StepInject
+	// StepEmit declares the working state (advanced through all layers)
+	// to be the final pre-measurement state of the listed trials.
+	StepEmit
+	// StepPop discards the working state and resumes from the top
+	// snapshot, which is removed from the stack.
+	StepPop
+	// StepRestore discards the working state and resumes from a COPY of
+	// the top snapshot (or from |0...0> when the stack is empty), leaving
+	// the snapshot in place. Emitted only by memory-budgeted plans, where
+	// a branch point could not afford its own snapshot and later siblings
+	// must replay the missing prefix from a shallower state.
+	StepRestore
+)
+
+// String names the step kind.
+func (k StepKind) String() string {
+	switch k {
+	case StepAdvance:
+		return "advance"
+	case StepPush:
+		return "push"
+	case StepInject:
+		return "inject"
+	case StepEmit:
+		return "emit"
+	case StepPop:
+		return "pop"
+	case StepRestore:
+		return "restore"
+	default:
+		return fmt.Sprintf("step(%d)", int(k))
+	}
+}
+
+// Step is one instruction of an execution plan.
+type Step struct {
+	Kind StepKind
+	// From, To bound the layer range of an Advance ([From, To)).
+	From, To int
+	// Qubit and Op describe an Inject.
+	Qubit int
+	Op    gate.Pauli
+	// Trials lists the trials (as indices into Plan.Order) finalized by
+	// an Emit. Duplicated trials share one entry-point state and appear
+	// in one Emit together.
+	Trials []int
+}
+
+// Plan is a complete reordered execution schedule for one trial set over
+// one circuit.
+type Plan struct {
+	// Order is the reordered trial sequence the plan executes.
+	Order []*trial.Trial
+	// Steps is the instruction sequence.
+	Steps []Step
+
+	nLayers   int
+	layerOps  []int // gate count per layer
+	layerCum  []int // prefix sums of layerOps
+	totalOps  int   // gates in one full circuit pass
+	baseline  int64 // baseline basic-op count for the same trial set
+	planOps   int64 // optimized basic-op count
+	msv       int   // peak snapshot-stack depth
+	pushCount int64 // number of state copies the plan performs
+}
+
+// NumLayers returns the circuit depth the plan was built against.
+func (p *Plan) NumLayers() int { return p.nLayers }
+
+// GatesInLayers returns the gate-application count of layers [from, to).
+func (p *Plan) GatesInLayers(from, to int) int {
+	return p.layerCum[to] - p.layerCum[from]
+}
+
+// OptimizedOps returns the basic-operation count (gate applications plus
+// injected Paulis) the plan executes.
+func (p *Plan) OptimizedOps() int64 { return p.planOps }
+
+// BaselineOps returns the basic-operation count of running every trial
+// independently: trials x circuit gates + total injections.
+func (p *Plan) BaselineOps() int64 { return p.baseline }
+
+// NormalizedComputation returns OptimizedOps / BaselineOps — the metric of
+// the paper's Figures 5 and 7 (lower is better; 1 - value is the saving).
+func (p *Plan) NormalizedComputation() float64 {
+	if p.baseline == 0 {
+		return 0
+	}
+	return float64(p.planOps) / float64(p.baseline)
+}
+
+// MSV returns the peak number of simultaneously stored prefix state
+// vectors (excluding the working register) — the metric of Figures 6/8.
+func (p *Plan) MSV() int { return p.msv }
+
+// Copies returns how many state-vector copies (Push steps) the plan makes.
+func (p *Plan) Copies() int64 { return p.pushCount }
+
+// BuildPlan sorts the trials with Sort and constructs the execution plan:
+// a depth-first walk of the injection-prefix trie in which each trie
+// branch point stores one snapshot that is dropped after its last child,
+// and the last child of a branch consumes the parent's state in place
+// (the paper's "S1 can be dropped since it is no longer used").
+func BuildPlan(c *circuit.Circuit, trials []*trial.Trial) (*Plan, error) {
+	return BuildPlanBudget(c, trials, math.MaxInt)
+}
+
+// BuildPlanBudget is BuildPlan under a hard cap on concurrently stored
+// state vectors. When a branch point cannot afford a snapshot, its later
+// siblings restore a copy of the nearest stored ancestor (or the initial
+// state) and replay the missing gates and injections — trading computation
+// for memory, the graceful degradation the paper's memory discussion
+// motivates. A budget of math.MaxInt reproduces BuildPlan exactly; a
+// budget of 0 stores nothing and replays everything.
+func BuildPlanBudget(c *circuit.Circuit, trials []*trial.Trial, budget int) (*Plan, error) {
+	if budget < 0 {
+		return nil, fmt.Errorf("reorder: negative snapshot budget %d", budget)
+	}
+	if len(trials) == 0 {
+		return nil, fmt.Errorf("reorder: empty trial set")
+	}
+	layers := c.Layers()
+	p := &Plan{
+		Order:    Sort(trials),
+		nLayers:  len(layers),
+		layerOps: make([]int, len(layers)),
+		layerCum: make([]int, len(layers)+1),
+	}
+	for l, idx := range layers {
+		p.layerOps[l] = len(idx)
+		p.layerCum[l+1] = p.layerCum[l] + len(idx)
+	}
+	p.totalOps = p.layerCum[len(layers)]
+	for _, t := range trials {
+		if len(t.Inj) > 0 && t.Inj[len(t.Inj)-1].Layer() >= len(layers) {
+			return nil, fmt.Errorf("reorder: trial %d injects at layer %d, circuit has %d layers", t.ID, t.Inj[len(t.Inj)-1].Layer(), len(layers))
+		}
+		p.baseline += int64(p.totalOps) + int64(len(t.Inj))
+	}
+
+	b := &planBuilder{plan: p, record: true, depthCap: math.MaxInt, budget: budget}
+	b.build(0, len(p.Order), 0)
+	if b.layersDone != p.nLayers {
+		// The final emit always advances to the end; reaching here means
+		// the builder has a bug, so fail loudly.
+		return nil, fmt.Errorf("reorder: internal error, plan ended at layer %d of %d", b.layersDone, p.nLayers)
+	}
+	if len(b.snaps) != 0 {
+		return nil, fmt.Errorf("reorder: internal error, %d snapshots leaked", len(b.snaps))
+	}
+	return p, nil
+}
+
+// snap records what a pushed snapshot holds: how many gate layers were
+// applied and how many of the builder's prefix injections.
+type snap struct {
+	layers    int
+	prefixLen int
+}
+
+type planBuilder struct {
+	plan       *Plan
+	record     bool // false: streaming analysis, count but emit no steps
+	depthCap   int  // max shared injections exploited; 0 disables sharing
+	budget     int  // max concurrent snapshots (MaxInt for BuildPlan)
+	layersDone int
+	prefix     []trial.Key // injections applied to the working state
+	snaps      []snap
+}
+
+func (b *planBuilder) emit(s Step) {
+	if b.record {
+		b.plan.Steps = append(b.plan.Steps, s)
+	}
+}
+
+// advanceTo emits an Advance covering layers [layersDone, to) and accounts
+// for its gate applications.
+func (b *planBuilder) advanceTo(to int) {
+	if to < b.layersDone {
+		panic(fmt.Sprintf("reorder: advance backwards from %d to %d", b.layersDone, to))
+	}
+	if to == b.layersDone {
+		return
+	}
+	b.emit(Step{Kind: StepAdvance, From: b.layersDone, To: to})
+	b.plan.planOps += int64(b.plan.GatesInLayers(b.layersDone, to))
+	b.layersDone = to
+}
+
+// build processes sorted trials [lo, hi), which agree on their first
+// `depth` injections (already applied to the working state). The working
+// state has b.layersDone gate layers applied — at least the layer of the
+// depth-th injection plus one, and no injections beyond depth.
+func (b *planBuilder) build(lo, hi, depth int) {
+	// Depth-capped ablation mode: beyond the cap, every trial in the
+	// range replays individually from the range's entry state. Used by
+	// AnalyzeCapped to quantify how much each recursion level of
+	// Algorithm 1 contributes; the cap is MaxInt in normal operation.
+	if depth >= b.depthCap {
+		for i := lo; i < hi; i++ {
+			t := b.plan.Order[i]
+			b.plan.planOps += int64(b.plan.GatesInLayers(b.layersDone, b.plan.nLayers))
+			b.plan.planOps += int64(len(t.Inj) - depth)
+		}
+		b.layersDone = b.plan.nLayers
+		return
+	}
+	// Exhausted trials (exactly `depth` injections) sort to the tail of
+	// the range; they are served by the error-free frontier last.
+	cleanStart := hi
+	for cleanStart > lo && len(b.plan.Order[cleanStart-1].Inj) == depth {
+		cleanStart--
+	}
+	i := lo
+	for i < cleanStart {
+		key := b.plan.Order[i].Inj[depth]
+		j := i + 1
+		for j < cleanStart && b.plan.Order[j].Inj[depth] == key {
+			j++
+		}
+		inj := key.Unpack()
+		b.advanceTo(inj.Layer + 1)
+		last := j == cleanStart && cleanStart == hi
+		pushed := false
+		if !last && len(b.snaps) < b.budget {
+			b.emit(Step{Kind: StepPush})
+			b.plan.pushCount++
+			b.snaps = append(b.snaps, snap{layers: b.layersDone, prefixLen: depth})
+			if len(b.snaps) > b.plan.msv {
+				b.plan.msv = len(b.snaps)
+			}
+			pushed = true
+		}
+		b.emit(Step{Kind: StepInject, Qubit: inj.Qubit, Op: inj.Op})
+		b.plan.planOps++
+		b.prefix = append(b.prefix[:depth], key)
+		b.build(i, j, depth+1)
+		if !last {
+			if pushed {
+				b.emit(Step{Kind: StepPop})
+				top := b.snaps[len(b.snaps)-1]
+				b.snaps = b.snaps[:len(b.snaps)-1]
+				b.layersDone = top.layers
+				b.prefix = b.prefix[:top.prefixLen]
+			} else {
+				b.restoreTo(depth)
+			}
+		}
+		i = j
+	}
+	if cleanStart < hi {
+		b.advanceTo(b.plan.nLayers)
+		ids := make([]int, 0, hi-cleanStart)
+		for k := cleanStart; k < hi; k++ {
+			ids = append(ids, k)
+		}
+		b.emit(Step{Kind: StepEmit, Trials: ids})
+	}
+}
+
+// restoreTo resumes the working state to (prefix[:depth], the associated
+// layer frontier) without a dedicated snapshot: restore a copy of the
+// nearest stored ancestor (or reset to |0...0|) and replay the missing
+// gates and injections. Only budgeted plans reach this path.
+func (b *planBuilder) restoreTo(depth int) {
+	base := snap{} // empty stack: replay from the initial state
+	if len(b.snaps) > 0 {
+		base = b.snaps[len(b.snaps)-1]
+		b.plan.pushCount++ // restoring copies one stored vector
+	}
+	b.emit(Step{Kind: StepRestore})
+	b.layersDone = base.layers
+	for _, k := range b.prefix[base.prefixLen:depth] {
+		in := k.Unpack()
+		b.advanceTo(in.Layer + 1)
+		b.emit(Step{Kind: StepInject, Qubit: in.Qubit, Op: in.Op})
+		b.plan.planOps++
+	}
+	b.prefix = b.prefix[:depth]
+}
+
+// Analysis bundles the static metrics of a plan, matching the evaluation
+// metrics of the paper's Section V.
+type Analysis struct {
+	Trials        int
+	BaselineOps   int64
+	OptimizedOps  int64
+	Normalized    float64 // OptimizedOps / BaselineOps (Figures 5, 7)
+	Saving        float64 // 1 - Normalized
+	MSV           int     // peak stored state vectors (Figures 6, 8)
+	Copies        int64   // state-vector copies performed
+	CircuitLayers int
+	CircuitGates  int
+}
+
+// Analyze runs the static analysis for a circuit, trial set pair without
+// materializing plan steps: the same recursion as BuildPlan but counting
+// only, so million-trial, 40-qubit sweeps fit in memory. It reports
+// exactly the metrics BuildPlan would (the test suite asserts equality).
+func Analyze(c *circuit.Circuit, trials []*trial.Trial) (Analysis, error) {
+	return AnalyzeCapped(c, trials, math.MaxInt)
+}
+
+// AnalyzeCapped is Analyze with the prefix-sharing depth capped at
+// maxShared injections: trials reuse computation only through their first
+// maxShared shared errors, and replay individually beyond that. A cap of 0
+// disables sharing entirely (reproducing the baseline cost exactly); a cap
+// of 1 corresponds to ordering by the first error location only, without
+// Algorithm 1's recursion. Intended for ablation studies of the reorder
+// depth.
+func AnalyzeCapped(c *circuit.Circuit, trials []*trial.Trial, maxShared int) (Analysis, error) {
+	if len(trials) == 0 {
+		return Analysis{}, fmt.Errorf("reorder: empty trial set")
+	}
+	layers := c.Layers()
+	p := &Plan{
+		Order:    Sort(trials),
+		nLayers:  len(layers),
+		layerOps: make([]int, len(layers)),
+		layerCum: make([]int, len(layers)+1),
+	}
+	for l, idx := range layers {
+		p.layerOps[l] = len(idx)
+		p.layerCum[l+1] = p.layerCum[l] + len(idx)
+	}
+	p.totalOps = p.layerCum[len(layers)]
+	for _, t := range trials {
+		if len(t.Inj) > 0 && t.Inj[len(t.Inj)-1].Layer() >= len(layers) {
+			return Analysis{}, fmt.Errorf("reorder: trial %d injects at layer %d, circuit has %d layers", t.ID, t.Inj[len(t.Inj)-1].Layer(), len(layers))
+		}
+		p.baseline += int64(p.totalOps) + int64(len(t.Inj))
+	}
+	b := &planBuilder{plan: p, depthCap: maxShared, budget: math.MaxInt}
+	b.build(0, len(p.Order), 0)
+	if b.layersDone != p.nLayers || len(b.snaps) != 0 {
+		return Analysis{}, fmt.Errorf("reorder: internal analysis error (layer %d of %d, stack %d)", b.layersDone, p.nLayers, len(b.snaps))
+	}
+	return p.Analysis(), nil
+}
+
+// Analysis reports the plan's static metrics.
+func (p *Plan) Analysis() Analysis {
+	return Analysis{
+		Trials:        len(p.Order),
+		BaselineOps:   p.baseline,
+		OptimizedOps:  p.planOps,
+		Normalized:    p.NormalizedComputation(),
+		Saving:        1 - p.NormalizedComputation(),
+		MSV:           p.msv,
+		Copies:        p.pushCount,
+		CircuitLayers: p.nLayers,
+		CircuitGates:  p.totalOps,
+	}
+}
+
+// Validate walks the plan checking structural invariants: layer ranges
+// monotone and in bounds, stack never underflows, every trial emitted
+// exactly once, every emit at the final layer, and injections consistent
+// with the emitted trials' injection lists. It exists so tests and the
+// executor can trust the plan shape unconditionally.
+func (p *Plan) Validate() error {
+	emitted := make([]bool, len(p.Order))
+	layersDone := 0
+	var stack []int
+	type pending struct {
+		inj []trial.Key
+	}
+	cur := pending{}
+	var pendStack []pending
+	for si, s := range p.Steps {
+		switch s.Kind {
+		case StepAdvance:
+			if s.From != layersDone || s.To < s.From || s.To > p.nLayers {
+				return fmt.Errorf("reorder: step %d advance [%d,%d) inconsistent with layersDone %d", si, s.From, s.To, layersDone)
+			}
+			layersDone = s.To
+		case StepPush:
+			stack = append(stack, layersDone)
+			pendStack = append(pendStack, pending{inj: append([]trial.Key(nil), cur.inj...)})
+		case StepInject:
+			if layersDone == 0 {
+				return fmt.Errorf("reorder: step %d injects before any layer", si)
+			}
+			cur.inj = append(cur.inj, trial.Pack(layersDone-1, s.Qubit, s.Op))
+		case StepEmit:
+			if layersDone != p.nLayers {
+				return fmt.Errorf("reorder: step %d emits at layer %d of %d", si, layersDone, p.nLayers)
+			}
+			if len(s.Trials) == 0 {
+				return fmt.Errorf("reorder: step %d emits no trials", si)
+			}
+			for _, idx := range s.Trials {
+				if idx < 0 || idx >= len(p.Order) {
+					return fmt.Errorf("reorder: step %d emits out-of-range trial %d", si, idx)
+				}
+				if emitted[idx] {
+					return fmt.Errorf("reorder: trial %d emitted twice", idx)
+				}
+				emitted[idx] = true
+				t := p.Order[idx]
+				if len(t.Inj) != len(cur.inj) {
+					return fmt.Errorf("reorder: trial %d emitted with %d injections applied, has %d", t.ID, len(cur.inj), len(t.Inj))
+				}
+				for k := range t.Inj {
+					if t.Inj[k] != cur.inj[k] {
+						return fmt.Errorf("reorder: trial %d injection %d mismatch: applied %v, want %v", t.ID, k, cur.inj[k].Unpack(), t.Inj[k].Unpack())
+					}
+				}
+			}
+		case StepPop:
+			if len(stack) == 0 {
+				return fmt.Errorf("reorder: step %d pops empty stack", si)
+			}
+			layersDone = stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			cur = pendStack[len(pendStack)-1]
+			pendStack = pendStack[:len(pendStack)-1]
+		case StepRestore:
+			if len(stack) == 0 {
+				layersDone = 0
+				cur = pending{}
+			} else {
+				layersDone = stack[len(stack)-1]
+				cur = pending{inj: append([]trial.Key(nil), pendStack[len(pendStack)-1].inj...)}
+			}
+		default:
+			return fmt.Errorf("reorder: step %d has unknown kind %d", si, s.Kind)
+		}
+	}
+	if len(stack) != 0 {
+		return fmt.Errorf("reorder: plan leaves %d snapshots on the stack", len(stack))
+	}
+	for i, ok := range emitted {
+		if !ok {
+			return fmt.Errorf("reorder: trial %d (id %d) never emitted", i, p.Order[i].ID)
+		}
+	}
+	return nil
+}
+
+// Dump writes the plan as readable text, one step per line with the
+// snapshot-stack depth in the margin — the debugging view of the
+// execution schedule:
+//
+//	[0] advance L0..L3
+//	[0] push
+//	[1] inject X q0
+//	[1] advance L3..L5
+//	[1] emit t7 t12
+//	[0] pop
+func (p *Plan) Dump(w io.Writer) error {
+	depth := 0
+	for _, s := range p.Steps {
+		var line string
+		switch s.Kind {
+		case StepAdvance:
+			line = fmt.Sprintf("advance L%d..L%d (%d gates)", s.From, s.To, p.GatesInLayers(s.From, s.To))
+		case StepPush:
+			line = "push"
+		case StepInject:
+			line = fmt.Sprintf("inject %s q%d", s.Op, s.Qubit)
+		case StepEmit:
+			ids := make([]string, len(s.Trials))
+			for i, idx := range s.Trials {
+				ids[i] = fmt.Sprintf("t%d", p.Order[idx].ID)
+			}
+			line = "emit " + strings.Join(ids, " ")
+		case StepPop:
+			line = "pop"
+		case StepRestore:
+			line = "restore"
+		default:
+			line = s.Kind.String()
+		}
+		if _, err := fmt.Fprintf(w, "[%d] %s\n", depth, line); err != nil {
+			return err
+		}
+		switch s.Kind {
+		case StepPush:
+			depth++
+		case StepPop:
+			depth--
+		}
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"math/rand"
+
+	"repro/internal/bench"
+	"repro/internal/noise"
+	"repro/internal/reorder"
+)
+
+func TestParallelMatchesSequential(t *testing.T) {
+	c := bench.QFT(4)
+	m := noise.Uniform("u", 4, 5e-3, 5e-2, 2e-2)
+	trials := genTrials(t, c, m, 600, 20)
+	seq, err := Reordered(c, trials, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 3, 8} {
+		par, err := Parallel(c, trials, workers, Options{})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !EqualOutcomes(seq, par) {
+			t.Errorf("workers=%d: outcomes differ from sequential", workers)
+		}
+		if par.Ops < seq.Ops {
+			t.Errorf("workers=%d: parallel ops %d below sequential %d", workers, par.Ops, seq.Ops)
+		}
+	}
+}
+
+func TestParallelSingleWorkerIdenticalCost(t *testing.T) {
+	c := bench.BV(4, 0b111)
+	m := noise.Uniform("u", 4, 1e-2, 5e-2, 1e-2)
+	trials := genTrials(t, c, m, 300, 21)
+	seq, err := Reordered(c, trials, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Parallel(c, trials, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Ops != seq.Ops || par.MSV != seq.MSV {
+		t.Errorf("1-worker parallel (%d ops, %d MSV) != sequential (%d, %d)",
+			par.Ops, par.MSV, seq.Ops, seq.MSV)
+	}
+}
+
+func TestParallelValidation(t *testing.T) {
+	c := bench.BV(4, 0b111)
+	m := noise.Uniform("u", 4, 1e-2, 5e-2, 0)
+	trials := genTrials(t, c, m, 10, 22)
+	if _, err := Parallel(c, trials, 0, Options{}); err == nil {
+		t.Error("0 workers accepted")
+	}
+	if _, err := Parallel(c, nil, 2, Options{}); err == nil {
+		t.Error("empty trials accepted")
+	}
+	// More workers than trials is clamped, not an error.
+	if _, err := Parallel(c, trials, 100, Options{}); err != nil {
+		t.Errorf("worker clamp failed: %v", err)
+	}
+}
+
+func TestParallelKeepStates(t *testing.T) {
+	c := bench.WState3()
+	m := noise.Uniform("u", 3, 1e-2, 5e-2, 0)
+	trials := genTrials(t, c, m, 50, 23)
+	par, err := Parallel(c, trials, 4, Options{KeepStates: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Baseline(c, trials, Options{KeepStates: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range trials {
+		if par.FinalStates[tr.ID] == nil {
+			t.Fatalf("missing state for trial %d", tr.ID)
+		}
+		if !par.FinalStates[tr.ID].Equal(base.FinalStates[tr.ID], 1e-12) {
+			t.Fatalf("trial %d parallel state differs from baseline", tr.ID)
+		}
+	}
+}
+
+// TestBudgetedExecutionEquivalence: executing a memory-budgeted plan gives
+// bit-identical outcomes to the baseline, with bounded stored vectors.
+func TestBudgetedExecutionEquivalence(t *testing.T) {
+	c := bench.Grover3()
+	m := noise.Uniform("u", 3, 5e-3, 5e-2, 2e-2)
+	trials := genTrials(t, c, m, 300, 24)
+	base, err := Baseline(c, trials, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, budget := range []int{0, 1, 2, 5} {
+		plan, err := reorder.BuildPlanBudget(c, trials, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := ExecutePlan(c, plan, Options{})
+		if err != nil {
+			t.Fatalf("budget %d: %v", budget, err)
+		}
+		if !EqualOutcomes(base, res) {
+			t.Errorf("budget %d: outcomes differ from baseline", budget)
+		}
+		if res.MSV > budget {
+			t.Errorf("budget %d: executed MSV %d exceeds budget", budget, res.MSV)
+		}
+		if res.Ops != plan.OptimizedOps() {
+			t.Errorf("budget %d: executed ops %d != planned %d", budget, res.Ops, plan.OptimizedOps())
+		}
+	}
+}
+
+// TestBudgetedEquivalenceProperty fuzzes budgets and trial sets.
+func TestBudgetedEquivalenceProperty(t *testing.T) {
+	f := func(seed int64, budgetRaw uint8) bool {
+		budget := int(budgetRaw % 6)
+		rng := rand.New(rand.NewSource(seed))
+		c := bench.QV(3, 2, rng)
+		m := noise.Uniform("u", 3, rng.Float64()*0.05, rng.Float64()*0.2, rng.Float64()*0.05)
+		g, err := genOK(c, m)
+		if err != nil {
+			return false
+		}
+		trials := g.Generate(rng, 80)
+		base, err := Baseline(c, trials, Options{})
+		if err != nil {
+			return false
+		}
+		plan, err := reorder.BuildPlanBudget(c, trials, budget)
+		if err != nil {
+			return false
+		}
+		res, err := ExecutePlan(c, plan, Options{})
+		if err != nil {
+			return false
+		}
+		return EqualOutcomes(base, res) && res.MSV <= budget
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/noise"
+)
+
+func loadQASM(t *testing.T, name string) *circuit.Circuit {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join("..", "circuit", "testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := circuit.ParseQASM(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestQASMToffoliNoiseless: the corpus Toffoli program maps |110> to
+// |111> deterministically without noise.
+func TestQASMToffoliNoiseless(t *testing.T) {
+	c := loadQASM(t, "toffoli.qasm")
+	m := noise.NewModel("clean", c.NumQubits())
+	trials := genTrials(t, c, m, 50, 30)
+	res, err := Reordered(c, trials, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts[0b111] != 50 {
+		t.Errorf("Toffoli counts: %v", res.Counts)
+	}
+}
+
+// TestQASMGHZParityUnderNoise: a noisy GHZ still shows strong even-parity
+// correlation, and baseline/reordered agree exactly.
+func TestQASMGHZParityUnderNoise(t *testing.T) {
+	c := loadQASM(t, "ghz5.qasm")
+	m := noise.Uniform("u", c.NumQubits(), 1e-3, 1e-2, 1e-2)
+	trials := genTrials(t, c, m, 3000, 31)
+	base, err := Baseline(c, trials, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reord, err := Reordered(c, trials, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !EqualOutcomes(base, reord) {
+		t.Fatal("equivalence violated on QASM input")
+	}
+	ends := float64(reord.Counts[0b00000]+reord.Counts[0b11111]) / float64(len(trials))
+	if ends < 0.8 {
+		t.Errorf("GHZ mass on extremes = %g, want > 0.8 at these rates", ends)
+	}
+}
+
+// TestQASMTeleportMatchesPreparedState: the teleported qubit's measured
+// distribution matches the ry(0.9) preparation: P(1) = sin^2(0.45).
+func TestQASMTeleportMatchesPreparedState(t *testing.T) {
+	c := loadQASM(t, "teleport.qasm")
+	m := noise.NewModel("clean", c.NumQubits())
+	trials := genTrials(t, c, m, 20000, 32)
+	res, err := Reordered(c, trials, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := 0.0
+	for bits, n := range res.Counts {
+		if bits&0b100 != 0 {
+			p1 += float64(n)
+		}
+	}
+	p1 /= float64(len(trials))
+	want := math.Pow(math.Sin(0.45), 2)
+	if math.Abs(p1-want) > 0.02 {
+		t.Errorf("teleported P(1) = %g, want %g", p1, want)
+	}
+}
+
+// TestQASMQFTEquivalence: the corpus QFT runs identically through both
+// simulators under realistic noise.
+func TestQASMQFTEquivalence(t *testing.T) {
+	c := loadQASM(t, "qft3.qasm")
+	m := noise.Uniform("u", c.NumQubits(), 2e-3, 2e-2, 1e-2)
+	trials := genTrials(t, c, m, 500, 33)
+	base, err := Baseline(c, trials, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reord, err := Reordered(c, trials, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !EqualOutcomes(base, reord) {
+		t.Error("QFT equivalence violated")
+	}
+}

@@ -1,0 +1,256 @@
+// Package sim provides the two noisy Monte Carlo simulators the paper
+// compares:
+//
+//   - Baseline: every trial is executed independently from |0...0>, errors
+//     injected on the fly, only the final result kept — the strategy of
+//     full-state simulators like Rigetti's QVM and QX (Section V,
+//     "Baseline").
+//   - Reordered: trials are statically generated, reordered with
+//     Algorithm 1, and executed through an explicit plan that stores
+//     prefix states at branch points and drops them after their last use
+//     (Section IV).
+//
+// Both simulators account basic operations (matrix-vector applications:
+// circuit gates plus injected Paulis) and produce per-trial classical
+// outcomes that are bit-identical between the two — the paper's
+// mathematical-equivalence guarantee, which the test suite checks
+// amplitude-by-amplitude.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/circuit"
+	"repro/internal/reorder"
+	"repro/internal/statevec"
+	"repro/internal/trial"
+)
+
+// Outcome is the classical result of one trial: the measured bit pattern
+// after readout errors.
+type Outcome struct {
+	TrialID int
+	Bits    uint64
+}
+
+// Result aggregates a simulation run.
+type Result struct {
+	// Counts histograms the measured classical bit patterns.
+	Counts map[uint64]int
+	// Outcomes lists per-trial results in trial-ID order.
+	Outcomes []Outcome
+	// Ops is the number of basic operations executed (gate applications
+	// plus injected Pauli applications).
+	Ops int64
+	// Copies is the number of whole-state copies performed (0 for the
+	// baseline).
+	Copies int64
+	// MSV is the peak number of stored prefix state vectors maintained
+	// simultaneously (0 for the baseline).
+	MSV int
+	// FinalStates maps trial ID to the pre-measurement state, populated
+	// only when Options.KeepStates is set (memory: one full vector per
+	// distinct trial).
+	FinalStates map[int]*statevec.State
+}
+
+// Options tunes a simulation run.
+type Options struct {
+	// KeepStates retains a copy of every trial's final pre-measurement
+	// state in Result.FinalStates. Intended for equivalence tests only.
+	KeepStates bool
+}
+
+// Distribution returns the outcome histogram normalized to probabilities.
+func (r *Result) Distribution() map[uint64]float64 {
+	total := 0
+	for _, c := range r.Counts {
+		total += c
+	}
+	out := make(map[uint64]float64, len(r.Counts))
+	if total == 0 {
+		return out
+	}
+	for k, c := range r.Counts {
+		out[k] = float64(c) / float64(total)
+	}
+	return out
+}
+
+// sampleOutcome turns a final state into the trial's classical bit
+// pattern: sample a basis state with the trial's pre-drawn uniform, route
+// measured qubits to classical bits, then apply the readout-error flips.
+func sampleOutcome(st *statevec.State, c *circuit.Circuit, t *trial.Trial) uint64 {
+	return sampleBitsRaw(st, c, t) ^ t.MeasFlips
+}
+
+// sampleBitsRaw is sampleOutcome without the readout flips.
+func sampleBitsRaw(st *statevec.State, c *circuit.Circuit, t *trial.Trial) uint64 {
+	// Inverse-CDF sampling with the trial's own uniform keeps the result
+	// independent of execution order, so baseline and reordered runs
+	// agree bit-for-bit.
+	amp := st.Amplitudes()
+	u := t.SampleU
+	var cum float64
+	idx := len(amp) - 1
+	for i, a := range amp {
+		cum += real(a)*real(a) + imag(a)*imag(a)
+		if u < cum {
+			idx = i
+			break
+		}
+	}
+	var bits uint64
+	for _, m := range c.Measurements() {
+		if idx>>uint(m.Qubit)&1 == 1 {
+			bits |= 1 << uint(m.Bit)
+		}
+	}
+	return bits
+}
+
+// Baseline runs every trial independently: reset to |0...0>, apply each
+// gate layer, inject the trial's errors at each layer boundary, sample the
+// terminal measurement. This is the widely adopted strategy the paper
+// normalizes against.
+func Baseline(c *circuit.Circuit, trials []*trial.Trial, opt Options) (*Result, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{Counts: make(map[uint64]int)}
+	if opt.KeepStates {
+		res.FinalStates = make(map[int]*statevec.State, len(trials))
+	}
+	st := statevec.NewState(c.NumQubits())
+	layers := c.Layers()
+	ops := c.Ops()
+	for _, t := range trials {
+		st.Reset()
+		next := 0 // cursor into the trial's sorted injection list
+		for l := range layers {
+			for _, oi := range layers[l] {
+				op := ops[oi]
+				st.ApplyOp(op.Gate, op.Qubits...)
+				res.Ops++
+			}
+			for next < len(t.Inj) && t.Inj[next].Layer() == l {
+				in := t.Inj[next].Unpack()
+				st.ApplyPauli(in.Op, in.Qubit)
+				res.Ops++
+				next++
+			}
+		}
+		if next != len(t.Inj) {
+			return nil, fmt.Errorf("sim: trial %d has injection beyond final layer %d", t.ID, len(layers)-1)
+		}
+		res.Outcomes = append(res.Outcomes, Outcome{TrialID: t.ID, Bits: sampleOutcome(st, c, t)})
+		if opt.KeepStates {
+			res.FinalStates[t.ID] = st.Clone()
+		}
+	}
+	finish(res)
+	return res, nil
+}
+
+// Reordered builds the reorder plan for the trial set and executes it with
+// real state vectors: one working register, a snapshot stack for prefix
+// states, snapshots dropped at their last use.
+func Reordered(c *circuit.Circuit, trials []*trial.Trial, opt Options) (*Result, error) {
+	plan, err := reorder.BuildPlan(c, trials)
+	if err != nil {
+		return nil, err
+	}
+	return ExecutePlan(c, plan, opt)
+}
+
+// ExecutePlan runs a prebuilt plan. Exposed separately so callers can
+// reuse one plan across analyses and execution.
+func ExecutePlan(c *circuit.Circuit, plan *reorder.Plan, opt Options) (*Result, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{Counts: make(map[uint64]int)}
+	if opt.KeepStates {
+		res.FinalStates = make(map[int]*statevec.State)
+	}
+	work := statevec.NewState(c.NumQubits())
+	var stack []*statevec.State
+	layers := c.Layers()
+	ops := c.Ops()
+	for _, s := range plan.Steps {
+		switch s.Kind {
+		case reorder.StepAdvance:
+			for l := s.From; l < s.To; l++ {
+				for _, oi := range layers[l] {
+					op := ops[oi]
+					work.ApplyOp(op.Gate, op.Qubits...)
+					res.Ops++
+				}
+			}
+		case reorder.StepPush:
+			stack = append(stack, work.Clone())
+			res.Copies++
+			if len(stack) > res.MSV {
+				res.MSV = len(stack)
+			}
+		case reorder.StepInject:
+			work.ApplyPauli(s.Op, s.Qubit)
+			res.Ops++
+		case reorder.StepEmit:
+			for _, idx := range s.Trials {
+				t := plan.Order[idx]
+				res.Outcomes = append(res.Outcomes, Outcome{TrialID: t.ID, Bits: sampleOutcome(work, c, t)})
+				if opt.KeepStates {
+					res.FinalStates[t.ID] = work.Clone()
+				}
+			}
+		case reorder.StepPop:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("sim: plan pops an empty snapshot stack")
+			}
+			work = stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+		case reorder.StepRestore:
+			// Budgeted plans: resume from a copy of the top snapshot
+			// (keeping it for its own later consumers), or from scratch
+			// when nothing is stored.
+			if len(stack) == 0 {
+				work.Reset()
+			} else {
+				work.CopyFrom(stack[len(stack)-1])
+				res.Copies++
+			}
+		default:
+			return nil, fmt.Errorf("sim: unknown plan step %v", s.Kind)
+		}
+	}
+	if len(res.Outcomes) != len(plan.Order) {
+		return nil, fmt.Errorf("sim: plan emitted %d of %d trials", len(res.Outcomes), len(plan.Order))
+	}
+	finish(res)
+	return res, nil
+}
+
+// finish sorts outcomes by trial ID and fills the histogram.
+func finish(res *Result) {
+	sort.Slice(res.Outcomes, func(i, j int) bool { return res.Outcomes[i].TrialID < res.Outcomes[j].TrialID })
+	for _, o := range res.Outcomes {
+		res.Counts[o.Bits]++
+	}
+}
+
+// EqualOutcomes reports whether two results produced identical per-trial
+// classical outcomes — the observable form of the paper's equivalence
+// claim.
+func EqualOutcomes(a, b *Result) bool {
+	if len(a.Outcomes) != len(b.Outcomes) {
+		return false
+	}
+	for i := range a.Outcomes {
+		if a.Outcomes[i] != b.Outcomes[i] {
+			return false
+		}
+	}
+	return true
+}

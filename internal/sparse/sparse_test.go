@@ -1,0 +1,197 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/circuit"
+	"repro/internal/gate"
+	"repro/internal/statevec"
+)
+
+func TestNewStateBasics(t *testing.T) {
+	s := NewState(3)
+	if s.Support() != 1 || s.Amplitude(0) != 1 {
+		t.Fatalf("initial state wrong: support %d", s.Support())
+	}
+	if math.Abs(s.Norm()-1) > 1e-12 {
+		t.Errorf("norm = %g", s.Norm())
+	}
+}
+
+func TestNewStatePanics(t *testing.T) {
+	for _, n := range []int{0, 63} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewState(%d) did not panic", n)
+				}
+			}()
+			NewState(n)
+		}()
+	}
+}
+
+// mustApply applies an op, failing the test on error.
+func mustApply(t *testing.T, s *State, g gate.Gate, qs ...int) {
+	t.Helper()
+	if err := s.ApplyOp(circuit.Op{Gate: g, Qubits: qs}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAgainstDenseRandomCircuits cross-validates the sparse engine against
+// the dense state vector on random circuits, amplitude by amplitude.
+func TestAgainstDenseRandomCircuits(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(3)
+		sp := NewState(n)
+		dn := statevec.NewState(n)
+		for i := 0; i < 18; i++ {
+			var g gate.Gate
+			var qs []int
+			switch rng.Intn(8) {
+			case 0:
+				g, qs = gate.H(), []int{rng.Intn(n)}
+			case 1:
+				g, qs = gate.T(), []int{rng.Intn(n)}
+			case 2:
+				g, qs = gate.X(), []int{rng.Intn(n)}
+			case 3:
+				g, qs = gate.RZ(rng.Float64()), []int{rng.Intn(n)}
+			case 4:
+				g, qs = gate.U3(rng.Float64(), rng.Float64(), rng.Float64()), []int{rng.Intn(n)}
+			case 5:
+				a := rng.Intn(n)
+				g, qs = gate.CX(), []int{a, (a + 1 + rng.Intn(n-1)) % n}
+			case 6:
+				a := rng.Intn(n)
+				g, qs = gate.CZ(), []int{a, (a + 1 + rng.Intn(n-1)) % n}
+			default:
+				a := rng.Intn(n)
+				g, qs = gate.Swap(), []int{a, (a + 1 + rng.Intn(n-1)) % n}
+			}
+			if err := sp.ApplyOp(circuit.Op{Gate: g, Qubits: qs}); err != nil {
+				return false
+			}
+			dn.ApplyOp(g, qs...)
+		}
+		for idx := 0; idx < dn.Dim(); idx++ {
+			d := dn.Amplitude(idx) - sp.Amplitude(uint64(idx))
+			if real(d)*real(d)+imag(d)*imag(d) > 1e-18 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPauliMatchesGates(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		n := 3
+		a := NewState(n)
+		b := NewState(n)
+		mustApply(t, a, gate.H(), 0)
+		mustApply(t, b, gate.H(), 0)
+		mustApply(t, a, gate.CX(), 0, 2)
+		mustApply(t, b, gate.CX(), 0, 2)
+		p := gate.Pauli(rng.Intn(3))
+		q := rng.Intn(n)
+		a.ApplyPauli(p, q)
+		mustApply(t, b, p.Gate(), q)
+		for idx := uint64(0); idx < 8; idx++ {
+			da := a.Amplitude(idx) - b.Amplitude(idx)
+			if real(da)*real(da)+imag(da)*imag(da) > 1e-18 {
+				t.Fatalf("Pauli %v on q%d disagrees with gate at |%03b>", p, q, idx)
+			}
+		}
+	}
+}
+
+// TestGHZSupportStaysTwo: the headline property — a 60-qubit GHZ ladder
+// with Pauli errors keeps support 2 throughout.
+func TestGHZSupportStaysTwo(t *testing.T) {
+	const n = 60
+	s := NewState(n)
+	mustApply(t, s, gate.H(), 0)
+	for q := 0; q+1 < n; q++ {
+		mustApply(t, s, gate.CX(), q, q+1)
+	}
+	if s.Support() != 2 {
+		t.Fatalf("GHZ support = %d, want 2", s.Support())
+	}
+	s.ApplyPauli(gate.PauliX, 30)
+	s.ApplyPauli(gate.PauliZ, 7)
+	if s.Support() != 2 {
+		t.Errorf("support after Pauli errors = %d, want 2", s.Support())
+	}
+	if math.Abs(s.Norm()-1) > 1e-9 {
+		t.Errorf("norm = %g", s.Norm())
+	}
+}
+
+func TestDropsNegligibleAmplitudes(t *testing.T) {
+	s := NewState(1)
+	mustApply(t, s, gate.H(), 0)
+	mustApply(t, s, gate.H(), 0)
+	// H·H = I: amplitude on |1> cancels exactly and must be dropped.
+	if s.Support() != 1 {
+		t.Errorf("support after HH = %d, want 1", s.Support())
+	}
+}
+
+func TestSampleDeterministic(t *testing.T) {
+	s := NewState(2)
+	mustApply(t, s, gate.H(), 0)
+	mustApply(t, s, gate.CX(), 0, 1)
+	// Bell state: u < 0.5 -> |00>, else |11>.
+	if got := s.Sample(0.3); got != 0 {
+		t.Errorf("Sample(0.3) = %d, want 0", got)
+	}
+	if got := s.Sample(0.7); got != 3 {
+		t.Errorf("Sample(0.7) = %d, want 3", got)
+	}
+	// Repeated calls with the same u agree (sorted iteration).
+	for i := 0; i < 10; i++ {
+		if s.Sample(0.7) != 3 {
+			t.Fatal("Sample not deterministic")
+		}
+	}
+}
+
+func TestCloneAndCopyFrom(t *testing.T) {
+	s := NewState(2)
+	mustApply(t, s, gate.H(), 0)
+	c := s.Clone()
+	mustApply(t, s, gate.X(), 1)
+	if c.Support() == s.Support() && c.Amplitude(2) == s.Amplitude(2) {
+		t.Error("clone tracks original")
+	}
+	d := NewState(2)
+	d.CopyFrom(s)
+	if d.Support() != s.Support() {
+		t.Error("CopyFrom mismatch")
+	}
+}
+
+func TestRejectsWideCustomGate(t *testing.T) {
+	s := NewState(3)
+	if err := s.ApplyOp(circuit.Op{Gate: gate.CCX(), Qubits: []int{0, 1, 2}}); err != nil {
+		t.Errorf("CCX should use the permutation fast path: %v", err)
+	}
+	// CCX on |110>... prepare |011> (q0, q1 set): flip target q2.
+	s2 := NewState(3)
+	mustApply(t, s2, gate.X(), 0)
+	mustApply(t, s2, gate.X(), 1)
+	mustApply(t, s2, gate.CCX(), 0, 1, 2)
+	if s2.Probability(0b111) < 0.99 {
+		t.Error("CCX permutation wrong")
+	}
+}

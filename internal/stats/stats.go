@@ -1,0 +1,264 @@
+// Package stats provides the estimation statistics a noisy-simulation
+// user needs on top of the raw Monte Carlo histograms: binomial
+// confidence intervals for outcome probabilities, standard errors,
+// trial-budget planning (how many trials for a target precision), and
+// distribution-distance measures for comparing simulators or hardware
+// against simulation.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// z975 is the 97.5th percentile of the standard normal, giving 95%
+// two-sided intervals.
+const z975 = 1.959963984540054
+
+// Proportion is an estimated outcome probability with its uncertainty.
+type Proportion struct {
+	// Estimate is the point estimate k/n.
+	Estimate float64
+	// Lo, Hi bound the 95% Wilson score interval.
+	Lo, Hi float64
+	// StdErr is the binomial standard error sqrt(p(1-p)/n).
+	StdErr float64
+	// Count and Trials are the raw tallies.
+	Count, Trials int
+}
+
+// EstimateProportion computes the Wilson score interval for k successes
+// in n trials. The Wilson interval stays inside [0, 1] and behaves well
+// for the small probabilities noisy simulation produces.
+func EstimateProportion(k, n int) (Proportion, error) {
+	if n <= 0 {
+		return Proportion{}, fmt.Errorf("stats: nonpositive trial count %d", n)
+	}
+	if k < 0 || k > n {
+		return Proportion{}, fmt.Errorf("stats: count %d outside [0, %d]", k, n)
+	}
+	p := float64(k) / float64(n)
+	z := z975
+	nf := float64(n)
+	denom := 1 + z*z/nf
+	center := (p + z*z/(2*nf)) / denom
+	half := z * math.Sqrt(p*(1-p)/nf+z*z/(4*nf*nf)) / denom
+	lo := math.Max(0, center-half)
+	hi := math.Min(1, center+half)
+	// The Wilson bound is exactly 0 at k=0 (resp. 1 at k=n); don't let
+	// floating-point round-off leak a sliver past the boundary.
+	if k == 0 {
+		lo = 0
+	}
+	if k == n {
+		hi = 1
+	}
+	return Proportion{
+		Estimate: p,
+		Lo:       lo,
+		Hi:       hi,
+		StdErr:   math.Sqrt(p * (1 - p) / nf),
+		Count:    k,
+		Trials:   n,
+	}, nil
+}
+
+// TrialsForPrecision returns the number of Monte Carlo trials needed to
+// estimate a probability near p with 95% half-width at most eps — the
+// planning number behind "how many error-injection trials do I run?".
+func TrialsForPrecision(p, eps float64) (int, error) {
+	if eps <= 0 || eps >= 1 {
+		return 0, fmt.Errorf("stats: precision %g outside (0,1)", eps)
+	}
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("stats: probability %g outside [0,1]", p)
+	}
+	// Worst case at the given p (or p=0.5 if unknown-ish input 0).
+	v := p * (1 - p)
+	if v == 0 {
+		v = 0.25
+	}
+	n := z975 * z975 * v / (eps * eps)
+	return int(math.Ceil(n)), nil
+}
+
+// Histogram wraps outcome counts for distribution-level statistics.
+type Histogram map[uint64]int
+
+// Total returns the number of recorded outcomes.
+func (h Histogram) Total() int {
+	t := 0
+	for _, c := range h {
+		t += c
+	}
+	return t
+}
+
+// Proportion returns the estimated probability (with CI) of one outcome.
+func (h Histogram) Proportion(outcome uint64) (Proportion, error) {
+	return EstimateProportion(h[outcome], h.Total())
+}
+
+// TotalVariation returns the TV distance between two histograms'
+// empirical distributions.
+func TotalVariation(a, b Histogram) float64 {
+	ta, tb := a.Total(), b.Total()
+	if ta == 0 || tb == 0 {
+		return 0
+	}
+	keys := map[uint64]bool{}
+	for k := range a {
+		keys[k] = true
+	}
+	for k := range b {
+		keys[k] = true
+	}
+	var tv float64
+	for k := range keys {
+		tv += math.Abs(float64(a[k])/float64(ta) - float64(b[k])/float64(tb))
+	}
+	return tv / 2
+}
+
+// ChiSquare computes Pearson's chi-square statistic of observed counts
+// against an expected distribution (probabilities over outcomes), pooling
+// expected cells below minExpected into an "other" cell to keep the
+// statistic valid. It returns the statistic and the degrees of freedom.
+func ChiSquare(observed Histogram, expected map[uint64]float64, minExpected float64) (stat float64, dof int, err error) {
+	n := observed.Total()
+	if n == 0 {
+		return 0, 0, fmt.Errorf("stats: empty histogram")
+	}
+	var sumP float64
+	for _, p := range expected {
+		if p < 0 {
+			return 0, 0, fmt.Errorf("stats: negative expected probability")
+		}
+		sumP += p
+	}
+	if math.Abs(sumP-1) > 1e-6 {
+		return 0, 0, fmt.Errorf("stats: expected distribution sums to %g", sumP)
+	}
+	type cell struct {
+		obs float64
+		exp float64
+	}
+	var cells []cell
+	pooled := cell{}
+	seen := map[uint64]bool{}
+	for k, p := range expected {
+		seen[k] = true
+		c := cell{obs: float64(observed[k]), exp: p * float64(n)}
+		if c.exp < minExpected {
+			pooled.obs += c.obs
+			pooled.exp += c.exp
+		} else {
+			cells = append(cells, c)
+		}
+	}
+	// Observed outcomes with zero expected probability are impossible
+	// under the model; report infinite statistic.
+	for k, c := range observed {
+		if !seen[k] && c > 0 {
+			return math.Inf(1), len(cells), nil
+		}
+	}
+	if pooled.exp > 0 {
+		cells = append(cells, pooled)
+	}
+	if len(cells) < 2 {
+		return 0, 0, fmt.Errorf("stats: too few cells after pooling")
+	}
+	for _, c := range cells {
+		d := c.obs - c.exp
+		stat += d * d / c.exp
+	}
+	return stat, len(cells) - 1, nil
+}
+
+// ChiSquareCritical95 returns the 95th-percentile critical value of the
+// chi-square distribution with dof degrees of freedom, via the
+// Wilson-Hilferty cube approximation (accurate to ~1% for dof >= 3, which
+// is all the goodness-of-fit tests here need).
+func ChiSquareCritical95(dof int) float64 {
+	if dof <= 0 {
+		return 0
+	}
+	k := float64(dof)
+	z := 1.6448536269514722 // 95th percentile of N(0,1)
+	t := 1 - 2/(9*k) + z*math.Sqrt(2/(9*k))
+	return k * t * t * t
+}
+
+// Summary holds moment statistics of a sample.
+type Summary struct {
+	N        int
+	Mean     float64
+	Variance float64 // unbiased (n-1)
+	StdDev   float64
+	Min, Max float64
+	Median   float64
+}
+
+// Summarize computes moment statistics of a float sample.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, fmt.Errorf("stats: empty sample")
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	for _, x := range xs {
+		s.Mean += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean /= float64(len(xs))
+	for _, x := range xs {
+		d := x - s.Mean
+		s.Variance += d * d
+	}
+	if len(xs) > 1 {
+		s.Variance /= float64(len(xs) - 1)
+	}
+	s.StdDev = math.Sqrt(s.Variance)
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s, nil
+}
+
+// Convergence tracks how a Monte Carlo estimate settles as trials
+// accumulate: the running estimate of one outcome's probability at
+// power-of-two checkpoints. Useful for picking trial budgets empirically.
+type Convergence struct {
+	Checkpoints []int
+	Estimates   []float64
+}
+
+// TrackConvergence computes the running frequency of `match(outcome)`
+// over per-trial outcomes at power-of-two checkpoints.
+func TrackConvergence(outcomes []uint64, match func(uint64) bool) Convergence {
+	var conv Convergence
+	count := 0
+	next := 1
+	for i, o := range outcomes {
+		if match(o) {
+			count++
+		}
+		if i+1 == next || i+1 == len(outcomes) {
+			conv.Checkpoints = append(conv.Checkpoints, i+1)
+			conv.Estimates = append(conv.Estimates, float64(count)/float64(i+1))
+			next *= 2
+		}
+	}
+	return conv
+}

@@ -1,0 +1,254 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEstimateProportionBasics(t *testing.T) {
+	p, err := EstimateProportion(50, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Estimate != 0.5 {
+		t.Errorf("estimate = %g", p.Estimate)
+	}
+	if p.Lo >= 0.5 || p.Hi <= 0.5 {
+		t.Errorf("interval [%g, %g] excludes the estimate", p.Lo, p.Hi)
+	}
+	// Wilson interval at n=100, p=0.5 is roughly ±0.096.
+	if math.Abs((p.Hi-p.Lo)/2-0.096) > 0.01 {
+		t.Errorf("half width = %g, want ~0.096", (p.Hi-p.Lo)/2)
+	}
+}
+
+func TestEstimateProportionEdges(t *testing.T) {
+	zero, err := EstimateProportion(0, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero.Lo != 0 || zero.Hi <= 0 {
+		t.Errorf("k=0 interval [%g, %g]", zero.Lo, zero.Hi)
+	}
+	full, err := EstimateProportion(50, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Hi != 1 || full.Lo >= 1 {
+		t.Errorf("k=n interval [%g, %g]", full.Lo, full.Hi)
+	}
+}
+
+func TestEstimateProportionValidation(t *testing.T) {
+	for _, kn := range [][2]int{{-1, 10}, {11, 10}, {0, 0}, {5, -2}} {
+		if _, err := EstimateProportion(kn[0], kn[1]); err == nil {
+			t.Errorf("(%d, %d) accepted", kn[0], kn[1])
+		}
+	}
+}
+
+// TestWilsonCoverage: the 95% interval should cover the true parameter
+// about 95% of the time.
+func TestWilsonCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const trueP = 0.12
+	const reps = 2000
+	const n = 400
+	covered := 0
+	for r := 0; r < reps; r++ {
+		k := 0
+		for i := 0; i < n; i++ {
+			if rng.Float64() < trueP {
+				k++
+			}
+		}
+		p, err := EstimateProportion(k, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Lo <= trueP && trueP <= p.Hi {
+			covered++
+		}
+	}
+	cov := float64(covered) / reps
+	if cov < 0.92 || cov > 0.99 {
+		t.Errorf("coverage = %g, want ~0.95", cov)
+	}
+}
+
+func TestTrialsForPrecision(t *testing.T) {
+	n, err := TrialsForPrecision(0.5, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Classic: ~9604 trials for ±1% at p=0.5.
+	if n < 9500 || n > 9700 {
+		t.Errorf("trials = %d, want ~9604", n)
+	}
+	small, err := TrialsForPrecision(0.01, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small >= n {
+		t.Errorf("rare outcomes should need fewer trials for the same absolute eps: %d vs %d", small, n)
+	}
+	if _, err := TrialsForPrecision(0.5, 0); err == nil {
+		t.Error("zero eps accepted")
+	}
+	if _, err := TrialsForPrecision(2, 0.1); err == nil {
+		t.Error("p > 1 accepted")
+	}
+}
+
+func TestHistogramProportion(t *testing.T) {
+	h := Histogram{0b00: 60, 0b11: 40}
+	if h.Total() != 100 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	p, err := h.Proportion(0b11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Estimate != 0.4 {
+		t.Errorf("estimate = %g", p.Estimate)
+	}
+}
+
+func TestTotalVariation(t *testing.T) {
+	a := Histogram{0: 50, 1: 50}
+	b := Histogram{0: 100}
+	if tv := TotalVariation(a, b); math.Abs(tv-0.5) > 1e-12 {
+		t.Errorf("TV = %g, want 0.5", tv)
+	}
+	if tv := TotalVariation(a, a); tv != 0 {
+		t.Errorf("TV(a,a) = %g", tv)
+	}
+	if tv := TotalVariation(a, Histogram{}); tv != 0 {
+		t.Errorf("TV against empty = %g", tv)
+	}
+}
+
+func TestChiSquareGoodFit(t *testing.T) {
+	// Sample from the expected distribution; the statistic should sit
+	// below the 95% critical value most of the time.
+	rng := rand.New(rand.NewSource(2))
+	expected := map[uint64]float64{0: 0.5, 1: 0.25, 2: 0.25}
+	rejections := 0
+	const reps = 200
+	for r := 0; r < reps; r++ {
+		obs := Histogram{}
+		for i := 0; i < 1000; i++ {
+			u := rng.Float64()
+			switch {
+			case u < 0.5:
+				obs[0]++
+			case u < 0.75:
+				obs[1]++
+			default:
+				obs[2]++
+			}
+		}
+		stat, dof, err := ChiSquare(obs, expected, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stat > ChiSquareCritical95(dof) {
+			rejections++
+		}
+	}
+	rate := float64(rejections) / reps
+	if rate > 0.12 {
+		t.Errorf("good fit rejected at rate %g, want ~0.05", rate)
+	}
+}
+
+func TestChiSquareBadFit(t *testing.T) {
+	expected := map[uint64]float64{0: 0.5, 1: 0.5}
+	obs := Histogram{0: 900, 1: 100}
+	stat, dof, err := ChiSquare(obs, expected, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stat <= ChiSquareCritical95(dof) {
+		t.Errorf("blatant misfit not detected: stat %g, crit %g", stat, ChiSquareCritical95(dof))
+	}
+}
+
+func TestChiSquareImpossibleOutcome(t *testing.T) {
+	expected := map[uint64]float64{0: 1}
+	obs := Histogram{0: 99, 7: 1}
+	stat, _, err := ChiSquare(obs, expected, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(stat, 1) {
+		t.Errorf("impossible outcome gave stat %g, want +Inf", stat)
+	}
+}
+
+func TestChiSquareValidation(t *testing.T) {
+	if _, _, err := ChiSquare(Histogram{}, map[uint64]float64{0: 1}, 5); err == nil {
+		t.Error("empty histogram accepted")
+	}
+	if _, _, err := ChiSquare(Histogram{0: 10}, map[uint64]float64{0: 0.7}, 5); err == nil {
+		t.Error("non-normalized expected accepted")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Mean != 3 || s.Median != 3 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("summary = %+v", s)
+	}
+	if math.Abs(s.Variance-2.5) > 1e-12 {
+		t.Errorf("variance = %g, want 2.5", s.Variance)
+	}
+	even, _ := Summarize([]float64{1, 2, 3, 4})
+	if even.Median != 2.5 {
+		t.Errorf("even median = %g", even.Median)
+	}
+	if _, err := Summarize(nil); err == nil {
+		t.Error("empty sample accepted")
+	}
+}
+
+func TestTrackConvergence(t *testing.T) {
+	outcomes := make([]uint64, 64)
+	for i := range outcomes {
+		outcomes[i] = uint64(i % 2)
+	}
+	conv := TrackConvergence(outcomes, func(o uint64) bool { return o == 0 })
+	if len(conv.Checkpoints) == 0 {
+		t.Fatal("no checkpoints")
+	}
+	last := conv.Estimates[len(conv.Estimates)-1]
+	if math.Abs(last-0.5) > 1e-12 {
+		t.Errorf("final estimate = %g", last)
+	}
+	// Checkpoints are powers of two plus the final index.
+	if conv.Checkpoints[0] != 1 || conv.Checkpoints[1] != 2 || conv.Checkpoints[2] != 4 {
+		t.Errorf("checkpoints = %v", conv.Checkpoints)
+	}
+}
+
+// Property: the Wilson interval always contains the point estimate and
+// stays within [0, 1].
+func TestWilsonIntervalProperty(t *testing.T) {
+	f := func(kRaw, nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		k := int(kRaw) % (n + 1)
+		p, err := EstimateProportion(k, n)
+		if err != nil {
+			return false
+		}
+		return p.Lo >= 0 && p.Hi <= 1 && p.Lo <= p.Estimate+1e-12 && p.Hi >= p.Estimate-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

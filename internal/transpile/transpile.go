@@ -1,0 +1,270 @@
+// Package transpile maps logical circuits onto a device: it decomposes
+// gates outside the {single-qubit, CNOT} basis and inserts SWAP chains
+// (each three CNOTs) so that every CNOT lands on a coupled qubit pair.
+//
+// It stands in for the Enfield compiler the paper uses to map the Table I
+// benchmarks onto IBM's 5-qubit Yorktown chip ("All the benchmarks are
+// compiled and mapped to this IBM's 5-qubit device with the Enfield
+// compiler"). The routing heuristic is deliberately simple — BFS shortest
+// path on the coupling graph, moving the control toward the target — since
+// the paper's metrics depend only on the layered structure of the mapped
+// circuit, not on which router produced it.
+package transpile
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/circuit"
+	"repro/internal/device"
+	"repro/internal/gate"
+)
+
+// Result carries a mapped circuit and the bookkeeping a caller may want to
+// report: how many SWAPs were inserted and the final logical-to-physical
+// qubit assignment.
+type Result struct {
+	Circuit *circuit.Circuit
+	// SwapsInserted counts routing SWAPs (3 CNOTs each).
+	SwapsInserted int
+	// FinalLayout maps logical qubit -> physical qubit at circuit end.
+	FinalLayout []int
+}
+
+// ToDevice decomposes and routes c onto d. The device must have at least
+// as many qubits as the circuit and a connected coupling graph over the
+// qubits the circuit uses.
+func ToDevice(c *circuit.Circuit, d *device.Device) (*Result, error) {
+	if c.NumQubits() > d.NumQubits() {
+		return nil, fmt.Errorf("transpile: circuit needs %d qubits, device %q has %d", c.NumQubits(), d.Name(), d.NumQubits())
+	}
+	dec, err := Decompose(c)
+	if err != nil {
+		return nil, err
+	}
+	return route(dec, d)
+}
+
+// Decompose rewrites c into the {single-qubit, CX} basis: CZ via H
+// conjugation, SWAP as 3 CX, CCX via the standard 6-CX template. Gates
+// already in the basis pass through unchanged. Custom multi-qubit
+// unitaries are rejected — synthesizing arbitrary unitaries is outside
+// this reproduction's scope.
+func Decompose(c *circuit.Circuit) (*circuit.Circuit, error) {
+	out := circuit.New(c.Name(), c.NumQubits())
+	for _, op := range c.Ops() {
+		switch op.Gate.Kind() {
+		case gate.KindCZ:
+			t := op.Qubits[1]
+			out.Append(gate.H(), t)
+			out.Append(gate.CX(), op.Qubits[0], t)
+			out.Append(gate.H(), t)
+		case gate.KindSwap:
+			a, b := op.Qubits[0], op.Qubits[1]
+			out.Append(gate.CX(), a, b)
+			out.Append(gate.CX(), b, a)
+			out.Append(gate.CX(), a, b)
+		case gate.KindCCX:
+			appendCCX(out, op.Qubits[0], op.Qubits[1], op.Qubits[2])
+		case gate.KindCustom:
+			if op.Gate.Qubits() > 1 {
+				return nil, fmt.Errorf("transpile: cannot decompose custom %d-qubit gate %q", op.Gate.Qubits(), op.Gate.Name())
+			}
+			out.Append(op.Gate, op.Qubits...)
+		default:
+			if op.Gate.Qubits() > 2 {
+				return nil, fmt.Errorf("transpile: unsupported %d-qubit gate %q", op.Gate.Qubits(), op.Gate.Name())
+			}
+			out.Append(op.Gate, op.Qubits...)
+		}
+	}
+	for _, m := range c.Measurements() {
+		out.Measure(m.Qubit, m.Bit)
+	}
+	return out, nil
+}
+
+// appendCCX emits the standard 6-CX Toffoli decomposition.
+func appendCCX(c *circuit.Circuit, a, b, t int) {
+	c.Append(gate.H(), t)
+	c.Append(gate.CX(), b, t)
+	c.Append(gate.Tdg(), t)
+	c.Append(gate.CX(), a, t)
+	c.Append(gate.T(), t)
+	c.Append(gate.CX(), b, t)
+	c.Append(gate.Tdg(), t)
+	c.Append(gate.CX(), a, t)
+	c.Append(gate.T(), b)
+	c.Append(gate.T(), t)
+	c.Append(gate.H(), t)
+	c.Append(gate.CX(), a, b)
+	c.Append(gate.T(), a)
+	c.Append(gate.Tdg(), b)
+	c.Append(gate.CX(), a, b)
+}
+
+// initialLayout chooses the starting logical-to-physical assignment by
+// interaction-degree matching: the logical qubit that talks to the most
+// partners lands on the physical qubit with the most coupling neighbors
+// (e.g. Bernstein-Vazirani's ancilla onto Yorktown's center qubit), which
+// is the placement heuristic that lets Enfield map the paper's benchmarks
+// with few or no SWAPs.
+func initialLayout(c *circuit.Circuit, d *device.Device) []int {
+	nl := c.NumQubits()
+	np := d.NumQubits()
+	// Weighted interaction degree per logical qubit.
+	weight := make([]int, nl)
+	for _, op := range c.Ops() {
+		if len(op.Qubits) == 2 {
+			weight[op.Qubits[0]]++
+			weight[op.Qubits[1]]++
+		}
+	}
+	logical := make([]int, nl)
+	for i := range logical {
+		logical[i] = i
+	}
+	sort.SliceStable(logical, func(a, b int) bool { return weight[logical[a]] > weight[logical[b]] })
+
+	physical := make([]int, np)
+	for i := range physical {
+		physical[i] = i
+	}
+	sort.SliceStable(physical, func(a, b int) bool {
+		return len(d.Neighbors(physical[a])) > len(d.Neighbors(physical[b]))
+	})
+
+	l2p := make([]int, np)
+	used := make([]bool, np)
+	for i, lq := range logical {
+		l2p[lq] = physical[i]
+		used[physical[i]] = true
+	}
+	// Unused logical slots (beyond the circuit width) take the remaining
+	// physical qubits in order.
+	next := 0
+	for lq := nl; lq < np; lq++ {
+		for used[physical[next]] {
+			next++
+		}
+		l2p[lq] = physical[next]
+		used[physical[next]] = true
+	}
+	return l2p
+}
+
+// route inserts SWAPs so every CX lands on a coupling edge, trying both
+// the identity and the degree-matched initial layouts and keeping the
+// result with fewer inserted SWAPs (different benchmarks favor different
+// placements: interaction stars want the hub on the center qubit, swap
+// chains want the line).
+func route(c *circuit.Circuit, d *device.Device) (*Result, error) {
+	identity := make([]int, d.NumQubits())
+	for i := range identity {
+		identity[i] = i
+	}
+	best, err := routeWith(c, d, identity)
+	if err != nil {
+		return nil, err
+	}
+	alt, err := routeWith(c, d, initialLayout(c, d))
+	if err != nil {
+		return nil, err
+	}
+	if alt.SwapsInserted < best.SwapsInserted {
+		return alt, nil
+	}
+	return best, nil
+}
+
+// routeWith routes with a fixed starting layout (l2p[logical] = physical).
+func routeWith(c *circuit.Circuit, d *device.Device, startLayout []int) (*Result, error) {
+	out := circuit.New(c.Name(), d.NumQubits())
+	out.SetName(c.Name())
+	l2p := append([]int(nil), startLayout...)
+	p2l := make([]int, d.NumQubits())
+	for lq, pq := range l2p {
+		p2l[pq] = lq
+	}
+	res := &Result{}
+
+	swapPhys := func(pa, pb int) {
+		out.Append(gate.CX(), pa, pb)
+		out.Append(gate.CX(), pb, pa)
+		out.Append(gate.CX(), pa, pb)
+		la, lb := p2l[pa], p2l[pb]
+		l2p[la], l2p[lb] = pb, pa
+		p2l[pa], p2l[pb] = lb, la
+		res.SwapsInserted++
+	}
+
+	for _, op := range c.Ops() {
+		switch op.Gate.Qubits() {
+		case 1:
+			out.Append(op.Gate, l2p[op.Qubits[0]])
+		case 2:
+			pa, pb := l2p[op.Qubits[0]], l2p[op.Qubits[1]]
+			if !d.Coupled(pa, pb) {
+				path, err := shortestPath(d, pa, pb)
+				if err != nil {
+					return nil, fmt.Errorf("transpile: routing %s: %v", op, err)
+				}
+				// Walk the control along the path until adjacent to the
+				// target.
+				for i := 0; i+2 < len(path); i++ {
+					swapPhys(path[i], path[i+1])
+				}
+				pa, pb = l2p[op.Qubits[0]], l2p[op.Qubits[1]]
+				if !d.Coupled(pa, pb) {
+					return nil, fmt.Errorf("transpile: internal routing error for %s", op)
+				}
+			}
+			out.Append(op.Gate, pa, pb)
+		default:
+			return nil, fmt.Errorf("transpile: gate %q survived decomposition with %d qubits", op.Gate.Name(), op.Gate.Qubits())
+		}
+	}
+	for _, m := range c.Measurements() {
+		out.Measure(l2p[m.Qubit], m.Bit)
+	}
+	res.Circuit = out
+	res.FinalLayout = l2p
+	return res, nil
+}
+
+// shortestPath returns a BFS shortest path between physical qubits a and b
+// on the coupling graph, inclusive of both endpoints.
+func shortestPath(d *device.Device, a, b int) ([]int, error) {
+	if a == b {
+		return []int{a}, nil
+	}
+	prev := make([]int, d.NumQubits())
+	for i := range prev {
+		prev[i] = -1
+	}
+	prev[a] = a
+	queue := []int{a}
+	for len(queue) > 0 {
+		q := queue[0]
+		queue = queue[1:]
+		for _, nb := range d.Neighbors(q) {
+			if prev[nb] != -1 {
+				continue
+			}
+			prev[nb] = q
+			if nb == b {
+				var path []int
+				for cur := b; cur != a; cur = prev[cur] {
+					path = append(path, cur)
+				}
+				path = append(path, a)
+				for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+					path[i], path[j] = path[j], path[i]
+				}
+				return path, nil
+			}
+			queue = append(queue, nb)
+		}
+	}
+	return nil, fmt.Errorf("no path between physical qubits %d and %d", a, b)
+}

@@ -1,0 +1,280 @@
+package transpile
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bench"
+	"repro/internal/circuit"
+	"repro/internal/device"
+	"repro/internal/gate"
+	"repro/internal/noise"
+	"repro/internal/qmath"
+	"repro/internal/statevec"
+)
+
+// runOn executes a circuit noiselessly on n qubits.
+func runOn(c *circuit.Circuit, n int) *statevec.State {
+	s := statevec.NewState(n)
+	for _, op := range c.Ops() {
+		s.ApplyOp(op.Gate, op.Qubits...)
+	}
+	return s
+}
+
+func TestDecomposeBasisGatesPassThrough(t *testing.T) {
+	c := circuit.New("t", 2)
+	c.Append(gate.H(), 0)
+	c.Append(gate.RZ(0.3), 1)
+	c.Append(gate.CX(), 0, 1)
+	out, err := Decompose(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumOps() != 3 {
+		t.Errorf("ops = %d, want 3", out.NumOps())
+	}
+}
+
+func TestDecomposePreservesSemantics(t *testing.T) {
+	// CZ, SWAP, CCX must decompose into circuits with identical action.
+	builders := []struct {
+		name string
+		mk   func() *circuit.Circuit
+	}{
+		{"cz", func() *circuit.Circuit {
+			c := circuit.New("cz", 3)
+			c.Append(gate.H(), 0)
+			c.Append(gate.H(), 1)
+			c.Append(gate.CZ(), 0, 1)
+			return c
+		}},
+		{"swap", func() *circuit.Circuit {
+			c := circuit.New("swap", 3)
+			c.Append(gate.H(), 0)
+			c.Append(gate.T(), 0)
+			c.Append(gate.Swap(), 0, 2)
+			return c
+		}},
+		{"ccx", func() *circuit.Circuit {
+			c := circuit.New("ccx", 3)
+			c.Append(gate.H(), 0)
+			c.Append(gate.H(), 1)
+			c.Append(gate.CCX(), 0, 1, 2)
+			return c
+		}},
+	}
+	for _, b := range builders {
+		orig := b.mk()
+		dec, err := Decompose(orig)
+		if err != nil {
+			t.Fatalf("%s: %v", b.name, err)
+		}
+		for _, op := range dec.Ops() {
+			if op.Gate.Qubits() > 2 || op.Gate.Kind() == gate.KindCZ ||
+				op.Gate.Kind() == gate.KindSwap || op.Gate.Kind() == gate.KindCCX {
+				t.Fatalf("%s: %q survived decomposition", b.name, op.Gate.Name())
+			}
+		}
+		a := runOn(orig, 3)
+		d := runOn(dec, 3)
+		if got := a.Fidelity(d); got < 1-1e-9 {
+			t.Errorf("%s: decomposition changed semantics (fidelity %g)", b.name, got)
+		}
+	}
+}
+
+func TestDecomposeRejectsCustomMultiQubit(t *testing.T) {
+	c := circuit.New("t", 2)
+	c.Append(gate.Controlled(gate.RY(0.3)), 0, 1)
+	if _, err := Decompose(c); err == nil {
+		t.Error("custom 2q gate accepted")
+	}
+}
+
+func TestRouteRejectsTooWide(t *testing.T) {
+	c := circuit.New("wide", 8)
+	c.Append(gate.H(), 7)
+	if _, err := ToDevice(c, device.Yorktown()); err == nil {
+		t.Error("8-qubit circuit accepted on 5-qubit device")
+	}
+}
+
+func TestRouteCoupledGatesUntouched(t *testing.T) {
+	d := device.Yorktown()
+	c := circuit.New("t", 3)
+	c.Append(gate.CX(), 0, 1) // coupled on Yorktown
+	c.Append(gate.CX(), 1, 2) // coupled
+	res, err := ToDevice(c, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SwapsInserted != 0 {
+		t.Errorf("swaps = %d, want 0", res.SwapsInserted)
+	}
+	s, dd, _ := res.Circuit.CountGates()
+	if s != 0 || dd != 2 {
+		t.Errorf("counts %d/%d, want 0/2", s, dd)
+	}
+}
+
+func TestRouteInsertsSwaps(t *testing.T) {
+	// On a 3-qubit line, a CX triangle cannot be satisfied by any
+	// placement: at least one pair needs routing.
+	d := device.Linear(3, 0)
+	c := circuit.New("t", 3)
+	c.Append(gate.CX(), 0, 1)
+	c.Append(gate.CX(), 1, 2)
+	c.Append(gate.CX(), 0, 2)
+	res, err := ToDevice(c, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SwapsInserted == 0 {
+		t.Error("expected at least one swap for the CX triangle on a line")
+	}
+	for _, op := range res.Circuit.Ops() {
+		if op.Gate.Qubits() == 2 && !d.Coupled(op.Qubits[0], op.Qubits[1]) {
+			t.Errorf("uncoupled CX survived routing: %s", op)
+		}
+	}
+}
+
+// TestDegreeMatchedLayoutAvoidsSwaps: a star of CNOTs into one ancilla
+// (Bernstein-Vazirani's shape) routes swap-free on Yorktown because the
+// hub lands on the center qubit.
+func TestDegreeMatchedLayoutAvoidsSwaps(t *testing.T) {
+	res, err := ToDevice(bench.BV(5, 0b1111), device.Yorktown())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SwapsInserted != 0 {
+		t.Errorf("BV-5 needed %d swaps; the hub should sit on Q2", res.SwapsInserted)
+	}
+	_, d, _ := res.Circuit.CountGates()
+	if d != 4 {
+		t.Errorf("BV-5 CNOTs = %d, want 4 (Table I)", d)
+	}
+}
+
+// TestRoutingPreservesSemantics: the routed circuit, with its final layout
+// applied to relabel outputs, must act identically to the logical circuit.
+func TestRoutingPreservesSemantics(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := device.Linear(4, 0) // line forces routing
+		c := circuit.New("fuzz", 4)
+		for i := 0; i < 8; i++ {
+			switch rng.Intn(3) {
+			case 0:
+				c.Append(gate.H(), rng.Intn(4))
+			case 1:
+				c.Append(gate.T(), rng.Intn(4))
+			default:
+				a := rng.Intn(4)
+				b := (a + 1 + rng.Intn(3)) % 4
+				c.Append(gate.CX(), a, b)
+			}
+		}
+		res, err := ToDevice(c, d)
+		if err != nil {
+			return false
+		}
+		logical := runOn(c, 4)
+		physical := runOn(res.Circuit, 4)
+		// Permute logical amplitudes into physical positions per layout.
+		perm := make([]complex128, physical.Dim())
+		for idx := 0; idx < logical.Dim(); idx++ {
+			pidx := 0
+			for q := 0; q < 4; q++ {
+				if idx>>uint(q)&1 == 1 {
+					pidx |= 1 << uint(res.FinalLayout[q])
+				}
+			}
+			perm[pidx] = logical.Amplitude(idx)
+		}
+		return qmath.VecEqual(perm, physical.Amplitudes(), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoutingMeasurementsFollowLayout(t *testing.T) {
+	d := device.Linear(3, 0)
+	c := circuit.New("t", 3)
+	c.Append(gate.X(), 0)
+	c.Append(gate.CX(), 0, 2) // forces a swap on the line
+	c.MeasureAll()
+	res, err := ToDevice(c, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Classical bit 0 must still read logical qubit 0 wherever it ended up.
+	found := false
+	for _, m := range res.Circuit.Measurements() {
+		if m.Bit == 0 {
+			found = true
+			if m.Qubit != res.FinalLayout[0] {
+				t.Errorf("bit 0 reads physical %d, layout says %d", m.Qubit, res.FinalLayout[0])
+			}
+		}
+	}
+	if !found {
+		t.Error("bit 0 measurement missing")
+	}
+}
+
+func TestTableISuiteTranspilesToYorktown(t *testing.T) {
+	d := device.Yorktown()
+	for name, c := range bench.Suite(1) {
+		res, err := ToDevice(c, d)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if err := res.Circuit.Validate(); err != nil {
+			t.Errorf("%s: routed circuit invalid: %v", name, err)
+		}
+		for _, op := range res.Circuit.Ops() {
+			if op.Gate.Qubits() == 2 && !d.Coupled(op.Qubits[0], op.Qubits[1]) {
+				t.Errorf("%s: uncoupled 2q op %s", name, op)
+			}
+			if op.Gate.Qubits() > 2 {
+				t.Errorf("%s: multi-qubit op %s survived", name, op)
+			}
+		}
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	d := device.Linear(5, 0)
+	p, err := shortestPath(d, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2, 3, 4}
+	if len(p) != len(want) {
+		t.Fatalf("path = %v", p)
+	}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("path = %v, want %v", p, want)
+		}
+	}
+	if p, _ := shortestPath(d, 2, 2); len(p) != 1 {
+		t.Errorf("self path = %v", p)
+	}
+}
+
+func TestShortestPathDisconnected(t *testing.T) {
+	// Build a 3-qubit device with no edges at all.
+	dd, err := device.New("island", 3, nil, noise.NewModel("island", 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := shortestPath(dd, 0, 2); err == nil {
+		t.Error("disconnected path found")
+	}
+}

@@ -1,0 +1,111 @@
+package trial
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Serialization lets a generated trial set be written once and replayed
+// across processes — useful when the same Monte Carlo ensemble must drive
+// several analyses (ablations, budget sweeps) reproducibly, and when
+// trial generation is the dominant cost of a static analysis.
+//
+// Format (little-endian): magic "QTRL", version u32, trial count u64,
+// then per trial: id u64, measFlips u64, sampleU float64 bits u64,
+// injection count u32, injections as packed u64 keys.
+
+const (
+	trialMagic   = "QTRL"
+	trialVersion = 1
+)
+
+// WriteTo serializes a trial set.
+func WriteTo(w io.Writer, trials []*Trial) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(trialMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(trialVersion)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(trials))); err != nil {
+		return err
+	}
+	for _, t := range trials {
+		hdr := [3]uint64{uint64(t.ID), t.MeasFlips, math.Float64bits(t.SampleU)}
+		if err := binary.Write(bw, binary.LittleEndian, hdr[:]); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(t.Inj))); err != nil {
+			return err
+		}
+		for _, k := range t.Inj {
+			if err := binary.Write(bw, binary.LittleEndian, uint64(k)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFrom deserializes a trial set written by WriteTo.
+func ReadFrom(r io.Reader) ([]*Trial, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(trialMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trial: reading magic: %v", err)
+	}
+	if string(magic) != trialMagic {
+		return nil, fmt.Errorf("trial: bad magic %q", magic)
+	}
+	var version uint32
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, err
+	}
+	if version != trialVersion {
+		return nil, fmt.Errorf("trial: unsupported version %d", version)
+	}
+	var count uint64
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, err
+	}
+	const sanityMax = 1 << 32
+	if count > sanityMax {
+		return nil, fmt.Errorf("trial: implausible trial count %d", count)
+	}
+	trials := make([]*Trial, 0, count)
+	for i := uint64(0); i < count; i++ {
+		var hdr [3]uint64
+		if err := binary.Read(br, binary.LittleEndian, hdr[:]); err != nil {
+			return nil, fmt.Errorf("trial %d: %v", i, err)
+		}
+		var nInj uint32
+		if err := binary.Read(br, binary.LittleEndian, &nInj); err != nil {
+			return nil, fmt.Errorf("trial %d: %v", i, err)
+		}
+		if nInj > 1<<24 {
+			return nil, fmt.Errorf("trial %d: implausible injection count %d", i, nInj)
+		}
+		t := &Trial{
+			ID:        int(hdr[0]),
+			MeasFlips: hdr[1],
+			SampleU:   math.Float64frombits(hdr[2]),
+		}
+		if nInj > 0 {
+			t.Inj = make([]Key, nInj)
+			if err := binary.Read(br, binary.LittleEndian, t.Inj); err != nil {
+				return nil, fmt.Errorf("trial %d injections: %v", i, err)
+			}
+			for j := 1; j < len(t.Inj); j++ {
+				if t.Inj[j] < t.Inj[j-1] {
+					return nil, fmt.Errorf("trial %d: injections not sorted", i)
+				}
+			}
+		}
+		trials = append(trials, t)
+	}
+	return trials, nil
+}

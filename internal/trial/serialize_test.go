@@ -1,0 +1,95 @@
+package trial
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/noise"
+)
+
+func TestSerializeRoundTrip(t *testing.T) {
+	c := bench.QFT(4)
+	m := noise.Uniform("u", 4, 1e-2, 5e-2, 2e-2)
+	g, err := NewGenerator(c, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trials := g.Generate(rand.New(rand.NewSource(50)), 500)
+
+	var buf bytes.Buffer
+	if err := WriteTo(&buf, trials); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(trials) {
+		t.Fatalf("count %d -> %d", len(trials), len(back))
+	}
+	for i := range trials {
+		a, b := trials[i], back[i]
+		if a.ID != b.ID || a.MeasFlips != b.MeasFlips || a.SampleU != b.SampleU {
+			t.Fatalf("trial %d header changed", i)
+		}
+		if len(a.Inj) != len(b.Inj) {
+			t.Fatalf("trial %d injection count changed", i)
+		}
+		for j := range a.Inj {
+			if a.Inj[j] != b.Inj[j] {
+				t.Fatalf("trial %d injection %d changed", i, j)
+			}
+		}
+	}
+}
+
+func TestSerializeEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTo(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 0 {
+		t.Errorf("empty set read back %d trials", len(back))
+	}
+}
+
+func TestReadFromErrors(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": []byte("NOPE\x01\x00\x00\x00"),
+		"truncated": []byte("QTRL\x01\x00\x00\x00\x05\x00\x00\x00\x00\x00\x00\x00"),
+	}
+	for name, data := range cases {
+		if _, err := ReadFrom(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// Wrong version.
+	var buf bytes.Buffer
+	buf.WriteString("QTRL")
+	buf.Write([]byte{9, 0, 0, 0})
+	buf.Write(make([]byte, 8))
+	if _, err := ReadFrom(&buf); err == nil {
+		t.Error("wrong version accepted")
+	}
+}
+
+func TestReadFromRejectsUnsortedInjections(t *testing.T) {
+	tr := mkTrial(0,
+		Injection{Layer: 2, Qubit: 0, Op: 0},
+		Injection{Layer: 1, Qubit: 0, Op: 0})
+	// mkTrial packs in the given (unsorted) order.
+	var buf bytes.Buffer
+	if err := WriteTo(&buf, []*Trial{tr}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFrom(&buf); err == nil {
+		t.Error("unsorted injections accepted")
+	}
+}
