@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: build test race bench verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The parallel executors share MSV trackers and work queues across
+# goroutines; always gate changes to them on the race detector.
+race:
+	$(GO) test -race ./internal/sim/... ./internal/reorder/...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run ^$$ .
+
+verify: build test race

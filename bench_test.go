@@ -185,6 +185,7 @@ func BenchmarkExecBaseline(b *testing.B) {
 	for _, name := range []string{"bv5", "grover", "qft5", "qv_n5d5"} {
 		c, trials := execCase(b, name, 1024)
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := sim.Baseline(c, trials, sim.Options{}); err != nil {
 					b.Fatal(err)
@@ -204,7 +205,10 @@ func BenchmarkExecReordered(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		// allocs/op shows the snapshot free list at work: pops recycle
+		// registers, so pushes rarely allocate fresh 2^n vectors.
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := sim.ExecutePlan(c, plan, sim.Options{}); err != nil {
 					b.Fatal(err)
@@ -368,11 +372,14 @@ func BenchmarkExecTableau(b *testing.B) {
 }
 
 // BenchmarkParallelWorkers measures the chunked parallel executor against
-// the sequential plan on the same workload.
+// the sequential plan on the same workload. The "ops" metric grows with
+// the worker count — boundary-spanning prefixes are recomputed per chunk.
 func BenchmarkParallelWorkers(b *testing.B) {
 	c, trials := execCase(b, "qv_n5d5", 2048)
+	seqOps := sequentialOps(b, c, trials)
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			var ops int64
 			for i := 0; i < b.N; i++ {
 				res, err := sim.Parallel(c, trials, workers, sim.Options{})
@@ -381,9 +388,50 @@ func BenchmarkParallelWorkers(b *testing.B) {
 				}
 				ops = res.Ops
 			}
+			if workers > 1 && ops <= seqOps {
+				b.Fatalf("chunked ops %d not above sequential %d — expected boundary recomputation", ops, seqOps)
+			}
 			b.ReportMetric(float64(ops), "ops")
 		})
 	}
+}
+
+// BenchmarkParallelSubtreeWorkers measures the subtree-parallel executor
+// on the same workload. Unlike the chunked decomposition above, the "ops"
+// metric stays exactly at the sequential plan's count for every worker
+// count — the trunk computes each shared prefix once and hands clones to
+// the workers, so parallelism adds no redundant amplitude math.
+func BenchmarkParallelSubtreeWorkers(b *testing.B) {
+	c, trials := execCase(b, "qv_n5d5", 2048)
+	seqOps := sequentialOps(b, c, trials)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			var ops int64
+			for i := 0; i < b.N; i++ {
+				res, err := sim.ParallelSubtree(c, trials, workers, sim.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ops = res.Ops
+			}
+			if ops != seqOps {
+				b.Fatalf("subtree ops %d != sequential %d — prefix sharing lost", ops, seqOps)
+			}
+			b.ReportMetric(float64(ops), "ops")
+		})
+	}
+}
+
+// sequentialOps returns the sequential plan's executed op count for the
+// workload, the yardstick both parallel benchmarks report against.
+func sequentialOps(b *testing.B, c *circuit.Circuit, trials []*trial.Trial) int64 {
+	b.Helper()
+	plan, err := reorder.BuildPlan(c, trials)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return plan.OptimizedOps()
 }
 
 // Tiny aliases keep the tableau bench readable without a gate import dance.

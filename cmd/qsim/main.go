@@ -24,6 +24,10 @@
 //	-mode m         reordered (default), baseline, both, static
 //	-transpile      map the circuit onto the device coupling graph
 //	-top k          show the k most likely outcomes (default 8)
+//	-budget n       cap on stored state vectors (0 = unlimited)
+//	-workers n      parallel execution workers for reordered mode
+//	-par m          parallel decomposition: subtree (default; preserves all
+//	                prefix sharing) or chunked (legacy comparison baseline)
 package main
 
 import (
@@ -63,6 +67,7 @@ func run() error {
 	errMode := flag.String("errmode", "per-gate", "error injection model: per-gate (paper) or per-qubit")
 	budget := flag.Int("budget", 0, "cap on stored state vectors (0 = unlimited)")
 	workers := flag.Int("workers", 1, "parallel execution workers for reordered mode")
+	parMode := flag.String("par", "subtree", "parallel decomposition with -workers > 1: subtree (shares all prefixes) or chunked (legacy)")
 	draw := flag.Bool("draw", false, "print the circuit as ASCII art before simulating")
 	flag.Parse()
 
@@ -99,6 +104,15 @@ func run() error {
 		return fmt.Errorf("unknown mode %q (reordered, baseline, both, static)", *modeName)
 	}
 
+	var chunked bool
+	switch *parMode {
+	case "subtree":
+	case "chunked":
+		chunked = true
+	default:
+		return fmt.Errorf("unknown parallel mode %q (subtree, chunked)", *parMode)
+	}
+
 	var em trial.ErrorMode
 	switch *errMode {
 	case "per-gate":
@@ -111,15 +125,16 @@ func run() error {
 
 	start := time.Now()
 	rep, err := core.Run(core.Config{
-		Circuit:        circ,
-		Device:         dev,
-		Transpile:      *doTranspile,
-		Trials:         *trials,
-		Seed:           *seed,
-		Mode:           mode,
-		ErrorMode:      em,
-		SnapshotBudget: *budget,
-		Workers:        *workers,
+		Circuit:         circ,
+		Device:          dev,
+		Transpile:       *doTranspile,
+		Trials:          *trials,
+		Seed:            *seed,
+		Mode:            mode,
+		ErrorMode:       em,
+		SnapshotBudget:  *budget,
+		Workers:         *workers,
+		ChunkedParallel: chunked,
 	})
 	if err != nil {
 		return err

@@ -1,9 +1,11 @@
 // Command repro regenerates every table and figure of the paper's
-// evaluation section (Table I, Figures 4-8).
+// evaluation section (Table I, Figures 4-8), plus two extensions: an
+// ablation of Algorithm 1's recursion depth and a parallel-decomposition
+// comparison (chunked vs subtree op totals).
 //
 // Usage:
 //
-//	repro [-exp table1|fig4|fig5|fig6|fig7|fig8|all] [-full] [-csv dir] [-seed N]
+//	repro [-exp table1|fig4|fig5|fig6|fig7|fig8|ablation|parallel|all] [-full] [-csv dir] [-seed N]
 //
 // By default the scalability experiments (Figures 7-8) run with a reduced
 // trial count so the whole suite finishes in seconds; -full restores the
@@ -21,7 +23,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: table1, fig4, fig5, fig6, fig7, fig8, or all")
+	exp := flag.String("exp", "all", "experiment to run: table1, fig4, fig5, fig6, fig7, fig8, ablation, parallel, or all")
 	full := flag.Bool("full", false, "use the paper's full 10^6-trial scalability configuration")
 	csvDir := flag.String("csv", "", "also write each experiment as CSV into this directory")
 	seed := flag.Int64("seed", 0, "override the experiment seed (0 = default)")

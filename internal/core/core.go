@@ -86,12 +86,20 @@ type Config struct {
 	ErrorMode trial.ErrorMode
 	// SnapshotBudget caps the concurrently stored state vectors; 0 means
 	// unlimited (the paper's scheme). A positive budget trades
-	// recomputation for memory via reorder.BuildPlanBudget.
+	// recomputation for memory via reorder.BuildPlanBudget. With Workers
+	// set, the budget caps each parallel component's stack (see
+	// sim.Options.SnapshotBudget).
 	SnapshotBudget int
-	// Workers runs the reordered execution across this many goroutines
-	// (sim.Parallel). 0 or 1 executes sequentially. Ignored for static
-	// and baseline modes and incompatible with a SnapshotBudget.
+	// Workers runs the reordered execution across this many goroutines.
+	// 0 or 1 executes sequentially; more use the subtree-parallel
+	// executor (sim.ParallelSubtree), which preserves all cross-worker
+	// prefix sharing. Ignored for static and baseline modes.
 	Workers int
+	// ChunkedParallel selects the legacy contiguous-chunk executor
+	// (sim.Parallel) instead of the subtree decomposition when Workers >
+	// 1. Chunking recomputes prefixes spanning chunk boundaries; it is
+	// kept for comparison.
+	ChunkedParallel bool
 	// KeepStates retains per-trial final states (tests only; memory!).
 	KeepStates bool
 }
@@ -146,10 +154,6 @@ func Run(cfg Config) (*Report, error) {
 		return nil, err
 	}
 
-	if cfg.SnapshotBudget > 0 && cfg.Workers > 1 {
-		return nil, fmt.Errorf("core: SnapshotBudget and Workers cannot be combined")
-	}
-
 	gen, err := trial.NewGeneratorMode(rep.Circuit, model, cfg.ErrorMode)
 	if err != nil {
 		return nil, err
@@ -168,10 +172,13 @@ func Run(cfg Config) (*Report, error) {
 	}
 	rep.Analysis = rep.Plan.Analysis()
 
-	opt := sim.Options{KeepStates: cfg.KeepStates}
+	opt := sim.Options{KeepStates: cfg.KeepStates, SnapshotBudget: cfg.SnapshotBudget}
 	runReordered := func() (*sim.Result, error) {
 		if cfg.Workers > 1 {
-			return sim.Parallel(rep.Circuit, rep.Trials, cfg.Workers, opt)
+			if cfg.ChunkedParallel {
+				return sim.Parallel(rep.Circuit, rep.Trials, cfg.Workers, opt)
+			}
+			return sim.ParallelSubtree(rep.Circuit, rep.Trials, cfg.Workers, opt)
 		}
 		return sim.ExecutePlan(rep.Circuit, rep.Plan, opt)
 	}

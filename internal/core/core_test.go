@@ -169,8 +169,14 @@ func TestRunSnapshotBudget(t *testing.T) {
 	if rep.Reordered.MSV > 1 {
 		t.Errorf("MSV %d exceeds budget 1", rep.Reordered.MSV)
 	}
-	if _, err := Run(Config{Circuit: c, Model: m, Trials: 10, Mode: ModeReordered, SnapshotBudget: 2, Workers: 3}); err == nil {
-		t.Error("budget+workers combination accepted")
+	// Budget and workers combine: each parallel component's stack is
+	// capped, and outcomes stay identical to the sequential run.
+	par, err := Run(Config{Circuit: c, Model: m, Trials: 300, Seed: 6, Mode: ModeReordered, SnapshotBudget: 2, Workers: 3})
+	if err != nil {
+		t.Fatalf("budget+workers: %v", err)
+	}
+	if !sim.EqualOutcomes(rep.Reordered, par.Reordered) {
+		t.Error("budgeted parallel outcomes differ from budgeted sequential")
 	}
 }
 

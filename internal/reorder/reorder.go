@@ -109,6 +109,10 @@ const (
 	// a branch point could not afford its own snapshot and later siblings
 	// must replay the missing prefix from a shallower state.
 	StepRestore
+	// StepSpawn clones the working state and hands the clone to subtree
+	// task Step.Task as its entry state. Emitted only in SplitPlan trunks
+	// (never by BuildPlan); sequential executors reject it.
+	StepSpawn
 )
 
 // String names the step kind.
@@ -126,6 +130,8 @@ func (k StepKind) String() string {
 		return "pop"
 	case StepRestore:
 		return "restore"
+	case StepSpawn:
+		return "spawn"
 	default:
 		return fmt.Sprintf("step(%d)", int(k))
 	}
@@ -143,6 +149,9 @@ type Step struct {
 	// an Emit. Duplicated trials share one entry-point state and appear
 	// in one Emit together.
 	Trials []int
+	// Task is the SplitPlan.Subtrees index a Spawn hands the cloned
+	// working state to. Meaningful only for StepSpawn.
+	Task int
 }
 
 // Plan is a complete reordered execution schedule for one trial set over
@@ -212,29 +221,36 @@ func BuildPlan(c *circuit.Circuit, trials []*trial.Trial) (*Plan, error) {
 // motivates. A budget of math.MaxInt reproduces BuildPlan exactly; a
 // budget of 0 stores nothing and replays everything.
 func BuildPlanBudget(c *circuit.Circuit, trials []*trial.Trial, budget int) (*Plan, error) {
-	if budget < 0 {
-		return nil, fmt.Errorf("reorder: negative snapshot budget %d", budget)
-	}
 	if len(trials) == 0 {
 		return nil, fmt.Errorf("reorder: empty trial set")
 	}
-	layers := c.Layers()
-	p := &Plan{
-		Order:    Sort(trials),
-		nLayers:  len(layers),
-		layerOps: make([]int, len(layers)),
-		layerCum: make([]int, len(layers)+1),
+	return BuildPlanOrderedBudget(c, Sort(trials), budget)
+}
+
+// BuildPlanOrdered is BuildPlan for a trial slice that is already in Sort
+// order, skipping the O(n log n) re-sort. The parallel executors use it so
+// that sorting the full trial set once is enough: each worker's sub-range
+// of the global order is already sorted. The input slice is retained (not
+// copied) as Plan.Order and must not be mutated afterwards; passing an
+// unsorted slice is an error.
+func BuildPlanOrdered(c *circuit.Circuit, ordered []*trial.Trial) (*Plan, error) {
+	return BuildPlanOrderedBudget(c, ordered, math.MaxInt)
+}
+
+// BuildPlanOrderedBudget is BuildPlanBudget over a presorted trial slice
+// (see BuildPlanOrdered).
+func BuildPlanOrderedBudget(c *circuit.Circuit, ordered []*trial.Trial, budget int) (*Plan, error) {
+	if budget < 0 {
+		return nil, fmt.Errorf("reorder: negative snapshot budget %d", budget)
 	}
-	for l, idx := range layers {
-		p.layerOps[l] = len(idx)
-		p.layerCum[l+1] = p.layerCum[l] + len(idx)
-	}
-	p.totalOps = p.layerCum[len(layers)]
-	for _, t := range trials {
-		if len(t.Inj) > 0 && t.Inj[len(t.Inj)-1].Layer() >= len(layers) {
-			return nil, fmt.Errorf("reorder: trial %d injects at layer %d, circuit has %d layers", t.ID, t.Inj[len(t.Inj)-1].Layer(), len(layers))
+	for i := 1; i < len(ordered); i++ {
+		if trial.Compare(ordered[i-1], ordered[i]) > 0 {
+			return nil, fmt.Errorf("reorder: trials not in Sort order at index %d (use BuildPlan to sort)", i)
 		}
-		p.baseline += int64(p.totalOps) + int64(len(t.Inj))
+	}
+	p, err := planShell(c, ordered)
+	if err != nil {
+		return nil, err
 	}
 
 	b := &planBuilder{plan: p, record: true, depthCap: math.MaxInt, budget: budget}
@@ -246,6 +262,34 @@ func BuildPlanBudget(c *circuit.Circuit, trials []*trial.Trial, budget int) (*Pl
 	}
 	if len(b.snaps) != 0 {
 		return nil, fmt.Errorf("reorder: internal error, %d snapshots leaked", len(b.snaps))
+	}
+	return p, nil
+}
+
+// planShell builds a Plan over an already-ordered trial sequence with the
+// circuit's layer metadata and the baseline op count filled in, ready for a
+// planBuilder (or splitBuilder) to populate steps and metrics.
+func planShell(c *circuit.Circuit, ordered []*trial.Trial) (*Plan, error) {
+	if len(ordered) == 0 {
+		return nil, fmt.Errorf("reorder: empty trial set")
+	}
+	layers := c.Layers()
+	p := &Plan{
+		Order:    ordered,
+		nLayers:  len(layers),
+		layerOps: make([]int, len(layers)),
+		layerCum: make([]int, len(layers)+1),
+	}
+	for l, idx := range layers {
+		p.layerOps[l] = len(idx)
+		p.layerCum[l+1] = p.layerCum[l] + len(idx)
+	}
+	p.totalOps = p.layerCum[len(layers)]
+	for _, t := range ordered {
+		if len(t.Inj) > 0 && t.Inj[len(t.Inj)-1].Layer() >= len(layers) {
+			return nil, fmt.Errorf("reorder: trial %d injects at layer %d, circuit has %d layers", t.ID, t.Inj[len(t.Inj)-1].Layer(), len(layers))
+		}
+		p.baseline += int64(p.totalOps) + int64(len(t.Inj))
 	}
 	return p, nil
 }
@@ -409,26 +453,9 @@ func Analyze(c *circuit.Circuit, trials []*trial.Trial) (Analysis, error) {
 // Algorithm 1's recursion. Intended for ablation studies of the reorder
 // depth.
 func AnalyzeCapped(c *circuit.Circuit, trials []*trial.Trial, maxShared int) (Analysis, error) {
-	if len(trials) == 0 {
-		return Analysis{}, fmt.Errorf("reorder: empty trial set")
-	}
-	layers := c.Layers()
-	p := &Plan{
-		Order:    Sort(trials),
-		nLayers:  len(layers),
-		layerOps: make([]int, len(layers)),
-		layerCum: make([]int, len(layers)+1),
-	}
-	for l, idx := range layers {
-		p.layerOps[l] = len(idx)
-		p.layerCum[l+1] = p.layerCum[l] + len(idx)
-	}
-	p.totalOps = p.layerCum[len(layers)]
-	for _, t := range trials {
-		if len(t.Inj) > 0 && t.Inj[len(t.Inj)-1].Layer() >= len(layers) {
-			return Analysis{}, fmt.Errorf("reorder: trial %d injects at layer %d, circuit has %d layers", t.ID, t.Inj[len(t.Inj)-1].Layer(), len(layers))
-		}
-		p.baseline += int64(p.totalOps) + int64(len(t.Inj))
+	p, err := planShell(c, Sort(trials))
+	if err != nil {
+		return Analysis{}, err
 	}
 	b := &planBuilder{plan: p, depthCap: maxShared, budget: math.MaxInt}
 	b.build(0, len(p.Order), 0)
@@ -523,6 +550,8 @@ func (p *Plan) Validate() error {
 				layersDone = stack[len(stack)-1]
 				cur = pending{inj: append([]trial.Key(nil), pendStack[len(pendStack)-1].inj...)}
 			}
+		case StepSpawn:
+			return fmt.Errorf("reorder: step %d is a spawn; spawns belong in SplitPlan trunks only", si)
 		default:
 			return fmt.Errorf("reorder: step %d has unknown kind %d", si, s.Kind)
 		}
@@ -569,6 +598,8 @@ func (p *Plan) Dump(w io.Writer) error {
 			line = "pop"
 		case StepRestore:
 			line = "restore"
+		case StepSpawn:
+			line = fmt.Sprintf("spawn #%d", s.Task)
 		default:
 			line = s.Kind.String()
 		}

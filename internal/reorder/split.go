@@ -1,0 +1,525 @@
+// SplitPlan decomposes the injection-prefix trie into independently
+// executable subtree tasks, the decomposition TQSim-style parallel
+// reuse simulators need: contiguous chunking (sim.Parallel) severs every
+// prefix shared across a chunk boundary, while cutting the trie at a
+// branch level keeps all sharing intact — each shared prefix state is
+// computed exactly once, on the sequential trunk, and handed to workers
+// as cloned entry states.
+//
+// The trunk is the portion of the sequential plan above the cut: it
+// advances the error-free frontier (and, for cuts deeper than 1, the
+// shallow branch states), and where the sequential plan would descend
+// into a depth-`cut` subtree it instead emits a StepSpawn that clones the
+// working state for that subtree's task. Because the trunk performs the
+// shared-prefix work exactly as the sequential plan does, and every task
+// body is the same recursion the sequential builder would have run from
+// the same entry state, the total basic-operation count of trunk + tasks
+// equals the sequential plan's — the property contiguous chunking cannot
+// satisfy (the test suite asserts the equality).
+package reorder
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/circuit"
+	"repro/internal/trial"
+)
+
+// Subtree is one independently executable unit of a SplitPlan: a
+// branch-point child of the injection trie (its defining injection plus
+// everything beneath it), or a clean tail (trials whose injections are
+// exhausted at the cut, needing only a final advance and emit).
+type Subtree struct {
+	// ID is the task's index in SplitPlan.Subtrees and the Step.Task
+	// value of the trunk spawn that feeds it.
+	ID int
+	// EntryLayer is how many gate layers the entry state has applied.
+	EntryLayer int
+	// EntryDepth is how many injections the entry state has applied.
+	EntryDepth int
+	// Steps is the task's instruction sequence, executed against the
+	// cloned entry state as the working register.
+	Steps []Step
+	// Ops is the static basic-operation count of Steps (including any
+	// budget-forced replays).
+	Ops int64
+	// MSV is the task's peak count of stored state vectors: its snapshot
+	// stack, plus the preserved entry state when the plan is budgeted
+	// with budget >= 1 (an unbudgeted task consumes its entry clone as
+	// the working register, which MSV excludes by convention).
+	MSV int
+	// Trials is how many trials the task emits.
+	Trials int
+}
+
+// SplitPlan is a parallel decomposition of a reordered execution schedule:
+// a sequential trunk program plus independent subtree tasks. Execute the
+// trunk like a Plan; on StepSpawn, clone the working state and hand it to
+// Subtrees[Step.Task], whose Steps may then run on any worker. Results
+// are deterministic regardless of task scheduling because every trial
+// carries its own randomness.
+type SplitPlan struct {
+	// Order is the globally sorted trial sequence all step indices
+	// reference.
+	Order []*trial.Trial
+	// Trunk is the sequential prefix program (advances, pushes, injects,
+	// pops, restores, spawns — never emits).
+	Trunk []Step
+	// Subtrees lists the tasks in trunk spawn order.
+	Subtrees []*Subtree
+	// Cut is the trie depth the plan was split at: tasks hang at
+	// injection depth Cut.
+	Cut int
+
+	budget   int
+	trunkOps int64
+	trunkMSV int
+	nLayers  int
+	layerCum []int
+	baseline int64
+}
+
+// TrunkOps returns the static basic-operation count of the trunk.
+func (sp *SplitPlan) TrunkOps() int64 { return sp.trunkOps }
+
+// TrunkMSV returns the trunk's peak snapshot-stack depth.
+func (sp *SplitPlan) TrunkMSV() int { return sp.trunkMSV }
+
+// TotalOps returns the static basic-operation count of the whole
+// decomposition: trunk plus every subtree. For an unbudgeted split this
+// equals BuildPlan's OptimizedOps for the same trial set — no prefix
+// sharing is lost to the decomposition.
+func (sp *SplitPlan) TotalOps() int64 {
+	total := sp.trunkOps
+	for _, st := range sp.Subtrees {
+		total += st.Ops
+	}
+	return total
+}
+
+// BaselineOps returns the basic-operation count of running every trial
+// independently (same definition as Plan.BaselineOps).
+func (sp *SplitPlan) BaselineOps() int64 { return sp.baseline }
+
+// Budget returns the per-component snapshot budget the plan was built
+// with: the trunk's snapshot stack and each task's stored vectors
+// (including the task's preserved entry state) are each capped at this
+// value. math.MaxInt means unbudgeted.
+func (sp *SplitPlan) Budget() int { return sp.budget }
+
+// NumLayers returns the circuit depth the plan was built against.
+func (sp *SplitPlan) NumLayers() int { return sp.nLayers }
+
+// BuildSplitPlan decomposes the trial set at cut depth 1 (the root's
+// branch children) with no memory budget — the default configuration of
+// the subtree-parallel executor.
+func BuildSplitPlan(c *circuit.Circuit, trials []*trial.Trial) (*SplitPlan, error) {
+	return SplitPlanCut(c, trials, 1, math.MaxInt)
+}
+
+// SplitPlanCut sorts the trials and decomposes them at the given cut
+// depth under a per-component snapshot budget (math.MaxInt = unlimited).
+// A deeper cut yields more, smaller tasks (better load balancing for many
+// workers) at the price of more sequential trunk work and one entry clone
+// per task.
+func SplitPlanCut(c *circuit.Circuit, trials []*trial.Trial, cut, budget int) (*SplitPlan, error) {
+	if len(trials) == 0 {
+		return nil, fmt.Errorf("reorder: empty trial set")
+	}
+	return SplitPlanOrderedCut(c, Sort(trials), cut, budget)
+}
+
+// SplitPlanOrderedCut is SplitPlanCut over a trial slice already in Sort
+// order (see BuildPlanOrdered for the contract).
+func SplitPlanOrderedCut(c *circuit.Circuit, ordered []*trial.Trial, cut, budget int) (*SplitPlan, error) {
+	if cut < 1 {
+		return nil, fmt.Errorf("reorder: split cut depth %d < 1", cut)
+	}
+	if budget < 0 {
+		return nil, fmt.Errorf("reorder: negative snapshot budget %d", budget)
+	}
+	for i := 1; i < len(ordered); i++ {
+		if trial.Compare(ordered[i-1], ordered[i]) > 0 {
+			return nil, fmt.Errorf("reorder: trials not in Sort order at index %d (use SplitPlanCut to sort)", i)
+		}
+	}
+	shell, err := planShell(c, ordered)
+	if err != nil {
+		return nil, err
+	}
+	sp := &SplitPlan{
+		Order:    ordered,
+		Cut:      cut,
+		budget:   budget,
+		nLayers:  shell.nLayers,
+		layerCum: shell.layerCum,
+		baseline: shell.baseline,
+	}
+	b := &splitBuilder{sp: sp, shell: shell, cut: cut, budget: budget}
+	if err := b.walk(0, len(ordered), 0); err != nil {
+		return nil, err
+	}
+	if len(b.snaps) != 0 {
+		return nil, fmt.Errorf("reorder: internal error, %d trunk snapshots leaked", len(b.snaps))
+	}
+	return sp, nil
+}
+
+// splitBuilder walks the trie levels above the cut, producing the trunk
+// program and spawning one Subtree per depth-`cut` branch child and per
+// clean tail. It mirrors planBuilder's recursion; the task bodies
+// themselves are produced by planBuilder so subtree contents are
+// step-for-step what the sequential plan would have run.
+type splitBuilder struct {
+	sp         *SplitPlan
+	shell      *Plan // layer metadata donor for per-task plan shells
+	cut        int
+	budget     int
+	layersDone int
+	prefix     []trial.Key
+	snaps      []snap
+}
+
+func (b *splitBuilder) emit(s Step) { b.sp.Trunk = append(b.sp.Trunk, s) }
+
+func (b *splitBuilder) gatesIn(from, to int) int {
+	return b.sp.layerCum[to] - b.sp.layerCum[from]
+}
+
+func (b *splitBuilder) advanceTo(to int) {
+	if to < b.layersDone {
+		panic(fmt.Sprintf("reorder: trunk advance backwards from %d to %d", b.layersDone, to))
+	}
+	if to == b.layersDone {
+		return
+	}
+	b.emit(Step{Kind: StepAdvance, From: b.layersDone, To: to})
+	b.sp.trunkOps += int64(b.gatesIn(b.layersDone, to))
+	b.layersDone = to
+}
+
+// walk processes sorted trials [lo, hi) sharing their first `depth`
+// injections (already applied to the trunk's working state), with
+// depth < cut.
+func (b *splitBuilder) walk(lo, hi, depth int) error {
+	cleanStart := hi
+	for cleanStart > lo && len(b.sp.Order[cleanStart-1].Inj) == depth {
+		cleanStart--
+	}
+	i := lo
+	for i < cleanStart {
+		key := b.sp.Order[i].Inj[depth]
+		j := i + 1
+		for j < cleanStart && b.sp.Order[j].Inj[depth] == key {
+			j++
+		}
+		inj := key.Unpack()
+		b.advanceTo(inj.Layer + 1)
+		if depth == b.cut-1 {
+			if err := b.spawnBranch(i, j, depth, key); err != nil {
+				return err
+			}
+		} else {
+			// The trunk descends below this branch point exactly as the
+			// sequential builder does: consume the working state in place
+			// for the last child of a tail-free range, snapshot when the
+			// budget allows, replay otherwise.
+			last := j == cleanStart && cleanStart == hi
+			pushed := false
+			if !last && len(b.snaps) < b.budget {
+				b.emit(Step{Kind: StepPush})
+				b.snaps = append(b.snaps, snap{layers: b.layersDone, prefixLen: depth})
+				if len(b.snaps) > b.sp.trunkMSV {
+					b.sp.trunkMSV = len(b.snaps)
+				}
+				pushed = true
+			}
+			b.emit(Step{Kind: StepInject, Qubit: inj.Qubit, Op: inj.Op})
+			b.sp.trunkOps++
+			b.prefix = append(b.prefix[:depth], key)
+			if err := b.walk(i, j, depth+1); err != nil {
+				return err
+			}
+			if !last {
+				if pushed {
+					b.emit(Step{Kind: StepPop})
+					top := b.snaps[len(b.snaps)-1]
+					b.snaps = b.snaps[:len(b.snaps)-1]
+					b.layersDone = top.layers
+					b.prefix = b.prefix[:top.prefixLen]
+				} else {
+					b.restoreTo(depth)
+				}
+			}
+		}
+		i = j
+	}
+	if cleanStart < hi {
+		b.spawnClean(cleanStart, hi, depth)
+	}
+	return nil
+}
+
+// restoreTo mirrors planBuilder.restoreTo for the trunk: resume the
+// working state to (prefix[:depth], its layer frontier) from the nearest
+// stored ancestor, replaying the missing gates and injections.
+func (b *splitBuilder) restoreTo(depth int) {
+	base := snap{}
+	if len(b.snaps) > 0 {
+		base = b.snaps[len(b.snaps)-1]
+	}
+	b.emit(Step{Kind: StepRestore})
+	b.layersDone = base.layers
+	for _, k := range b.prefix[base.prefixLen:depth] {
+		in := k.Unpack()
+		b.advanceTo(in.Layer + 1)
+		b.emit(Step{Kind: StepInject, Qubit: in.Qubit, Op: in.Op})
+		b.sp.trunkOps++
+	}
+	b.prefix = b.prefix[:depth]
+}
+
+// spawnBranch packages trials [lo, hi) — which share injections
+// [0, depth] with the branch key at index depth — as one subtree task:
+// the branch injection followed by the sequential builder's recursion
+// below it, generated against the trunk's current (EntryLayer, prefix).
+func (b *splitBuilder) spawnBranch(lo, hi, depth int, key trial.Key) error {
+	task := &Subtree{
+		ID:         len(b.sp.Subtrees),
+		EntryLayer: b.layersDone,
+		EntryDepth: depth,
+		Trials:     hi - lo,
+	}
+	shell := b.taskShell()
+	tb := &planBuilder{plan: shell, record: true, depthCap: math.MaxInt, budget: b.budget, layersDone: b.layersDone}
+	tb.prefix = append(tb.prefix, b.prefix[:depth]...)
+	baseSnaps := 0
+	if b.budget != math.MaxInt && b.budget >= 1 {
+		// Budgeted tasks preserve their entry clone as the bottom of the
+		// snapshot stack so replays can resume from it; it occupies one
+		// budget slot and counts as a stored vector.
+		tb.snaps = append(tb.snaps, snap{layers: b.layersDone, prefixLen: depth})
+		shell.msv = 1
+		baseSnaps = 1
+	}
+	inj := key.Unpack()
+	tb.emit(Step{Kind: StepInject, Qubit: inj.Qubit, Op: inj.Op})
+	shell.planOps++
+	tb.prefix = append(tb.prefix, key)
+	tb.build(lo, hi, depth+1)
+	if tb.layersDone != b.sp.nLayers {
+		return fmt.Errorf("reorder: internal error, subtree %d ended at layer %d of %d", task.ID, tb.layersDone, b.sp.nLayers)
+	}
+	if len(tb.snaps) != baseSnaps {
+		return fmt.Errorf("reorder: internal error, subtree %d leaked %d snapshots", task.ID, len(tb.snaps)-baseSnaps)
+	}
+	task.Steps = shell.Steps
+	task.Ops = shell.planOps
+	task.MSV = shell.msv
+	b.emit(Step{Kind: StepSpawn, Task: task.ID})
+	b.sp.Subtrees = append(b.sp.Subtrees, task)
+	return nil
+}
+
+// spawnClean packages exhausted trials [lo, hi) at the current depth as
+// an advance-and-emit task, so the trunk never performs the final layers
+// itself and stays free to reach the next spawn point sooner.
+func (b *splitBuilder) spawnClean(lo, hi, depth int) {
+	task := &Subtree{
+		ID:         len(b.sp.Subtrees),
+		EntryLayer: b.layersDone,
+		EntryDepth: depth,
+		Trials:     hi - lo,
+	}
+	if b.layersDone < b.sp.nLayers {
+		task.Steps = append(task.Steps, Step{Kind: StepAdvance, From: b.layersDone, To: b.sp.nLayers})
+		task.Ops = int64(b.gatesIn(b.layersDone, b.sp.nLayers))
+	}
+	ids := make([]int, 0, hi-lo)
+	for k := lo; k < hi; k++ {
+		ids = append(ids, k)
+	}
+	task.Steps = append(task.Steps, Step{Kind: StepEmit, Trials: ids})
+	b.emit(Step{Kind: StepSpawn, Task: task.ID})
+	b.sp.Subtrees = append(b.sp.Subtrees, task)
+}
+
+// taskShell clones the layer metadata of the split's plan shell into a
+// fresh Plan for one task's step accounting.
+func (b *splitBuilder) taskShell() *Plan {
+	return &Plan{
+		Order:    b.shell.Order,
+		nLayers:  b.shell.nLayers,
+		layerOps: b.shell.layerOps,
+		layerCum: b.shell.layerCum,
+		totalOps: b.shell.totalOps,
+	}
+}
+
+// entryContext is the symbolic state a spawn hands to a task: applied
+// layers and applied injections.
+type entryContext struct {
+	layers int
+	inj    []trial.Key
+}
+
+// Validate walks the trunk and every subtree checking the structural
+// invariants the executor relies on: monotone in-bounds layer ranges, no
+// stack underflow, spawns referencing tasks exactly once in order, every
+// trial emitted exactly once across all subtrees, emits at the final
+// layer with injections matching the emitted trials, and no emits on the
+// trunk.
+func (sp *SplitPlan) Validate() error {
+	entries := make([]*entryContext, len(sp.Subtrees))
+	layersDone := 0
+	var stack []entryContext
+	cur := entryContext{}
+	for si, s := range sp.Trunk {
+		switch s.Kind {
+		case StepAdvance:
+			if s.From != layersDone || s.To < s.From || s.To > sp.nLayers {
+				return fmt.Errorf("reorder: trunk step %d advance [%d,%d) inconsistent with layersDone %d", si, s.From, s.To, layersDone)
+			}
+			layersDone = s.To
+		case StepPush:
+			stack = append(stack, entryContext{layers: layersDone, inj: append([]trial.Key(nil), cur.inj...)})
+		case StepInject:
+			if layersDone == 0 {
+				return fmt.Errorf("reorder: trunk step %d injects before any layer", si)
+			}
+			cur.inj = append(cur.inj, trial.Pack(layersDone-1, s.Qubit, s.Op))
+		case StepPop:
+			if len(stack) == 0 {
+				return fmt.Errorf("reorder: trunk step %d pops empty stack", si)
+			}
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			layersDone = top.layers
+			cur = top
+		case StepRestore:
+			if len(stack) == 0 {
+				layersDone = 0
+				cur = entryContext{}
+			} else {
+				top := stack[len(stack)-1]
+				layersDone = top.layers
+				cur = entryContext{inj: append([]trial.Key(nil), top.inj...)}
+			}
+		case StepSpawn:
+			if s.Task < 0 || s.Task >= len(sp.Subtrees) {
+				return fmt.Errorf("reorder: trunk step %d spawns out-of-range task %d", si, s.Task)
+			}
+			if entries[s.Task] != nil {
+				return fmt.Errorf("reorder: task %d spawned twice", s.Task)
+			}
+			entries[s.Task] = &entryContext{layers: layersDone, inj: append([]trial.Key(nil), cur.inj...)}
+		case StepEmit:
+			return fmt.Errorf("reorder: trunk step %d emits; emits belong to subtrees", si)
+		default:
+			return fmt.Errorf("reorder: trunk step %d has unknown kind %d", si, s.Kind)
+		}
+	}
+	if len(stack) != 0 {
+		return fmt.Errorf("reorder: trunk leaves %d snapshots on the stack", len(stack))
+	}
+	emitted := make([]bool, len(sp.Order))
+	for _, st := range sp.Subtrees {
+		entry := entries[st.ID]
+		if entry == nil {
+			return fmt.Errorf("reorder: task %d never spawned by the trunk", st.ID)
+		}
+		if entry.layers != st.EntryLayer || len(entry.inj) != st.EntryDepth {
+			return fmt.Errorf("reorder: task %d entry (%d layers, %d injections) disagrees with trunk spawn (%d, %d)",
+				st.ID, st.EntryLayer, st.EntryDepth, entry.layers, len(entry.inj))
+		}
+		if err := sp.validateSubtree(st, entry, emitted); err != nil {
+			return err
+		}
+	}
+	for i, ok := range emitted {
+		if !ok {
+			return fmt.Errorf("reorder: trial %d (id %d) never emitted", i, sp.Order[i].ID)
+		}
+	}
+	return nil
+}
+
+// validateSubtree replays one task's steps from its entry context. The
+// task's implicit restore floor is its preserved entry state when the
+// plan is budgeted with budget >= 1, and |0...0> otherwise.
+func (sp *SplitPlan) validateSubtree(st *Subtree, entry *entryContext, emitted []bool) error {
+	layersDone := entry.layers
+	cur := entryContext{inj: append([]trial.Key(nil), entry.inj...)}
+	var stack []entryContext
+	if sp.budget != math.MaxInt && sp.budget >= 1 {
+		stack = append(stack, entryContext{layers: entry.layers, inj: append([]trial.Key(nil), entry.inj...)})
+	}
+	floor := len(stack)
+	emittedHere := 0
+	for si, s := range st.Steps {
+		switch s.Kind {
+		case StepAdvance:
+			if s.From != layersDone || s.To < s.From || s.To > sp.nLayers {
+				return fmt.Errorf("reorder: task %d step %d advance [%d,%d) inconsistent with layersDone %d", st.ID, si, s.From, s.To, layersDone)
+			}
+			layersDone = s.To
+		case StepPush:
+			stack = append(stack, entryContext{layers: layersDone, inj: append([]trial.Key(nil), cur.inj...)})
+		case StepInject:
+			if layersDone == 0 {
+				return fmt.Errorf("reorder: task %d step %d injects before any layer", st.ID, si)
+			}
+			cur.inj = append(cur.inj, trial.Pack(layersDone-1, s.Qubit, s.Op))
+		case StepEmit:
+			if layersDone != sp.nLayers {
+				return fmt.Errorf("reorder: task %d step %d emits at layer %d of %d", st.ID, si, layersDone, sp.nLayers)
+			}
+			for _, idx := range s.Trials {
+				if idx < 0 || idx >= len(sp.Order) {
+					return fmt.Errorf("reorder: task %d emits out-of-range trial %d", st.ID, idx)
+				}
+				if emitted[idx] {
+					return fmt.Errorf("reorder: trial %d emitted twice", idx)
+				}
+				emitted[idx] = true
+				emittedHere++
+				t := sp.Order[idx]
+				if len(t.Inj) != len(cur.inj) {
+					return fmt.Errorf("reorder: trial %d emitted with %d injections applied, has %d", t.ID, len(cur.inj), len(t.Inj))
+				}
+				for k := range t.Inj {
+					if t.Inj[k] != cur.inj[k] {
+						return fmt.Errorf("reorder: trial %d injection %d mismatch", t.ID, k)
+					}
+				}
+			}
+		case StepPop:
+			if len(stack) <= floor {
+				return fmt.Errorf("reorder: task %d step %d pops below its entry floor", st.ID, si)
+			}
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			layersDone = top.layers
+			cur = top
+		case StepRestore:
+			if len(stack) == 0 {
+				layersDone = 0
+				cur = entryContext{}
+			} else {
+				top := stack[len(stack)-1]
+				layersDone = top.layers
+				cur = entryContext{inj: append([]trial.Key(nil), top.inj...)}
+			}
+		default:
+			return fmt.Errorf("reorder: task %d step %d has invalid kind %v", st.ID, si, s.Kind)
+		}
+	}
+	if len(stack) != floor {
+		return fmt.Errorf("reorder: task %d leaves %d snapshots on the stack", st.ID, len(stack)-floor)
+	}
+	if emittedHere != st.Trials {
+		return fmt.Errorf("reorder: task %d emitted %d trials, declared %d", st.ID, emittedHere, st.Trials)
+	}
+	return nil
+}

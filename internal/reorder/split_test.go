@@ -1,0 +1,219 @@
+package reorder
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bench"
+	"repro/internal/circuit"
+	"repro/internal/noise"
+	"repro/internal/trial"
+)
+
+// benchTrials samples a realistic trial set for a Table I benchmark.
+func benchTrials(t *testing.T, name string, n int, seed int64) (*circuit.Circuit, []*trial.Trial) {
+	t.Helper()
+	c, err := bench.Build(name, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := noise.Uniform("u", c.NumQubits(), 5e-3, 5e-2, 1e-2)
+	gen, err := trial.NewGenerator(c, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, gen.Generate(rand.New(rand.NewSource(seed)), n)
+}
+
+// TestSplitPlanOpsEqualSequential is the core no-lost-sharing property:
+// for every cut depth, trunk ops + the sum of subtree ops equals the
+// sequential plan's optimized op count exactly.
+func TestSplitPlanOpsEqualSequential(t *testing.T) {
+	for _, name := range []string{"bv5", "grover", "qft5", "qv_n5d5"} {
+		c, trials := benchTrials(t, name, 600, 11)
+		plan, err := BuildPlan(c, trials)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cut := 1; cut <= 3; cut++ {
+			sp, err := SplitPlanCut(c, trials, cut, math.MaxInt)
+			if err != nil {
+				t.Fatalf("%s cut=%d: %v", name, cut, err)
+			}
+			if err := sp.Validate(); err != nil {
+				t.Fatalf("%s cut=%d: %v", name, cut, err)
+			}
+			if sp.TotalOps() != plan.OptimizedOps() {
+				t.Errorf("%s cut=%d: split total ops %d != sequential %d (sharing lost)",
+					name, cut, sp.TotalOps(), plan.OptimizedOps())
+			}
+			if sp.BaselineOps() != plan.BaselineOps() {
+				t.Errorf("%s cut=%d: baseline ops disagree", name, cut)
+			}
+		}
+	}
+}
+
+// TestSplitPlanTaskShape checks the structural decomposition: tasks cover
+// all trials exactly once, and per-task static op counts match the steps
+// they contain.
+func TestSplitPlanTaskShape(t *testing.T) {
+	c, trials := benchTrials(t, "qft5", 500, 12)
+	sp, err := BuildSplitPlan(c, trials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if sp.Cut != 1 {
+		t.Errorf("default cut = %d, want 1", sp.Cut)
+	}
+	total := 0
+	for _, st := range sp.Subtrees {
+		total += st.Trials
+		if len(st.Steps) == 0 {
+			t.Fatalf("task %d has no steps", st.ID)
+		}
+		var ops int64
+		for _, s := range st.Steps {
+			switch s.Kind {
+			case StepAdvance:
+				ops += int64(sp.layerCum[s.To] - sp.layerCum[s.From])
+			case StepInject:
+				ops++
+			case StepSpawn:
+				t.Fatalf("task %d contains a spawn step", st.ID)
+			}
+		}
+		if ops != st.Ops {
+			t.Errorf("task %d declares %d ops, steps sum to %d", st.ID, st.Ops, ops)
+		}
+	}
+	if total != len(sp.Order) {
+		t.Errorf("tasks cover %d of %d trials", total, len(sp.Order))
+	}
+	// The trunk never emits: every trial belongs to exactly one task.
+	for _, s := range sp.Trunk {
+		if s.Kind == StepEmit {
+			t.Fatal("trunk contains an emit step")
+		}
+	}
+}
+
+// TestSplitPlanBudget: budgeted splits validate, and every component's
+// static stored-vector peak respects the cap.
+func TestSplitPlanBudget(t *testing.T) {
+	c, trials := benchTrials(t, "grover", 400, 13)
+	plan, err := BuildPlan(c, trials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, budget := range []int{0, 1, 2, 4} {
+		for cut := 1; cut <= 2; cut++ {
+			sp, err := SplitPlanCut(c, trials, cut, budget)
+			if err != nil {
+				t.Fatalf("budget=%d cut=%d: %v", budget, cut, err)
+			}
+			if err := sp.Validate(); err != nil {
+				t.Fatalf("budget=%d cut=%d: %v", budget, cut, err)
+			}
+			if sp.TrunkMSV() > budget {
+				t.Errorf("budget=%d cut=%d: trunk MSV %d exceeds cap", budget, cut, sp.TrunkMSV())
+			}
+			for _, st := range sp.Subtrees {
+				if st.MSV > budget {
+					t.Errorf("budget=%d cut=%d: task %d MSV %d exceeds cap", budget, cut, st.ID, st.MSV)
+				}
+			}
+			// Budgeted splits may replay; they can never beat the
+			// unbudgeted sequential plan.
+			if sp.TotalOps() < plan.OptimizedOps() {
+				t.Errorf("budget=%d cut=%d: split ops %d below sequential %d",
+					budget, cut, sp.TotalOps(), plan.OptimizedOps())
+			}
+		}
+	}
+}
+
+// TestSplitPlanFuzz: random trial multisets keep the ops-equality and
+// validation invariants at every cut depth.
+func TestSplitPlanFuzz(t *testing.T) {
+	c := chain(8)
+	f := func(seed int64, cutRaw uint8) bool {
+		cut := 1 + int(cutRaw%3)
+		rng := rand.New(rand.NewSource(seed))
+		trials := randomTrials(rng, 60, 8, 2, 4)
+		plan, err := BuildPlan(c, trials)
+		if err != nil {
+			return false
+		}
+		sp, err := SplitPlanCut(c, trials, cut, math.MaxInt)
+		if err != nil {
+			return false
+		}
+		return sp.Validate() == nil && sp.TotalOps() == plan.OptimizedOps()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSplitPlanErrors covers the argument validation.
+func TestSplitPlanErrors(t *testing.T) {
+	c := chain(3)
+	trials := []*trial.Trial{mkTrial(0)}
+	if _, err := SplitPlanCut(c, nil, 1, math.MaxInt); err == nil {
+		t.Error("empty trial set accepted")
+	}
+	if _, err := SplitPlanCut(c, trials, 0, math.MaxInt); err == nil {
+		t.Error("cut 0 accepted")
+	}
+	if _, err := SplitPlanCut(c, trials, 1, -1); err == nil {
+		t.Error("negative budget accepted")
+	}
+	unsorted := []*trial.Trial{
+		mkTrial(0, trial.Injection{Layer: 1, Qubit: 0, Op: 1}),
+		mkTrial(1, trial.Injection{Layer: 0, Qubit: 0, Op: 1}),
+	}
+	if _, err := SplitPlanOrderedCut(c, unsorted, 1, math.MaxInt); err == nil {
+		t.Error("unsorted trials accepted by ordered constructor")
+	}
+}
+
+// TestBuildPlanOrdered: the presorted fast path produces the identical
+// plan to BuildPlan, and rejects unsorted input.
+func TestBuildPlanOrdered(t *testing.T) {
+	c, trials := benchTrials(t, "bv5", 400, 14)
+	want, err := BuildPlan(c, trials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := BuildPlanOrdered(c, Sort(trials))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.OptimizedOps() != want.OptimizedOps() || got.MSV() != want.MSV() || got.Copies() != want.Copies() {
+		t.Errorf("ordered plan metrics (%d,%d,%d) != BuildPlan (%d,%d,%d)",
+			got.OptimizedOps(), got.MSV(), got.Copies(),
+			want.OptimizedOps(), want.MSV(), want.Copies())
+	}
+	if len(got.Steps) != len(want.Steps) {
+		t.Fatalf("ordered plan has %d steps, BuildPlan %d", len(got.Steps), len(want.Steps))
+	}
+	for i := range got.Steps {
+		a, b := got.Steps[i], want.Steps[i]
+		if a.Kind != b.Kind || a.From != b.From || a.To != b.To || a.Qubit != b.Qubit || a.Op != b.Op {
+			t.Fatalf("step %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+	unsorted := []*trial.Trial{
+		mkTrial(0, trial.Injection{Layer: 1, Qubit: 0, Op: 1}),
+		mkTrial(1, trial.Injection{Layer: 0, Qubit: 0, Op: 1}),
+	}
+	if _, err := BuildPlanOrdered(c, unsorted); err == nil {
+		t.Error("unsorted trials accepted")
+	}
+}

@@ -15,15 +15,19 @@ import (
 // sorted trial sequence is split into contiguous chunks, each chunk gets
 // its own plan and state registers, and chunks execute concurrently.
 //
-// This realizes the paper's observation that the inter-trial optimization
-// is orthogonal to system-level parallelism: sharing within each chunk is
-// preserved in full, and only prefixes spanning a chunk boundary are
-// recomputed, so total ops approach the single-threaded plan as chunks
-// grow. Per-trial outcomes are bit-identical to the sequential simulators
-// because every trial carries its own randomness.
+// Sharing within each chunk is preserved in full, but every prefix that
+// spans a chunk boundary is recomputed, so total ops grow with the worker
+// count — the redundancy ParallelSubtree eliminates by cutting the trie at
+// branch points instead of at arbitrary trial indices. Parallel is kept as
+// the comparison baseline for that decomposition. Per-trial outcomes are
+// bit-identical to the sequential simulators because every trial carries
+// its own randomness.
 //
-// The Result's MSV field reports the SUM of per-chunk peaks — the true
-// peak number of concurrently stored vectors across all workers.
+// The Result's MSV field reports the true concurrent peak of stored
+// vectors — a high-water mark taken across all workers as snapshots are
+// pushed and dropped. It is at most, and usually below, the sum of
+// per-chunk peaks, because chunks do not reach their individual peaks at
+// the same instant.
 func Parallel(c *circuit.Circuit, trials []*trial.Trial, workers int, opt Options) (*Result, error) {
 	if workers < 1 {
 		return nil, fmt.Errorf("sim: worker count %d < 1", workers)
@@ -35,12 +39,14 @@ func Parallel(c *circuit.Circuit, trials []*trial.Trial, workers int, opt Option
 		workers = len(trials)
 	}
 	ordered := reorder.Sort(trials)
+	budget := opt.planBudget()
 
 	type chunkResult struct {
 		res *Result
 		err error
 	}
 	results := make([]chunkResult, workers)
+	var tracker msvTracker
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo := w * len(ordered) / workers
@@ -51,12 +57,14 @@ func Parallel(c *circuit.Circuit, trials []*trial.Trial, workers int, opt Option
 		wg.Add(1)
 		go func(w int, chunk []*trial.Trial) {
 			defer wg.Done()
-			plan, err := reorder.BuildPlan(c, chunk)
+			// The chunk is a sub-range of the globally sorted order, so
+			// the presorted plan constructor skips the per-chunk re-sort.
+			plan, err := reorder.BuildPlanOrderedBudget(c, chunk, budget)
 			if err != nil {
 				results[w] = chunkResult{err: err}
 				return
 			}
-			res, err := ExecutePlan(c, plan, opt)
+			res, err := executePlan(c, plan, opt, &tracker)
 			results[w] = chunkResult{res: res, err: err}
 		}(w, ordered[lo:hi])
 	}
@@ -76,7 +84,6 @@ func Parallel(c *circuit.Circuit, trials []*trial.Trial, workers int, opt Option
 		}
 		merged.Ops += cr.res.Ops
 		merged.Copies += cr.res.Copies
-		merged.MSV += cr.res.MSV
 		merged.Outcomes = append(merged.Outcomes, cr.res.Outcomes...)
 		if opt.KeepStates {
 			for id, st := range cr.res.FinalStates {
@@ -84,6 +91,7 @@ func Parallel(c *circuit.Circuit, trials []*trial.Trial, workers int, opt Option
 			}
 		}
 	}
+	merged.MSV = tracker.highWater()
 	sort.Slice(merged.Outcomes, func(i, j int) bool {
 		return merged.Outcomes[i].TrialID < merged.Outcomes[j].TrialID
 	})

@@ -19,7 +19,9 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/circuit"
 	"repro/internal/reorder"
@@ -60,7 +62,73 @@ type Options struct {
 	// KeepStates retains a copy of every trial's final pre-measurement
 	// state in Result.FinalStates. Intended for equivalence tests only.
 	KeepStates bool
+	// SnapshotBudget caps the stored prefix state vectors, trading
+	// recomputation for memory (reorder.BuildPlanBudget). 0 or negative
+	// means unlimited. It applies to the plan-building entry points —
+	// Reordered, Parallel, and ParallelSubtree (where it caps each
+	// component's stack: the trunk's and every worker's, entry state
+	// included) — and is ignored by ExecutePlan, whose plan is prebuilt.
+	SnapshotBudget int
 }
+
+// planBudget maps the public budget convention (0 = unlimited) onto the
+// reorder package's (math.MaxInt = unlimited).
+func (o Options) planBudget() int {
+	if o.SnapshotBudget <= 0 {
+		return math.MaxInt
+	}
+	return o.SnapshotBudget
+}
+
+// msvTracker maintains a concurrent high-water mark of stored state
+// vectors across every goroutine of a run: add(+1) when a vector becomes
+// stored (snapshot pushed, subtree entry cloned), add(-1) when it is
+// dropped or adopted as a working register. The peak is the true maximum
+// number of simultaneously stored vectors, unlike a sum of per-worker
+// peaks, which overstates memory because workers do not peak at the same
+// instant.
+type msvTracker struct {
+	cur  atomic.Int64
+	peak atomic.Int64
+}
+
+func (m *msvTracker) add(d int64) {
+	v := m.cur.Add(d)
+	if d <= 0 {
+		return
+	}
+	for {
+		p := m.peak.Load()
+		if v <= p || m.peak.CompareAndSwap(p, v) {
+			return
+		}
+	}
+}
+
+func (m *msvTracker) highWater() int { return int(m.peak.Load()) }
+
+// statePool recycles 2^n-sized state-vector registers within one
+// goroutine, so the push/pop churn of deep plans reuses a handful of
+// buffers instead of allocating at every branch return.
+type statePool struct {
+	qubits int
+	free   []*statevec.State
+}
+
+func newStatePool(n int) *statePool { return &statePool{qubits: n} }
+
+// get returns a register with unspecified contents (callers overwrite it
+// via CopyFrom).
+func (p *statePool) get() *statevec.State {
+	if n := len(p.free); n > 0 {
+		s := p.free[n-1]
+		p.free = p.free[:n-1]
+		return s
+	}
+	return statevec.NewState(p.qubits)
+}
+
+func (p *statePool) put(s *statevec.State) { p.free = append(p.free, s) }
 
 // Distribution returns the outcome histogram normalized to probabilities.
 func (r *Result) Distribution() map[uint64]float64 {
@@ -153,11 +221,12 @@ func Baseline(c *circuit.Circuit, trials []*trial.Trial, opt Options) (*Result, 
 	return res, nil
 }
 
-// Reordered builds the reorder plan for the trial set and executes it with
-// real state vectors: one working register, a snapshot stack for prefix
-// states, snapshots dropped at their last use.
+// Reordered builds the reorder plan for the trial set (budgeted when
+// Options.SnapshotBudget is set) and executes it with real state vectors:
+// one working register, a snapshot stack for prefix states, snapshots
+// dropped at their last use.
 func Reordered(c *circuit.Circuit, trials []*trial.Trial, opt Options) (*Result, error) {
-	plan, err := reorder.BuildPlan(c, trials)
+	plan, err := reorder.BuildPlanBudget(c, trials, opt.planBudget())
 	if err != nil {
 		return nil, err
 	}
@@ -167,6 +236,16 @@ func Reordered(c *circuit.Circuit, trials []*trial.Trial, opt Options) (*Result,
 // ExecutePlan runs a prebuilt plan. Exposed separately so callers can
 // reuse one plan across analyses and execution.
 func ExecutePlan(c *circuit.Circuit, plan *reorder.Plan, opt Options) (*Result, error) {
+	return executePlan(c, plan, opt, &msvTracker{})
+}
+
+// executePlan is ExecutePlan reporting every stored-vector acquisition
+// and release into a tracker, so concurrent executors (Parallel) can
+// measure their true combined peak. Result.MSV remains this execution's
+// own stack peak. Popped working registers are recycled through a free
+// list rather than garbage-collected, eliminating the 2^n-sized
+// allocation churn of branch returns.
+func executePlan(c *circuit.Circuit, plan *reorder.Plan, opt Options, tr *msvTracker) (*Result, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
@@ -174,6 +253,7 @@ func ExecutePlan(c *circuit.Circuit, plan *reorder.Plan, opt Options) (*Result, 
 	if opt.KeepStates {
 		res.FinalStates = make(map[int]*statevec.State)
 	}
+	pool := newStatePool(c.NumQubits())
 	work := statevec.NewState(c.NumQubits())
 	var stack []*statevec.State
 	layers := c.Layers()
@@ -189,11 +269,14 @@ func ExecutePlan(c *circuit.Circuit, plan *reorder.Plan, opt Options) (*Result, 
 				}
 			}
 		case reorder.StepPush:
-			stack = append(stack, work.Clone())
+			snap := pool.get()
+			snap.CopyFrom(work)
+			stack = append(stack, snap)
 			res.Copies++
 			if len(stack) > res.MSV {
 				res.MSV = len(stack)
 			}
+			tr.add(1)
 		case reorder.StepInject:
 			work.ApplyPauli(s.Op, s.Qubit)
 			res.Ops++
@@ -209,8 +292,10 @@ func ExecutePlan(c *circuit.Circuit, plan *reorder.Plan, opt Options) (*Result, 
 			if len(stack) == 0 {
 				return nil, fmt.Errorf("sim: plan pops an empty snapshot stack")
 			}
+			pool.put(work)
 			work = stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
+			tr.add(-1)
 		case reorder.StepRestore:
 			// Budgeted plans: resume from a copy of the top snapshot
 			// (keeping it for its own later consumers), or from scratch

@@ -1,0 +1,410 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/circuit"
+	"repro/internal/reorder"
+	"repro/internal/statevec"
+	"repro/internal/trial"
+)
+
+// ParallelSubtree runs the reordered simulation across several workers by
+// decomposing the injection-prefix trie into subtree tasks
+// (reorder.SplitPlan): the coordinator executes the sequential trunk —
+// computing every shared prefix state exactly once — and on each spawn
+// point clones the working state into a task that any worker can pick up.
+// Unlike the contiguous chunking of Parallel, no prefix sharing is lost:
+// the decomposition's total basic-operation count equals the sequential
+// plan's for every worker count.
+//
+// Scheduling is dynamic: workers pull from a ready queue ordered
+// largest-static-ops-first, so load balance does not depend on how trials
+// happened to be distributed, and the number of cloned-but-unfinished
+// entry states is bounded (2x workers) so the queue cannot hoard memory.
+// Per-trial outcomes are bit-identical to the sequential simulators and
+// independent of scheduling because every trial carries its own
+// randomness; results are merged deterministically by trial ID.
+//
+// Options.SnapshotBudget caps each component's stored vectors (the
+// trunk's stack, and each task's stack including its preserved entry
+// state); Result.MSV reports the true concurrent high-water mark of
+// stored vectors across the trunk, the queue, and all workers.
+func ParallelSubtree(c *circuit.Circuit, trials []*trial.Trial, workers int, opt Options) (*Result, error) {
+	return ParallelSubtreeCut(c, trials, workers, 0, opt)
+}
+
+// ParallelSubtreeCut is ParallelSubtree with an explicit trie cut depth;
+// cut 0 chooses automatically (deep enough that every worker has several
+// tasks, capped at 3).
+func ParallelSubtreeCut(c *circuit.Circuit, trials []*trial.Trial, workers, cut int, opt Options) (*Result, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("sim: worker count %d < 1", workers)
+	}
+	if len(trials) == 0 {
+		return nil, fmt.Errorf("sim: empty trial set")
+	}
+	if workers > len(trials) {
+		workers = len(trials)
+	}
+	ordered := reorder.Sort(trials)
+	if cut == 0 {
+		cut = chooseCut(ordered, workers)
+	}
+	sp, err := reorder.SplitPlanOrderedCut(c, ordered, cut, opt.planBudget())
+	if err != nil {
+		return nil, err
+	}
+	return ExecuteSplitPlan(c, sp, workers, opt)
+}
+
+// chooseCut picks the shallowest trie cut that yields a comfortable
+// number of tasks per worker (more tasks = better dynamic balancing, but
+// deeper cuts serialize more trunk work), capped at depth 3.
+func chooseCut(ordered []*trial.Trial, workers int) int {
+	const tasksPerWorker = 4
+	for cut := 1; ; cut++ {
+		if cut == 3 || countSubtrees(ordered, cut) >= tasksPerWorker*workers {
+			return cut
+		}
+	}
+}
+
+// countSubtrees counts the tasks a cut would produce without building the
+// plan: trials are in Sort order, so each task's trials are contiguous,
+// and a boundary falls wherever the task key changes. Trials with at
+// least `cut` injections share a task iff their first `cut` injections
+// agree; shallower trials are exhausted at their trie node and share a
+// task iff their whole injection lists agree.
+func countSubtrees(ordered []*trial.Trial, cut int) int {
+	sameTask := func(a, b *trial.Trial) bool {
+		if (len(a.Inj) >= cut) != (len(b.Inj) >= cut) {
+			return false
+		}
+		n := cut
+		if len(a.Inj) < cut {
+			if len(a.Inj) != len(b.Inj) {
+				return false
+			}
+			n = len(a.Inj)
+		}
+		for i := 0; i < n; i++ {
+			if a.Inj[i] != b.Inj[i] {
+				return false
+			}
+		}
+		return true
+	}
+	count := 1
+	for i := 1; i < len(ordered); i++ {
+		if !sameTask(ordered[i-1], ordered[i]) {
+			count++
+		}
+	}
+	return count
+}
+
+// queuedTask is a spawned subtree waiting for a worker: the static task
+// plus its materialized entry state.
+type queuedTask struct {
+	st    *reorder.Subtree
+	entry *statevec.State
+}
+
+// taskQueue is the ready queue: a max-heap on static task ops under a
+// mutex, so workers always pull the largest available task first.
+type taskQueue struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	items []queuedTask
+	done  bool
+}
+
+func newTaskQueue() *taskQueue {
+	q := &taskQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *taskQueue) push(t queuedTask) {
+	q.mu.Lock()
+	q.items = append(q.items, t)
+	for i := len(q.items) - 1; i > 0; {
+		p := (i - 1) / 2
+		if q.items[p].st.Ops >= q.items[i].st.Ops {
+			break
+		}
+		q.items[p], q.items[i] = q.items[i], q.items[p]
+		i = p
+	}
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+// pop blocks until a task is available or the queue is closed and empty.
+func (q *taskQueue) pop() (queuedTask, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.done {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return queuedTask{}, false
+	}
+	top := q.items[0]
+	last := len(q.items) - 1
+	q.items[0] = q.items[last]
+	q.items = q.items[:last]
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l <= last-1 && q.items[l].st.Ops > q.items[big].st.Ops {
+			big = l
+		}
+		if r <= last-1 && q.items[r].st.Ops > q.items[big].st.Ops {
+			big = r
+		}
+		if big == i {
+			break
+		}
+		q.items[i], q.items[big] = q.items[big], q.items[i]
+		i = big
+	}
+	return top, true
+}
+
+func (q *taskQueue) close() {
+	q.mu.Lock()
+	q.done = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// ExecuteSplitPlan runs a prebuilt subtree decomposition on a worker
+// pool. Exposed separately so callers can choose the cut depth and reuse
+// one SplitPlan across runs.
+func ExecuteSplitPlan(c *circuit.Circuit, sp *reorder.SplitPlan, workers int, opt Options) (*Result, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if workers < 1 {
+		return nil, fmt.Errorf("sim: worker count %d < 1", workers)
+	}
+	var tracker msvTracker
+	queue := newTaskQueue()
+	// Bound on cloned-but-unfinished entry states: the trunk blocks
+	// rather than materializing an entry vector per task up front.
+	sem := make(chan struct{}, 2*workers)
+
+	partials := make([]*Result, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			res := &Result{}
+			if opt.KeepStates {
+				res.FinalStates = make(map[int]*statevec.State)
+			}
+			pool := newStatePool(c.NumQubits())
+			for {
+				qt, ok := queue.pop()
+				if !ok {
+					break
+				}
+				if errs[w] == nil {
+					errs[w] = runSubtree(c, sp, qt.st, qt.entry, opt, res, &tracker, pool)
+				} else {
+					// Already failed: drain so the trunk never blocks on
+					// the entry-state bound, dropping the queued clone.
+					tracker.add(-1)
+				}
+				<-sem
+			}
+			partials[w] = res
+		}(w)
+	}
+
+	trunkRes, trunkErr := runTrunk(c, sp, opt, queue, sem, &tracker)
+	queue.close()
+	wg.Wait()
+	if trunkErr != nil {
+		return nil, trunkErr
+	}
+	for w, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("sim: worker %d: %v", w, err)
+		}
+	}
+
+	merged := trunkRes
+	for _, p := range partials {
+		merged.Ops += p.Ops
+		merged.Copies += p.Copies
+		merged.Outcomes = append(merged.Outcomes, p.Outcomes...)
+		if opt.KeepStates {
+			for id, st := range p.FinalStates {
+				merged.FinalStates[id] = st
+			}
+		}
+	}
+	if len(merged.Outcomes) != len(sp.Order) {
+		return nil, fmt.Errorf("sim: split plan emitted %d of %d trials", len(merged.Outcomes), len(sp.Order))
+	}
+	merged.MSV = tracker.highWater()
+	finish(merged)
+	return merged, nil
+}
+
+// runTrunk executes the sequential prefix program, feeding spawned tasks
+// (with cloned entry states) into the queue. It performs each shared
+// prefix computation exactly once; it never emits trials.
+func runTrunk(c *circuit.Circuit, sp *reorder.SplitPlan, opt Options, queue *taskQueue, sem chan struct{}, tr *msvTracker) (*Result, error) {
+	res := &Result{Counts: make(map[uint64]int)}
+	if opt.KeepStates {
+		res.FinalStates = make(map[int]*statevec.State)
+	}
+	pool := newStatePool(c.NumQubits())
+	work := statevec.NewState(c.NumQubits())
+	var stack []*statevec.State
+	layers := c.Layers()
+	ops := c.Ops()
+	for _, s := range sp.Trunk {
+		switch s.Kind {
+		case reorder.StepAdvance:
+			for l := s.From; l < s.To; l++ {
+				for _, oi := range layers[l] {
+					op := ops[oi]
+					work.ApplyOp(op.Gate, op.Qubits...)
+					res.Ops++
+				}
+			}
+		case reorder.StepPush:
+			snap := pool.get()
+			snap.CopyFrom(work)
+			stack = append(stack, snap)
+			res.Copies++
+			tr.add(1)
+		case reorder.StepInject:
+			work.ApplyPauli(s.Op, s.Qubit)
+			res.Ops++
+		case reorder.StepPop:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("sim: trunk pops an empty snapshot stack")
+			}
+			pool.put(work)
+			work = stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			tr.add(-1)
+		case reorder.StepRestore:
+			if len(stack) == 0 {
+				work.Reset()
+			} else {
+				work.CopyFrom(stack[len(stack)-1])
+				res.Copies++
+			}
+		case reorder.StepSpawn:
+			sem <- struct{}{}
+			entry := work.Clone()
+			res.Copies++
+			tr.add(1) // the queued entry state is a stored vector
+			queue.push(queuedTask{st: sp.Subtrees[s.Task], entry: entry})
+		default:
+			return nil, fmt.Errorf("sim: invalid trunk step %v", s.Kind)
+		}
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("sim: trunk leaves %d snapshots stored", len(stack))
+	}
+	return res, nil
+}
+
+// runSubtree executes one task against its entry state, accumulating
+// outcomes and op counts into the worker's partial result.
+//
+// An unbudgeted task adopts the entry clone as its working register (it
+// stops being a stored vector). A budgeted task with budget >= 1 keeps
+// the entry pristine at the bottom of its snapshot stack — the replay
+// floor for StepRestore — and works on a copy; with budget 0 nothing is
+// preserved and restores replay from |0...0>.
+func runSubtree(c *circuit.Circuit, sp *reorder.SplitPlan, st *reorder.Subtree, entry *statevec.State, opt Options, res *Result, tr *msvTracker, pool *statePool) error {
+	layers := c.Layers()
+	ops := c.Ops()
+	var work *statevec.State
+	var stack []*statevec.State
+	floor := 0
+	keepEntry := sp.Budget() != math.MaxInt && sp.Budget() >= 1
+	if keepEntry {
+		stack = append(stack, entry) // stays tracked until the task ends
+		floor = 1
+		work = pool.get()
+		work.CopyFrom(entry)
+		res.Copies++
+	} else {
+		work = entry
+		tr.add(-1) // adopted as the working register
+	}
+	emitted := 0
+	for _, s := range st.Steps {
+		switch s.Kind {
+		case reorder.StepAdvance:
+			for l := s.From; l < s.To; l++ {
+				for _, oi := range layers[l] {
+					op := ops[oi]
+					work.ApplyOp(op.Gate, op.Qubits...)
+					res.Ops++
+				}
+			}
+		case reorder.StepPush:
+			snap := pool.get()
+			snap.CopyFrom(work)
+			stack = append(stack, snap)
+			res.Copies++
+			tr.add(1)
+		case reorder.StepInject:
+			work.ApplyPauli(s.Op, s.Qubit)
+			res.Ops++
+		case reorder.StepEmit:
+			for _, idx := range s.Trials {
+				t := sp.Order[idx]
+				res.Outcomes = append(res.Outcomes, Outcome{TrialID: t.ID, Bits: sampleOutcome(work, c, t)})
+				emitted++
+				if opt.KeepStates {
+					res.FinalStates[t.ID] = work.Clone()
+				}
+			}
+		case reorder.StepPop:
+			if len(stack) <= floor {
+				return fmt.Errorf("sim: task %d pops below its entry floor", st.ID)
+			}
+			pool.put(work)
+			work = stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			tr.add(-1)
+		case reorder.StepRestore:
+			if len(stack) == 0 {
+				work.Reset()
+			} else {
+				work.CopyFrom(stack[len(stack)-1])
+				res.Copies++
+			}
+		default:
+			return fmt.Errorf("sim: invalid subtree step %v", s.Kind)
+		}
+	}
+	if len(stack) != floor {
+		return fmt.Errorf("sim: task %d leaves %d snapshots stored", st.ID, len(stack)-floor)
+	}
+	if emitted != st.Trials {
+		return fmt.Errorf("sim: task %d emitted %d of %d trials", st.ID, emitted, st.Trials)
+	}
+	pool.put(work)
+	if keepEntry {
+		tr.add(-1) // the preserved entry state is dropped with the task
+		pool.put(entry)
+	}
+	return nil
+}

@@ -1,0 +1,277 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bench"
+	"repro/internal/circuit"
+	"repro/internal/noise"
+	"repro/internal/reorder"
+	"repro/internal/trial"
+)
+
+// TestSubtreeMatchesSequential: for every worker count, per-trial outcomes
+// are bit-identical to the sequential reordered executor and executed ops
+// equal the sequential plan's exactly — the property contiguous chunking
+// cannot satisfy.
+func TestSubtreeMatchesSequential(t *testing.T) {
+	circuits := map[string]*circuit.Circuit{
+		"bv4":    bench.BV(4, 0b111),
+		"grover": bench.Grover3(),
+		"qft4":   bench.QFT(4),
+	}
+	for name, c := range circuits {
+		m := noise.Uniform("u", c.NumQubits(), 5e-3, 5e-2, 1e-2)
+		trials := genTrials(t, c, m, 400, 21)
+		seq, err := Reordered(c, trials, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for workers := 1; workers <= 8; workers++ {
+			par, err := ParallelSubtree(c, trials, workers, Options{})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", name, workers, err)
+			}
+			if !EqualOutcomes(seq, par) {
+				t.Errorf("%s workers=%d: outcomes differ from sequential", name, workers)
+			}
+			if par.Ops != seq.Ops {
+				t.Errorf("%s workers=%d: subtree ops %d != sequential %d (sharing lost)",
+					name, workers, par.Ops, seq.Ops)
+			}
+		}
+	}
+}
+
+// TestSubtreeVsChunkedOps: chunking recomputes boundary-spanning prefixes,
+// so for multiple workers its op count strictly exceeds the sequential
+// plan's on a circuit with real sharing, while the subtree decomposition
+// matches it exactly.
+func TestSubtreeVsChunkedOps(t *testing.T) {
+	c := bench.QFT(5)
+	m := noise.Uniform("u", 5, 1e-2, 5e-2, 1e-2)
+	trials := genTrials(t, c, m, 600, 22)
+	seq, err := Reordered(c, trials, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunked, err := Parallel(c, trials, 6, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := ParallelSubtree(c, trials, 6, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chunked.Ops <= seq.Ops {
+		t.Errorf("chunked ops %d not above sequential %d (no redundancy to eliminate?)",
+			chunked.Ops, seq.Ops)
+	}
+	if sub.Ops != seq.Ops {
+		t.Errorf("subtree ops %d != sequential %d", sub.Ops, seq.Ops)
+	}
+}
+
+// TestSubtreeExplicitCuts: deeper explicit cuts keep correctness and op
+// equality.
+func TestSubtreeExplicitCuts(t *testing.T) {
+	c := bench.Grover3()
+	m := noise.Uniform("u", 3, 1e-2, 5e-2, 2e-2)
+	trials := genTrials(t, c, m, 300, 23)
+	seq, err := Reordered(c, trials, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut <= 3; cut++ {
+		par, err := ParallelSubtreeCut(c, trials, 4, cut, Options{})
+		if err != nil {
+			t.Fatalf("cut=%d: %v", cut, err)
+		}
+		if !EqualOutcomes(seq, par) {
+			t.Errorf("cut=%d: outcomes differ", cut)
+		}
+		if par.Ops != seq.Ops {
+			t.Errorf("cut=%d: ops %d != sequential %d", cut, par.Ops, seq.Ops)
+		}
+	}
+}
+
+// TestSubtreeBudget: a snapshot budget caps each component's stack while
+// preserving outcomes; ops match the budgeted split plan's static count.
+func TestSubtreeBudget(t *testing.T) {
+	c := bench.QFT(4)
+	m := noise.Uniform("u", 4, 1e-2, 5e-2, 1e-2)
+	trials := genTrials(t, c, m, 400, 24)
+	seq, err := Reordered(c, trials, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, budget := range []int{0, 1, 2, 4} {
+		opt := Options{SnapshotBudget: budget}
+		bseq, err := Reordered(c, trials, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !EqualOutcomes(seq, bseq) {
+			t.Fatalf("budget=%d: budgeted sequential outcomes differ", budget)
+		}
+		for _, workers := range []int{2, 5} {
+			par, err := ParallelSubtree(c, trials, workers, opt)
+			if err != nil {
+				t.Fatalf("budget=%d workers=%d: %v", budget, workers, err)
+			}
+			if !EqualOutcomes(seq, par) {
+				t.Errorf("budget=%d workers=%d: outcomes differ", budget, workers)
+			}
+			sp, err := reorder.SplitPlanCut(c, trials, 1, planBudgetFor(budget))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if par.Ops != sp.TotalOps() {
+				t.Errorf("budget=%d workers=%d: executed ops %d != static split ops %d",
+					budget, workers, par.Ops, sp.TotalOps())
+			}
+		}
+	}
+}
+
+// planBudgetFor mirrors Options.planBudget for test-side static plans.
+func planBudgetFor(budget int) int {
+	if budget <= 0 {
+		return math.MaxInt
+	}
+	return budget
+}
+
+// TestSubtreeMSVBounded: with a budget, the concurrent high-water mark of
+// stored vectors cannot exceed (components alive at once) x budget; with
+// one worker and budget 1 it stays tight.
+func TestSubtreeMSVBounded(t *testing.T) {
+	c := bench.Grover3()
+	m := noise.Uniform("u", 3, 1e-2, 5e-2, 1e-2)
+	trials := genTrials(t, c, m, 300, 25)
+	for _, budget := range []int{1, 2} {
+		for _, workers := range []int{1, 4} {
+			par, err := ParallelSubtree(c, trials, workers, Options{SnapshotBudget: budget})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Components alive concurrently: the trunk, each running
+			// worker, and up to 2x workers queued entry clones.
+			bound := (1 + workers) * budget
+			bound += 2 * workers
+			if par.MSV > bound {
+				t.Errorf("budget=%d workers=%d: MSV %d exceeds bound %d",
+					budget, workers, par.MSV, bound)
+			}
+		}
+	}
+}
+
+// TestSubtreeKeepStates: final states survive the parallel merge and match
+// the sequential executor's.
+func TestSubtreeKeepStates(t *testing.T) {
+	c := bench.BV(4, 0b101)
+	m := noise.Uniform("u", 4, 1e-2, 5e-2, 0)
+	trials := genTrials(t, c, m, 120, 26)
+	seq, err := Reordered(c, trials, Options{KeepStates: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := ParallelSubtree(c, trials, 4, Options{KeepStates: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par.FinalStates) != len(trials) {
+		t.Fatalf("kept %d states, want %d", len(par.FinalStates), len(trials))
+	}
+	for id, st := range par.FinalStates {
+		if !st.Equal(seq.FinalStates[id], 1e-12) {
+			t.Errorf("trial %d: final state differs from sequential", id)
+		}
+	}
+}
+
+// TestSubtreeValidation covers argument errors.
+func TestSubtreeValidation(t *testing.T) {
+	c := bench.Grover3()
+	m := noise.Uniform("u", 3, 1e-2, 5e-2, 1e-2)
+	trials := genTrials(t, c, m, 10, 27)
+	if _, err := ParallelSubtree(c, trials, 0, Options{}); err == nil {
+		t.Error("workers=0 accepted")
+	}
+	if _, err := ParallelSubtree(c, nil, 2, Options{}); err == nil {
+		t.Error("empty trial set accepted")
+	}
+	if _, err := ParallelSubtreeCut(c, trials, 2, -1, Options{}); err == nil {
+		t.Error("negative cut accepted")
+	}
+}
+
+// TestSubtreeProperty fuzzes circuits x error rates x workers x budgets:
+// outcomes bit-identical to sequential Reordered, and total executed ops
+// equal to the sequential plan's when unbudgeted.
+func TestSubtreeProperty(t *testing.T) {
+	f := func(seed int64, wRaw, bRaw, pRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := bench.QV(4, 3, rng)
+		workers := 1 + int(wRaw%8)
+		budgets := []int{0, 1, 2, 3, 4}
+		budget := budgets[int(bRaw)%len(budgets)]
+		p2 := []float64{1e-2, 5e-2, 1e-1}[int(pRaw)%3]
+		m := noise.Uniform("u", 4, p2/5, p2, p2/2)
+		g, err := trial.NewGenerator(c, m)
+		if err != nil {
+			return false
+		}
+		trials := g.Generate(rng, 150)
+		seq, err := Reordered(c, trials, Options{})
+		if err != nil {
+			return false
+		}
+		par, err := ParallelSubtree(c, trials, workers, Options{SnapshotBudget: budget})
+		if err != nil {
+			return false
+		}
+		if !EqualOutcomes(seq, par) {
+			return false
+		}
+		if budget == 0 && par.Ops != seq.Ops {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestExecuteSplitPlanDirect drives the executor with a prebuilt plan and
+// checks the merged metrics against the plan's static analysis.
+func TestExecuteSplitPlanDirect(t *testing.T) {
+	c := bench.QFT(4)
+	m := noise.Uniform("u", 4, 1e-2, 5e-2, 1e-2)
+	trials := genTrials(t, c, m, 300, 28)
+	sp, err := reorder.SplitPlanCut(c, trials, 2, math.MaxInt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ExecuteSplitPlan(c, sp, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != sp.TotalOps() {
+		t.Errorf("executed ops %d != static %d", res.Ops, sp.TotalOps())
+	}
+	if len(res.Outcomes) != len(trials) {
+		t.Errorf("emitted %d outcomes, want %d", len(res.Outcomes), len(trials))
+	}
+	for i := 1; i < len(res.Outcomes); i++ {
+		if res.Outcomes[i-1].TrialID >= res.Outcomes[i].TrialID {
+			t.Fatal("outcomes not sorted by trial ID after merge")
+		}
+	}
+}
