@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench verify
+.PHONY: build test race bench verify verify-deep selftest fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -17,3 +17,22 @@ bench:
 	$(GO) test -bench . -benchtime 1x -run ^$$ .
 
 verify: build test race
+
+# The seeded differential self-test: randomized workloads through every
+# executor, cross-checked bit-for-bit against naive execution.
+selftest: build
+	$(GO) run ./cmd/qsim -selftest -seed 1 -selftest-runs 50
+
+# Short fuzz passes over every fuzz target (one -fuzz per package run).
+fuzz-smoke:
+	$(GO) test -run ^$$ -fuzz FuzzTrialSerializeRoundTrip -fuzztime 10s ./internal/trial
+	$(GO) test -run ^$$ -fuzz FuzzParseQASM -fuzztime 10s ./internal/circuit
+
+# The deep correctness gate: everything verify runs, plus vet, the race
+# detector over the whole tree (includes the -short-gated deep
+# differential sweep), fuzz smoke, and the CLI self-test.
+verify-deep: build
+	$(GO) vet ./...
+	$(GO) test -race ./...
+	$(MAKE) fuzz-smoke
+	$(MAKE) selftest

@@ -28,6 +28,11 @@
 //	-workers n      parallel execution workers for reordered mode
 //	-par m          parallel decomposition: subtree (default; preserves all
 //	                prefix sharing) or chunked (legacy comparison baseline)
+//	-selftest       run the seeded differential self-test (internal/difftest)
+//	                instead of a simulation: randomized workloads through
+//	                every executor, cross-checked bit-for-bit against naive
+//	                execution. -seed picks the base seed, -selftest-runs the
+//	                workload count. Exits nonzero on any mismatch.
 package main
 
 import (
@@ -41,6 +46,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/device"
+	"repro/internal/difftest"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trial"
@@ -69,7 +75,13 @@ func run() error {
 	workers := flag.Int("workers", 1, "parallel execution workers for reordered mode")
 	parMode := flag.String("par", "subtree", "parallel decomposition with -workers > 1: subtree (shares all prefixes) or chunked (legacy)")
 	draw := flag.Bool("draw", false, "print the circuit as ASCII art before simulating")
+	selftest := flag.Bool("selftest", false, "run the seeded differential self-test and exit")
+	selftestRuns := flag.Int("selftest-runs", 25, "number of random workloads for -selftest")
 	flag.Parse()
+
+	if *selftest {
+		return difftest.SelfTest(os.Stdout, *seed, *selftestRuns)
+	}
 
 	circ, err := loadCircuit(*qasmPath, *benchName, *seed)
 	if err != nil {

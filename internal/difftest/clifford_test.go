@@ -1,0 +1,20 @@
+package difftest
+
+import "testing"
+
+// TestCliffordCrossCheck: the stabilizer tableau and the state vector
+// must assign identical measurement distributions to every trial of
+// random noisy Clifford workloads — exact marginals (stabilizer
+// marginals are always 0, 1/2, or 1) plus support membership of the
+// sampled joint outcome, with tableau execution order-invariant.
+func TestCliffordCrossCheck(t *testing.T) {
+	n := int64(12)
+	if !testing.Short() {
+		n = 30
+	}
+	for seed := int64(1); seed <= n; seed++ {
+		if err := CheckClifford(seed); err != nil {
+			t.Fatalf("%v\nreplay: difftest.CheckClifford(%d)", err, seed)
+		}
+	}
+}

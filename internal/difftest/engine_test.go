@@ -1,0 +1,127 @@
+package difftest
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/noise"
+	"repro/internal/trial"
+)
+
+// TestDifferentialQuick is the always-on differential sweep: 60 seeded
+// random workloads, each cross-checking every registered executor
+// against naive execution with bit-identical states, equal op counts,
+// and MSV within budget. A failure prints the seed; replay it with
+// difftest.FromSeed(seed) or `qsim -selftest -seed <seed>`.
+func TestDifferentialQuick(t *testing.T) {
+	for seed := int64(1); seed <= 60; seed++ {
+		if _, err := Check(seed, QuickParams()); err != nil {
+			t.Fatalf("%v\nreplay: difftest.FromSeed(%d)", err, seed)
+		}
+	}
+}
+
+// TestDifferentialDeep is the deep sweep (skipped under -short): more
+// seeds, wider circuits, longer trial sets.
+func TestDifferentialDeep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("deep differential sweep skipped in -short mode")
+	}
+	p := DeepParams()
+	for seed := int64(1000); seed < 1100; seed++ {
+		if _, err := Check(seed, p); err != nil {
+			t.Fatalf("%v\nreplay: difftest.Generate(%d, difftest.DeepParams())", err, seed)
+		}
+	}
+}
+
+// TestWorkloadDeterminism: the generator is a pure function of the seed —
+// same descriptor, same circuit, same serialized trial set every time.
+// This is what makes printed failure seeds replayable.
+func TestWorkloadDeterminism(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		a, b := FromSeed(seed), FromSeed(seed)
+		if a.String() != b.String() {
+			t.Fatalf("seed %d: descriptors differ:\n%s\n%s", seed, a, b)
+		}
+		if a.Circuit.String() != b.Circuit.String() {
+			t.Fatalf("seed %d: circuits differ", seed)
+		}
+		ta, err := a.GenTrials()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb, err := b.GenTrials()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var bufA, bufB bytes.Buffer
+		if err := trial.WriteTo(&bufA, ta); err != nil {
+			t.Fatal(err)
+		}
+		if err := trial.WriteTo(&bufB, tb); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+			t.Fatalf("seed %d: trial sets differ", seed)
+		}
+	}
+}
+
+// TestCheckEdgeCases pins the degenerate workload shapes the random
+// sweep only hits probabilistically.
+func TestCheckEdgeCases(t *testing.T) {
+	base := FromSeed(7)
+	cases := []struct {
+		name   string
+		mutate func(w *Workload)
+	}{
+		{"single-trial", func(w *Workload) { w.Trials = 1 }},
+		{"two-trials", func(w *Workload) { w.Trials = 2 }},
+		{"budget-1", func(w *Workload) { w.Budget = 1 }},
+		{"budget-2", func(w *Workload) { w.Budget = 2 }},
+		{"noiseless", func(w *Workload) {
+			w.Model = noise.NewModel("noiseless", w.Circuit.NumQubits())
+		}},
+		{"per-qubit-mode", func(w *Workload) { w.Mode = trial.PerQubit }},
+		{"saturated", func(w *Workload) {
+			// Error rates near 1: nearly every slot fires, so trials are
+			// long, deep, and mostly distinct.
+			n := w.Circuit.NumQubits()
+			m := noise.NewModel("saturated", n)
+			for q := 0; q < n; q++ {
+				m.SetSingle(q, 0.9)
+				m.SetMeasure(q, 0.5)
+			}
+			m.SetTwoDefault(0.9)
+			w.Model = m
+			w.Trials = 40
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := FromSeed(7)
+			w.Circuit = base.Circuit
+			tc.mutate(w)
+			if _, err := CheckWorkload(w); err != nil {
+				t.Fatalf("%s: %v", tc.name, err)
+			}
+		})
+	}
+}
+
+// TestSelfTest exercises the CLI-facing smoke entry point.
+func TestSelfTest(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SelfTest(&buf, 42, 5); err != nil {
+		t.Fatalf("SelfTest: %v\noutput:\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "self-test OK: 5 workloads") {
+		t.Fatalf("unexpected self-test summary:\n%s", out)
+	}
+	if err := SelfTest(&buf, 1, 0); err == nil {
+		t.Fatal("SelfTest accepted 0 runs")
+	}
+}

@@ -1,0 +1,76 @@
+package difftest
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/sim"
+	"repro/internal/trial"
+)
+
+// ExecKind classifies an executor for invariant selection: which
+// op-count and MSV guarantees the engine may assert against it.
+type ExecKind int
+
+// Executor kinds.
+const (
+	// KindPlan is sequential plan execution (sim.Reordered): ops, MSV
+	// and copies must equal the static plan's exactly.
+	KindPlan ExecKind = iota
+	// KindChunked is contiguous-chunk parallelism (sim.Parallel):
+	// prefixes spanning chunk boundaries are recomputed, so ops may
+	// exceed the sequential plan's but never the naive baseline's.
+	KindChunked
+	// KindSubtree is trie-cut parallelism (sim.ParallelSubtree): no
+	// sharing is lost, so unbudgeted ops equal the sequential plan's at
+	// every worker count.
+	KindSubtree
+)
+
+// Executor is one registered execution path under differential test.
+type Executor struct {
+	// Name identifies the executor in failure messages, e.g. "subtree-4".
+	Name string
+	// Kind selects which invariants the engine asserts (see ExecKind).
+	Kind ExecKind
+	// Workers is the concurrency level (1 for sequential execution).
+	Workers int
+	// Run executes the trial set and returns the merged result.
+	Run func(c *circuit.Circuit, trials []*trial.Trial, opt sim.Options) (*sim.Result, error)
+}
+
+// Executors returns the full registry: every reuse-based execution path
+// the engine cross-checks against naive no-reuse execution, at several
+// worker counts. New executors join the differential harness by being
+// added here.
+func Executors() []Executor {
+	execs := []Executor{{
+		Name:    "plan",
+		Kind:    KindPlan,
+		Workers: 1,
+		Run:     sim.Reordered,
+	}}
+	for _, w := range []int{2, 3} {
+		w := w
+		execs = append(execs, Executor{
+			Name:    fmt.Sprintf("chunked-%d", w),
+			Kind:    KindChunked,
+			Workers: w,
+			Run: func(c *circuit.Circuit, trials []*trial.Trial, opt sim.Options) (*sim.Result, error) {
+				return sim.Parallel(c, trials, w, opt)
+			},
+		})
+	}
+	for _, w := range []int{2, 4} {
+		w := w
+		execs = append(execs, Executor{
+			Name:    fmt.Sprintf("subtree-%d", w),
+			Kind:    KindSubtree,
+			Workers: w,
+			Run: func(c *circuit.Circuit, trials []*trial.Trial, opt sim.Options) (*sim.Result, error) {
+				return sim.ParallelSubtree(c, trials, w, opt)
+			},
+		})
+	}
+	return execs
+}

@@ -1,0 +1,57 @@
+package difftest
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// GoldenLine renders one corpus seed's check as a stable one-line
+// record: the workload shape, the trial-set statistics, the static
+// metrics, and a hash of the outcome histogram. The golden corpus under
+// testdata/ pins these lines so that any change to trial generation,
+// reordering, budgeting, or sampling shows up as a reviewable diff
+// (refresh intentionally with `go test ./internal/difftest -update`).
+func GoldenLine(rep *Report, naive *sim.Result) string {
+	w := rep.Workload
+	a := rep.Analysis
+	return fmt.Sprintf("%s errors=%d distinct=%d baselineOps=%d planOps=%d msv=%d copies=%d outcomes=%s",
+		w, rep.Stats.TotalErrors, rep.Stats.DistinctSeqs,
+		a.BaselineOps, a.OptimizedOps, a.MSV, a.Copies, histogramHash(naive))
+}
+
+// histogramHash digests the outcome histogram (sorted by bit pattern)
+// into a short stable token.
+func histogramHash(res *sim.Result) string {
+	bits := make([]uint64, 0, len(res.Counts))
+	for b := range res.Counts {
+		bits = append(bits, b)
+	}
+	sort.Slice(bits, func(i, j int) bool { return bits[i] < bits[j] })
+	h := fnv.New64a()
+	for _, b := range bits {
+		fmt.Fprintf(h, "%d:%d;", b, res.Counts[b])
+	}
+	return fmt.Sprintf("fnv:%016x", h.Sum64())
+}
+
+// GoldenCheck runs the differential check for a seed and returns its
+// golden line. It re-runs naive execution for the histogram, so the line
+// reflects the reference result, not any particular executor.
+func GoldenCheck(seed int64) (string, error) {
+	rep, err := Check(seed, QuickParams())
+	if err != nil {
+		return "", err
+	}
+	trials, err := rep.Workload.GenTrials()
+	if err != nil {
+		return "", err
+	}
+	naive, err := sim.Baseline(rep.Workload.Circuit, trials, sim.Options{})
+	if err != nil {
+		return "", err
+	}
+	return GoldenLine(rep, naive), nil
+}

@@ -1,0 +1,68 @@
+package difftest
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden regression corpus")
+
+// goldenSeeds is the fixed regression corpus: one line per seed in
+// testdata/corpus.golden pinning the workload shape, trial statistics,
+// static plan metrics, and the outcome histogram. Changing any of the
+// trial generator, the reorder planner, the budget machinery, or the
+// samplers shows up here as a reviewable diff; refresh intentionally
+// with `go test ./internal/difftest -run Golden -update`.
+var goldenSeeds = []int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
+
+func goldenPath() string { return filepath.Join("testdata", "corpus.golden") }
+
+func TestGoldenCorpus(t *testing.T) {
+	var lines []string
+	for _, seed := range goldenSeeds {
+		line, err := GoldenCheck(seed)
+		if err != nil {
+			t.Fatalf("golden seed %d: %v", seed, err)
+		}
+		lines = append(lines, line)
+	}
+	got := strings.Join(lines, "\n") + "\n"
+
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath(), []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d seeds)", goldenPath(), len(goldenSeeds))
+		return
+	}
+
+	want, err := os.ReadFile(goldenPath())
+	if err != nil {
+		t.Fatalf("reading golden corpus (regenerate with -update): %v", err)
+	}
+	if got == string(want) {
+		return
+	}
+	wantLines := strings.Split(strings.TrimRight(string(want), "\n"), "\n")
+	for i, line := range lines {
+		if i >= len(wantLines) {
+			t.Errorf("seed %d: extra line\n  got  %s", goldenSeeds[i], line)
+			continue
+		}
+		if line != wantLines[i] {
+			t.Errorf("seed %d: golden mismatch\n  got  %s\n  want %s", goldenSeeds[i], line, wantLines[i])
+		}
+	}
+	if len(wantLines) != len(lines) {
+		t.Errorf("corpus has %d lines, golden file has %d", len(lines), len(wantLines))
+	}
+	if t.Failed() {
+		t.Log("if the change is intentional, refresh with: go test ./internal/difftest -run Golden -update")
+	}
+}

@@ -76,7 +76,11 @@ func ReadFrom(r io.Reader) ([]*Trial, error) {
 	if count > sanityMax {
 		return nil, fmt.Errorf("trial: implausible trial count %d", count)
 	}
-	trials := make([]*Trial, 0, count)
+	// Grow toward the declared count instead of trusting it up front: a
+	// corrupt header can declare billions of trials, and the stream must
+	// prove it has the data before memory is committed.
+	const allocStep = 1 << 16
+	trials := make([]*Trial, 0, min(count, allocStep))
 	for i := uint64(0); i < count; i++ {
 		var hdr [3]uint64
 		if err := binary.Read(br, binary.LittleEndian, hdr[:]); err != nil {
@@ -95,9 +99,20 @@ func ReadFrom(r io.Reader) ([]*Trial, error) {
 			SampleU:   math.Float64frombits(hdr[2]),
 		}
 		if nInj > 0 {
-			t.Inj = make([]Key, nInj)
-			if err := binary.Read(br, binary.LittleEndian, t.Inj); err != nil {
-				return nil, fmt.Errorf("trial %d injections: %v", i, err)
+			// Chunked reads for the same reason as the trial slice: the
+			// count is attacker-controlled until the bytes arrive.
+			t.Inj = make([]Key, 0, min(uint64(nInj), allocStep))
+			for read := uint32(0); read < nInj; {
+				n := nInj - read
+				if n > allocStep {
+					n = allocStep
+				}
+				chunk := make([]Key, n)
+				if err := binary.Read(br, binary.LittleEndian, chunk); err != nil {
+					return nil, fmt.Errorf("trial %d injections: %v", i, err)
+				}
+				t.Inj = append(t.Inj, chunk...)
+				read += n
 			}
 			for j := 1; j < len(t.Inj); j++ {
 				if t.Inj[j] < t.Inj[j-1] {

@@ -1,0 +1,88 @@
+package trial
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/noise"
+)
+
+// FuzzTrialSerializeRoundTrip feeds arbitrary bytes to the trial
+// deserializer. Corrupt input must be rejected with an error — never a
+// panic or an unbounded allocation — and any input the reader accepts
+// must survive a write/read round trip identically (the format has one
+// canonical encoding, so accept implies re-encodable).
+func FuzzTrialSerializeRoundTrip(f *testing.F) {
+	// Seed the corpus with genuine encodings: generated trial sets of
+	// several shapes, plus hand-corrupted variants so the fuzzer starts
+	// at the interesting boundaries.
+	for _, seedCase := range [][2]int{{3, 0}, {5, 20}, {4, 200}} {
+		c, err := bench.Build("bv4", 1)
+		if err != nil {
+			f.Fatal(err)
+		}
+		m := noise.Uniform("fuzz", c.NumQubits(), 0.05, 0.1, 0.02)
+		g, err := NewGenerator(c, m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		trials := g.Generate(rand.New(rand.NewSource(int64(seedCase[0]))), seedCase[1])
+		var buf bytes.Buffer
+		if err := WriteTo(&buf, trials); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+		if buf.Len() > 8 {
+			trunc := buf.Bytes()[:buf.Len()/2]
+			f.Add(append([]byte(nil), trunc...))
+			flip := append([]byte(nil), buf.Bytes()...)
+			flip[9] ^= 0xff // corrupt the trial count
+			f.Add(flip)
+		}
+	}
+	f.Add([]byte("QTRL"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		trials, err := ReadFrom(bytes.NewReader(data))
+		if err != nil {
+			return // rejected: fine, as long as it didn't panic
+		}
+		var buf bytes.Buffer
+		if err := WriteTo(&buf, trials); err != nil {
+			t.Fatalf("re-serializing accepted input: %v", err)
+		}
+		again, err := ReadFrom(&buf)
+		if err != nil {
+			t.Fatalf("re-reading own encoding: %v", err)
+		}
+		if len(again) != len(trials) {
+			t.Fatalf("round trip changed trial count: %d -> %d", len(trials), len(again))
+		}
+		for i := range trials {
+			if !trialsIdentical(trials[i], again[i]) {
+				t.Fatalf("round trip changed trial %d: %s vs %s", i, trials[i], again[i])
+			}
+		}
+	})
+}
+
+// trialsIdentical compares every serialized field, bit-exact on the
+// float (corrupt input can legally decode to NaN or negative uniforms;
+// they still must round-trip unchanged).
+func trialsIdentical(a, b *Trial) bool {
+	if a.ID != b.ID || a.MeasFlips != b.MeasFlips ||
+		math.Float64bits(a.SampleU) != math.Float64bits(b.SampleU) ||
+		len(a.Inj) != len(b.Inj) {
+		return false
+	}
+	for i := range a.Inj {
+		if a.Inj[i] != b.Inj[i] {
+			return false
+		}
+	}
+	return true
+}
