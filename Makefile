@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench verify verify-deep selftest fuzz-smoke
+.PHONY: build test race race-verify bench bench-json verify verify-deep selftest fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -13,8 +13,20 @@ test:
 race:
 	$(GO) test -race ./internal/sim/... ./internal/reorder/...
 
+# Striped kernel execution splits every compiled sweep across goroutines;
+# race-verify drives the compiled paths (fusion + striping) under the race
+# detector, including an end-to-end striped CLI run.
+race-verify:
+	$(GO) test -race ./internal/statevec/... ./internal/sim/... ./internal/reorder/... ./internal/difftest/...
+	$(GO) run -race ./cmd/qsim -bench qft5 -mode both -fuse exact -stripes 4 -trials 256
+	$(GO) run -race ./cmd/qsim -bench qv_n5d5 -mode both -fuse numeric -stripes 4 -trials 256
+
 bench:
 	$(GO) test -bench . -benchtime 1x -run ^$$ .
+
+# Machine-readable kernel/fusion benchmark results for regression tracking.
+bench-json:
+	$(GO) run ./cmd/kernbench -out BENCH_kernels.json
 
 verify: build test race
 
@@ -27,6 +39,7 @@ selftest: build
 fuzz-smoke:
 	$(GO) test -run ^$$ -fuzz FuzzTrialSerializeRoundTrip -fuzztime 10s ./internal/trial
 	$(GO) test -run ^$$ -fuzz FuzzParseQASM -fuzztime 10s ./internal/circuit
+	$(GO) test -run ^$$ -fuzz FuzzCompileParity -fuzztime 10s ./internal/statevec
 
 # The deep correctness gate: everything verify runs, plus vet, the race
 # detector over the whole tree (includes the -short-gated deep

@@ -26,6 +26,7 @@ import (
 	"repro/internal/noise"
 	"repro/internal/reorder"
 	"repro/internal/sim"
+	"repro/internal/statevec"
 	"repro/internal/transpile"
 	"repro/internal/trial"
 )
@@ -438,6 +439,123 @@ func sequentialOps(b *testing.B, c *circuit.Circuit, trials []*trial.Trial) int6
 func gateH() gate.Gate  { return gate.H() }
 func gateS() gate.Gate  { return gate.S() }
 func gateCX() gate.Gate { return gate.CX() }
+
+// kernelWorkloads builds the gate-pattern circuits BenchmarkKernels
+// sweeps: a same-qubit 1q chain (folds to one fused kernel per qubit), a
+// diagonal-heavy circuit (folds to phase-multiply sweeps), and a QV mix
+// (general kernels, 2q folding).
+func kernelWorkloads(n int) map[string]*circuit.Circuit {
+	chain := circuit.New("chain", n)
+	for r := 0; r < 8; r++ {
+		for q := 0; q < n; q++ {
+			chain.Append(gate.H(), q)
+			chain.Append(gate.T(), q)
+			chain.Append(gate.X(), q)
+			chain.Append(gate.RZ(0.3), q)
+		}
+	}
+	diag := circuit.New("diag", n)
+	for r := 0; r < 8; r++ {
+		for q := 0; q < n; q++ {
+			diag.Append(gate.S(), q)
+			diag.Append(gate.T(), q)
+		}
+		for q := 0; q+1 < n; q += 2 {
+			diag.Append(gate.CZ(), q, q+1)
+		}
+	}
+	qv := bench.QV(n, 4, rand.New(rand.NewSource(benchSeed)))
+	return map[string]*circuit.Circuit{"chain": chain, "diag": diag, "qv": qv}
+}
+
+// BenchmarkKernels measures the compiled-kernel layer head to head with
+// per-gate dispatch on a raw 12-qubit state: fused vs unfused, striped vs
+// serial, per gate-pattern workload. Compilation happens once outside the
+// timed loop; each iteration sweeps the full program over the state.
+func BenchmarkKernels(b *testing.B) {
+	const n = 12
+	for wname, c := range kernelWorkloads(n) {
+		progs := []struct {
+			name string
+			prog *statevec.Program
+		}{
+			{"fused-exact", statevec.CompileWith(c, statevec.CompileOptions{Fuse: statevec.FuseExact})},
+			{"fused-numeric", statevec.CompileWith(c, statevec.CompileOptions{Fuse: statevec.FuseNumeric})},
+			{"unfused-striped4", statevec.CompileWith(c, statevec.CompileOptions{Fuse: statevec.FuseOff, Stripes: 4, StripeMin: 1})},
+			{"fused-numeric-striped4", statevec.CompileWith(c, statevec.CompileOptions{Fuse: statevec.FuseNumeric, Stripes: 4, StripeMin: 1})},
+		}
+		b.Run(wname+"/dispatch", func(b *testing.B) {
+			s := statevec.NewState(n)
+			layers := c.Layers()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, l := range layers {
+					for _, oi := range l {
+						op := c.Op(oi)
+						s.ApplyOp(op.Gate, op.Qubits...)
+					}
+				}
+			}
+		})
+		for _, pv := range progs {
+			pv := pv
+			b.Run(wname+"/"+pv.name, func(b *testing.B) {
+				s := statevec.NewState(n)
+				pv.prog.RunAll(s) // warm the segment cache
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					pv.prog.RunAll(s)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkExecFused measures the end-to-end reordered executor on a
+// 12-qubit workload under each fusion mode — the wall-clock realization of
+// the kernel-compilation layer on the paper's hot path. Compilation cost
+// is inside the loop (it is part of ExecutePlan), matching real usage.
+func BenchmarkExecFused(b *testing.B) {
+	const n = 12
+	c := bench.QV(n, 5, rand.New(rand.NewSource(benchSeed)))
+	m := noise.Uniform("u", n, 1e-3, 1e-2, 1e-2)
+	gen, err := trial.NewGenerator(c, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	trials := gen.Generate(rand.New(rand.NewSource(benchSeed)), 256)
+	plan, err := reorder.BuildPlan(c, trials)
+	if err != nil {
+		b.Fatal(err)
+	}
+	modes := []struct {
+		name string
+		opt  sim.Options
+	}{
+		{"dispatch", sim.Options{}},
+		{"fused-exact", sim.Options{Fuse: statevec.FuseExact}},
+		{"fused-numeric", sim.Options{Fuse: statevec.FuseNumeric}},
+		{"fused-numeric-striped4", sim.Options{Fuse: statevec.FuseNumeric, Stripes: 4}},
+	}
+	for _, tc := range modes {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var ops int64
+			for i := 0; i < b.N; i++ {
+				res, err := sim.ExecutePlan(c, plan, tc.opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ops = res.Ops
+			}
+			if ops != plan.OptimizedOps() {
+				b.Fatalf("ops %d != plan %d — fusion broke logical-op accounting", ops, plan.OptimizedOps())
+			}
+			b.ReportMetric(float64(ops), "ops")
+		})
+	}
+}
 
 // BenchmarkAblationLayering compares ASAP against ALAP layering: layer
 // assignment moves the error-injection positions, which changes how much

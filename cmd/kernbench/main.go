@@ -1,0 +1,220 @@
+// Command kernbench times the compiled-kernel layer against per-gate
+// dispatch and writes the results as JSON (for dashboards and regression
+// tracking; `make bench-json` wires it into the build).
+//
+// Two benchmark families are measured with an adaptive timing loop (each
+// case is repeated until it has run for at least -mintime):
+//
+//   - kernels/<workload>/<variant>: raw sweeps over a single state —
+//     per-gate dispatch vs compiled programs in each fusion mode, serial
+//     and striped, on gate-pattern workloads (same-qubit chains, diagonal
+//     runs, a QV-style mix).
+//   - exec/<variant>: the end-to-end reordered plan executor on a QV
+//     workload, where compilation cost is part of the measured path.
+//
+// Usage:
+//
+//	kernbench [-out BENCH_kernels.json] [-qubits 12] [-trials 256] [-mintime 200ms]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/circuit"
+	"repro/internal/gate"
+	"repro/internal/noise"
+	"repro/internal/reorder"
+	"repro/internal/sim"
+	"repro/internal/statevec"
+	"repro/internal/trial"
+)
+
+const benchSeed = 20200720
+
+type result struct {
+	Benchmark         string  `json:"benchmark"`
+	Variant           string  `json:"variant"`
+	NsPerOp           float64 `json:"ns_per_op"`
+	Iters             int     `json:"iters"`
+	SpeedupVsDispatch float64 `json:"speedup_vs_dispatch,omitempty"`
+}
+
+type report struct {
+	Qubits  int      `json:"qubits"`
+	Trials  int      `json:"trials"`
+	Seed    int64    `json:"seed"`
+	GoMaxP  int      `json:"gomaxprocs"`
+	Results []result `json:"results"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "kernbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	out := flag.String("out", "BENCH_kernels.json", "output JSON path")
+	qubits := flag.Int("qubits", 12, "workload width")
+	trials := flag.Int("trials", 256, "Monte Carlo trials for the exec benchmark")
+	minTime := flag.Duration("mintime", 200*time.Millisecond, "minimum measured time per case")
+	flag.Parse()
+
+	rep := &report{Qubits: *qubits, Trials: *trials, Seed: benchSeed, GoMaxP: runtime.GOMAXPROCS(0)}
+
+	for _, w := range kernelWorkloads(*qubits) {
+		rep.Results = append(rep.Results, kernelCases(w.name, w.c, *qubits, *minTime)...)
+	}
+	execResults, err := execCases(*qubits, *trials, *minTime)
+	if err != nil {
+		return err
+	}
+	rep.Results = append(rep.Results, execResults...)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d cases)\n", *out, len(rep.Results))
+	return nil
+}
+
+type workload struct {
+	name string
+	c    *circuit.Circuit
+}
+
+// kernelWorkloads mirrors the root BenchmarkKernels patterns: a same-qubit
+// 1q chain, a diagonal-heavy circuit, and a QV-style mix.
+func kernelWorkloads(n int) []workload {
+	chain := circuit.New("chain", n)
+	for r := 0; r < 8; r++ {
+		for q := 0; q < n; q++ {
+			chain.Append(gate.H(), q)
+			chain.Append(gate.T(), q)
+			chain.Append(gate.X(), q)
+			chain.Append(gate.RZ(0.3), q)
+		}
+	}
+	diag := circuit.New("diag", n)
+	for r := 0; r < 8; r++ {
+		for q := 0; q < n; q++ {
+			diag.Append(gate.S(), q)
+			diag.Append(gate.T(), q)
+		}
+		for q := 0; q+1 < n; q += 2 {
+			diag.Append(gate.CZ(), q, q+1)
+		}
+	}
+	qv := bench.QV(n, 4, rand.New(rand.NewSource(benchSeed)))
+	return []workload{{"chain", chain}, {"diag", diag}, {"qv", qv}}
+}
+
+// timeIt runs fn repeatedly until minTime has elapsed and returns ns/op.
+func timeIt(minTime time.Duration, fn func()) (float64, int) {
+	fn() // warm up (and populate lazy segment caches)
+	iters := 0
+	start := time.Now()
+	for time.Since(start) < minTime {
+		fn()
+		iters++
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(iters), iters
+}
+
+func kernelCases(name string, c *circuit.Circuit, n int, minTime time.Duration) []result {
+	bench := "kernels/" + name
+	s := statevec.NewState(n)
+	layers := c.Layers()
+	dispatchNs, dispatchIters := timeIt(minTime, func() {
+		for _, l := range layers {
+			for _, oi := range l {
+				op := c.Op(oi)
+				s.ApplyOp(op.Gate, op.Qubits...)
+			}
+		}
+	})
+	results := []result{{Benchmark: bench, Variant: "dispatch", NsPerOp: dispatchNs, Iters: dispatchIters, SpeedupVsDispatch: 1}}
+
+	variants := []struct {
+		name string
+		opt  statevec.CompileOptions
+	}{
+		{"fused-exact", statevec.CompileOptions{Fuse: statevec.FuseExact}},
+		{"fused-numeric", statevec.CompileOptions{Fuse: statevec.FuseNumeric}},
+		{"unfused-striped4", statevec.CompileOptions{Fuse: statevec.FuseOff, Stripes: 4, StripeMin: 1}},
+		{"fused-numeric-striped4", statevec.CompileOptions{Fuse: statevec.FuseNumeric, Stripes: 4, StripeMin: 1}},
+	}
+	for _, v := range variants {
+		prog := statevec.CompileWith(c, v.opt)
+		st := statevec.NewState(n)
+		ns, iters := timeIt(minTime, func() { prog.RunAll(st) })
+		results = append(results, result{
+			Benchmark: bench, Variant: v.name, NsPerOp: ns, Iters: iters,
+			SpeedupVsDispatch: dispatchNs / ns,
+		})
+	}
+	return results
+}
+
+func execCases(n, trials int, minTime time.Duration) ([]result, error) {
+	c := bench.QV(n, 5, rand.New(rand.NewSource(benchSeed)))
+	m := noise.Uniform("u", n, 1e-3, 1e-2, 1e-2)
+	gen, err := trial.NewGenerator(c, m)
+	if err != nil {
+		return nil, err
+	}
+	ts := gen.Generate(rand.New(rand.NewSource(benchSeed)), trials)
+	plan, err := reorder.BuildPlan(c, ts)
+	if err != nil {
+		return nil, err
+	}
+	variants := []struct {
+		name string
+		opt  sim.Options
+	}{
+		{"dispatch", sim.Options{}},
+		{"fused-exact", sim.Options{Fuse: statevec.FuseExact}},
+		{"fused-numeric", sim.Options{Fuse: statevec.FuseNumeric}},
+		{"fused-numeric-striped4", sim.Options{Fuse: statevec.FuseNumeric, Stripes: 4}},
+	}
+	var results []result
+	var dispatchNs float64
+	for _, v := range variants {
+		var runErr error
+		ns, iters := timeIt(minTime, func() {
+			res, err := sim.ExecutePlan(c, plan, v.opt)
+			if err != nil {
+				runErr = err
+				return
+			}
+			if res.Ops != plan.OptimizedOps() {
+				runErr = fmt.Errorf("%s: executed %d ops, plan says %d", v.name, res.Ops, plan.OptimizedOps())
+			}
+		})
+		if runErr != nil {
+			return nil, runErr
+		}
+		r := result{Benchmark: "exec/qv", Variant: v.name, NsPerOp: ns, Iters: iters}
+		if v.name == "dispatch" {
+			dispatchNs = ns
+			r.SpeedupVsDispatch = 1
+		} else {
+			r.SpeedupVsDispatch = dispatchNs / ns
+		}
+		results = append(results, r)
+	}
+	return results, nil
+}

@@ -28,6 +28,12 @@
 //	-workers n      parallel execution workers for reordered mode
 //	-par m          parallel decomposition: subtree (default; preserves all
 //	                prefix sharing) or chunked (legacy comparison baseline)
+//	-fuse m         kernel compilation for reordered execution: off
+//	                (default; per-gate dispatch), exact (fused kernels,
+//	                bit-identical to dispatch), or numeric (additionally
+//	                folds gate matrices algebraically; fastest, ~1 ulp)
+//	-stripes n      sweep each kernel across n goroutine-partitioned
+//	                amplitude stripes on large states (0/1 = serial)
 //	-selftest       run the seeded differential self-test (internal/difftest)
 //	                instead of a simulation: randomized workloads through
 //	                every executor, cross-checked bit-for-bit against naive
@@ -49,6 +55,7 @@ import (
 	"repro/internal/difftest"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/statevec"
 	"repro/internal/trial"
 )
 
@@ -74,6 +81,8 @@ func run() error {
 	budget := flag.Int("budget", 0, "cap on stored state vectors (0 = unlimited)")
 	workers := flag.Int("workers", 1, "parallel execution workers for reordered mode")
 	parMode := flag.String("par", "subtree", "parallel decomposition with -workers > 1: subtree (shares all prefixes) or chunked (legacy)")
+	fuseName := flag.String("fuse", "off", "kernel compilation for reordered execution: off, exact, or numeric")
+	stripes := flag.Int("stripes", 0, "amplitude stripes per kernel sweep on large states (0/1 = serial)")
 	draw := flag.Bool("draw", false, "print the circuit as ASCII art before simulating")
 	selftest := flag.Bool("selftest", false, "run the seeded differential self-test and exit")
 	selftestRuns := flag.Int("selftest-runs", 25, "number of random workloads for -selftest")
@@ -125,6 +134,11 @@ func run() error {
 		return fmt.Errorf("unknown parallel mode %q (subtree, chunked)", *parMode)
 	}
 
+	fuse, err := statevec.ParseFuseMode(*fuseName)
+	if err != nil {
+		return err
+	}
+
 	var em trial.ErrorMode
 	switch *errMode {
 	case "per-gate":
@@ -147,6 +161,8 @@ func run() error {
 		SnapshotBudget:  *budget,
 		Workers:         *workers,
 		ChunkedParallel: chunked,
+		Fuse:            fuse,
+		Stripes:         *stripes,
 	})
 	if err != nil {
 		return err

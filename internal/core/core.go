@@ -25,6 +25,7 @@ import (
 	"repro/internal/noise"
 	"repro/internal/reorder"
 	"repro/internal/sim"
+	"repro/internal/statevec"
 	"repro/internal/transpile"
 	"repro/internal/trial"
 )
@@ -100,6 +101,17 @@ type Config struct {
 	// 1. Chunking recomputes prefixes spanning chunk boundaries; it is
 	// kept for comparison.
 	ChunkedParallel bool
+	// Fuse selects the kernel-compilation mode for reordered execution
+	// (see statevec.FuseMode). FuseOff dispatches gate by gate;
+	// FuseExact compiles fused kernels that replay dispatch arithmetic
+	// bit-for-bit; FuseNumeric additionally folds gate matrices
+	// algebraically. Baseline mode always dispatches — it is the
+	// reference the optimized paths are checked against.
+	Fuse statevec.FuseMode
+	// Stripes applies each kernel across this many goroutine-partitioned
+	// amplitude stripes when the state is large enough (intra-state
+	// parallelism; see sim.Options.Stripes). 0 or 1 sweeps serially.
+	Stripes int
 	// KeepStates retains per-trial final states (tests only; memory!).
 	KeepStates bool
 }
@@ -172,7 +184,12 @@ func Run(cfg Config) (*Report, error) {
 	}
 	rep.Analysis = rep.Plan.Analysis()
 
-	opt := sim.Options{KeepStates: cfg.KeepStates, SnapshotBudget: cfg.SnapshotBudget}
+	opt := sim.Options{
+		KeepStates:     cfg.KeepStates,
+		SnapshotBudget: cfg.SnapshotBudget,
+		Fuse:           cfg.Fuse,
+		Stripes:        cfg.Stripes,
+	}
 	runReordered := func() (*sim.Result, error) {
 		if cfg.Workers > 1 {
 			if cfg.ChunkedParallel {

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/circuit"
 	"repro/internal/sim"
+	"repro/internal/statevec"
 	"repro/internal/trial"
 )
 
@@ -72,5 +73,53 @@ func Executors() []Executor {
 			},
 		})
 	}
+	// Compiled-kernel variants. Only the exact fusion mode joins the
+	// registry: the engine compares states by Float64bits, and FuseExact
+	// (like FuseOff-with-striping) replays dispatch arithmetic verbatim.
+	// FuseNumeric reassociates products and is validated by tolerance
+	// tests in statevec instead. StripeMin 1 forces striping onto the
+	// engine's small states so the concurrent sweep path is exercised.
+	execs = append(execs,
+		Executor{
+			Name:    "plan-fused",
+			Kind:    KindPlan,
+			Workers: 1,
+			Run: func(c *circuit.Circuit, trials []*trial.Trial, opt sim.Options) (*sim.Result, error) {
+				opt.Fuse = statevec.FuseExact
+				return sim.Reordered(c, trials, opt)
+			},
+		},
+		Executor{
+			Name:    "plan-fused-striped",
+			Kind:    KindPlan,
+			Workers: 1,
+			Run: func(c *circuit.Circuit, trials []*trial.Trial, opt sim.Options) (*sim.Result, error) {
+				opt.Fuse = statevec.FuseExact
+				opt.Stripes = 4
+				opt.StripeMin = 1
+				return sim.Reordered(c, trials, opt)
+			},
+		},
+		Executor{
+			Name:    "chunked-2-fused",
+			Kind:    KindChunked,
+			Workers: 2,
+			Run: func(c *circuit.Circuit, trials []*trial.Trial, opt sim.Options) (*sim.Result, error) {
+				opt.Fuse = statevec.FuseExact
+				return sim.Parallel(c, trials, 2, opt)
+			},
+		},
+		Executor{
+			Name:    "subtree-2-fused-striped",
+			Kind:    KindSubtree,
+			Workers: 2,
+			Run: func(c *circuit.Circuit, trials []*trial.Trial, opt sim.Options) (*sim.Result, error) {
+				opt.Fuse = statevec.FuseExact
+				opt.Stripes = 2
+				opt.StripeMin = 1
+				return sim.ParallelSubtree(c, trials, 2, opt)
+			},
+		},
+	)
 	return execs
 }

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/circuit"
 	"repro/internal/gate"
+	"repro/internal/statevec"
 	"repro/internal/trial"
 )
 
@@ -161,6 +162,12 @@ type Plan struct {
 	Order []*trial.Trial
 	// Steps is the instruction sequence.
 	Steps []Step
+	// Prog, when set, is a compiled kernel program executors use for
+	// StepAdvance layer ranges instead of gate-by-gate dispatch. It is
+	// advisory: static analysis ignores it, a nil Prog means dispatch
+	// execution, and it has no effect on the plan's op/MSV/copy metrics
+	// (compiled execution applies the same logical ops).
+	Prog *statevec.Program
 
 	nLayers   int
 	layerOps  []int // gate count per layer

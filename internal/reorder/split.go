@@ -23,6 +23,7 @@ import (
 	"math"
 
 	"repro/internal/circuit"
+	"repro/internal/statevec"
 	"repro/internal/trial"
 )
 
@@ -71,6 +72,10 @@ type SplitPlan struct {
 	// Cut is the trie depth the plan was split at: tasks hang at
 	// injection depth Cut.
 	Cut int
+	// Prog, when set, is a compiled kernel program executors use for
+	// StepAdvance layer ranges instead of gate-by-gate dispatch (see
+	// Plan.Prog). Nil means dispatch execution.
+	Prog *statevec.Program
 
 	budget   int
 	trunkOps int64

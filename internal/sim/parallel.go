@@ -40,6 +40,9 @@ func Parallel(c *circuit.Circuit, trials []*trial.Trial, workers int, opt Option
 	}
 	ordered := reorder.Sort(trials)
 	budget := opt.planBudget()
+	// One compiled circuit shared by every chunk (Programs are
+	// goroutine-safe); each chunk plan carries it into executePlan.
+	prog := opt.compileProgram(c)
 
 	type chunkResult struct {
 		res *Result
@@ -64,6 +67,7 @@ func Parallel(c *circuit.Circuit, trials []*trial.Trial, workers int, opt Option
 				results[w] = chunkResult{err: err}
 				return
 			}
+			plan.Prog = prog
 			res, err := executePlan(c, plan, opt, &tracker)
 			results[w] = chunkResult{res: res, err: err}
 		}(w, ordered[lo:hi])

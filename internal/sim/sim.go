@@ -69,6 +69,40 @@ type Options struct {
 	// component's stack: the trunk's and every worker's, entry state
 	// included) — and is ignored by ExecutePlan, whose plan is prebuilt.
 	SnapshotBudget int
+	// Fuse compiles the circuit once per run into a program of fused
+	// kernels (statevec.Compile) that every trial and worker replays for
+	// StepAdvance ranges. FuseExact is bit-identical to gate-by-gate
+	// dispatch; FuseNumeric folds matrices algebraically (equivalent
+	// within rounding). Injected Paulis stay individual ops, so the
+	// basic-op accounting is unchanged in every mode. Baseline ignores
+	// it — it is the dispatch reference the fused paths are checked
+	// against.
+	Fuse statevec.FuseMode
+	// Stripes > 1 splits compiled kernel sweeps across that many
+	// goroutines for states of at least StripeMin amplitudes. It applies
+	// to the plan executors' single-threaded paths (most usefully the
+	// subtree trunk); subtree task bodies always run their kernels
+	// serially because the worker pool already saturates the CPUs.
+	// Setting Stripes without Fuse compiles an unfused program (one
+	// kernel per op), which is also bit-identical to dispatch.
+	Stripes int
+	// StripeMin overrides the minimum state size for striping (in
+	// amplitudes); 0 means statevec.DefaultStripeMin. Tests set 1 to
+	// exercise striping on small states.
+	StripeMin int
+}
+
+// compileProgram returns the compiled program the options imply for the
+// circuit, or nil when plain gate-by-gate dispatch should run.
+func (o Options) compileProgram(c *circuit.Circuit) *statevec.Program {
+	if o.Fuse == statevec.FuseOff && o.Stripes <= 1 {
+		return nil
+	}
+	return statevec.CompileWith(c, statevec.CompileOptions{
+		Fuse:      o.Fuse,
+		Stripes:   o.Stripes,
+		StripeMin: o.StripeMin,
+	})
 }
 
 // planBudget maps the public budget convention (0 = unlimited) onto the
@@ -258,9 +292,17 @@ func executePlan(c *circuit.Circuit, plan *reorder.Plan, opt Options, tr *msvTra
 	var stack []*statevec.State
 	layers := c.Layers()
 	ops := c.Ops()
+	prog := plan.Prog
+	if prog == nil {
+		prog = opt.compileProgram(c)
+	}
 	for _, s := range plan.Steps {
 		switch s.Kind {
 		case reorder.StepAdvance:
+			if prog != nil {
+				res.Ops += int64(prog.Run(work, s.From, s.To))
+				continue
+			}
 			for l := s.From; l < s.To; l++ {
 				for _, oi := range layers[l] {
 					op := ops[oi]

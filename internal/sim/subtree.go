@@ -197,6 +197,10 @@ func ExecuteSplitPlan(c *circuit.Circuit, sp *reorder.SplitPlan, workers int, op
 	// Bound on cloned-but-unfinished entry states: the trunk blocks
 	// rather than materializing an entry vector per task up front.
 	sem := make(chan struct{}, 2*workers)
+	prog := sp.Prog
+	if prog == nil {
+		prog = opt.compileProgram(c)
+	}
 
 	partials := make([]*Result, workers)
 	errs := make([]error, workers)
@@ -216,7 +220,7 @@ func ExecuteSplitPlan(c *circuit.Circuit, sp *reorder.SplitPlan, workers int, op
 					break
 				}
 				if errs[w] == nil {
-					errs[w] = runSubtree(c, sp, qt.st, qt.entry, opt, res, &tracker, pool)
+					errs[w] = runSubtree(c, sp, prog, qt.st, qt.entry, opt, res, &tracker, pool)
 				} else {
 					// Already failed: drain so the trunk never blocks on
 					// the entry-state bound, dropping the queued clone.
@@ -228,7 +232,7 @@ func ExecuteSplitPlan(c *circuit.Circuit, sp *reorder.SplitPlan, workers int, op
 		}(w)
 	}
 
-	trunkRes, trunkErr := runTrunk(c, sp, opt, queue, sem, &tracker)
+	trunkRes, trunkErr := runTrunk(c, sp, prog, opt, queue, sem, &tracker)
 	queue.close()
 	wg.Wait()
 	if trunkErr != nil {
@@ -261,8 +265,10 @@ func ExecuteSplitPlan(c *circuit.Circuit, sp *reorder.SplitPlan, workers int, op
 
 // runTrunk executes the sequential prefix program, feeding spawned tasks
 // (with cloned entry states) into the queue. It performs each shared
-// prefix computation exactly once; it never emits trials.
-func runTrunk(c *circuit.Circuit, sp *reorder.SplitPlan, opt Options, queue *taskQueue, sem chan struct{}, tr *msvTracker) (*Result, error) {
+// prefix computation exactly once; it never emits trials. With a compiled
+// program, trunk advances use the striped Run so the otherwise
+// single-threaded serialization point can borrow idle CPUs.
+func runTrunk(c *circuit.Circuit, sp *reorder.SplitPlan, prog *statevec.Program, opt Options, queue *taskQueue, sem chan struct{}, tr *msvTracker) (*Result, error) {
 	res := &Result{Counts: make(map[uint64]int)}
 	if opt.KeepStates {
 		res.FinalStates = make(map[int]*statevec.State)
@@ -275,6 +281,10 @@ func runTrunk(c *circuit.Circuit, sp *reorder.SplitPlan, opt Options, queue *tas
 	for _, s := range sp.Trunk {
 		switch s.Kind {
 		case reorder.StepAdvance:
+			if prog != nil {
+				res.Ops += int64(prog.Run(work, s.From, s.To))
+				continue
+			}
 			for l := s.From; l < s.To; l++ {
 				for _, oi := range layers[l] {
 					op := ops[oi]
@@ -330,7 +340,7 @@ func runTrunk(c *circuit.Circuit, sp *reorder.SplitPlan, opt Options, queue *tas
 // the entry pristine at the bottom of its snapshot stack — the replay
 // floor for StepRestore — and works on a copy; with budget 0 nothing is
 // preserved and restores replay from |0...0>.
-func runSubtree(c *circuit.Circuit, sp *reorder.SplitPlan, st *reorder.Subtree, entry *statevec.State, opt Options, res *Result, tr *msvTracker, pool *statePool) error {
+func runSubtree(c *circuit.Circuit, sp *reorder.SplitPlan, prog *statevec.Program, st *reorder.Subtree, entry *statevec.State, opt Options, res *Result, tr *msvTracker, pool *statePool) error {
 	layers := c.Layers()
 	ops := c.Ops()
 	var work *statevec.State
@@ -351,6 +361,12 @@ func runSubtree(c *circuit.Circuit, sp *reorder.SplitPlan, st *reorder.Subtree, 
 	for _, s := range st.Steps {
 		switch s.Kind {
 		case reorder.StepAdvance:
+			if prog != nil {
+				// Task bodies run serially: the worker pool is the
+				// parallelism here, striping would oversubscribe it.
+				res.Ops += int64(prog.RunSerial(work, s.From, s.To))
+				continue
+			}
 			for l := s.From; l < s.To; l++ {
 				for _, oi := range layers[l] {
 					op := ops[oi]

@@ -1,0 +1,297 @@
+package statevec
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/circuit"
+	"repro/internal/gate"
+	"repro/internal/qmath"
+)
+
+// This file implements the kernel-compilation layer: a circuit is lowered
+// once into a Program of fused kernels, and every Monte Carlo trial (and
+// every worker) replays the compiled kernels instead of re-dispatching
+// gate-by-gate. Injected Pauli errors are not part of the program — they
+// stay individual ApplyPauli calls between layer ranges — so the paper's
+// basic-operation accounting is untouched: Run returns the number of
+// *logical* circuit ops in the executed range (including identity gates,
+// which are counted but compiled away), never the number of kernels.
+//
+// Two fusion modes exist because the differential harness compares final
+// states by Float64bits:
+//
+//   - FuseExact performs sweep fusion only: adjacent single-qubit gates on
+//     the same qubit become one per-pair sweep that replays each gate's
+//     dispatch formula in sequence, and adjacent diagonal gates (on any
+//     qubits, CZ included) become one per-amplitude phase sweep. Every
+//     amplitude sees exactly the floating-point operations, in exactly the
+//     order, that gate-by-gate dispatch would produce, so the result is
+//     bit-identical — what fusion saves is memory traffic and loop/dispatch
+//     overhead, not arithmetic.
+//
+//   - FuseNumeric additionally folds matrices algebraically: single-qubit
+//     runs collapse to one 2x2 product, diagonal runs collapse to one phase
+//     per touched qubit, and adjacent gates on an overlapping qubit pair
+//     fold into a single 4x4. This changes rounding (fl(VU)·a ≠ V·(U·a) in
+//     general), so it is mathematically equivalent within ~1 ulp per fold
+//     but not bit-identical; it is validated against brute-force Kronecker
+//     products and kept out of the bit-exact differential registry.
+//
+// FuseOff compiles one kernel per op — useful to get striped execution
+// with dispatch-identical kernel structure.
+
+// FuseMode selects how aggressively Compile fuses adjacent gates.
+type FuseMode int
+
+const (
+	// FuseOff lowers one kernel per circuit op.
+	FuseOff FuseMode = iota
+	// FuseExact fuses sweeps without changing any floating-point
+	// operation: results are bit-identical to gate-by-gate dispatch.
+	FuseExact
+	// FuseNumeric folds matrices algebraically: fastest, equivalent
+	// within rounding, not bit-identical.
+	FuseNumeric
+)
+
+// String names the mode as the CLI spells it.
+func (m FuseMode) String() string {
+	switch m {
+	case FuseOff:
+		return "off"
+	case FuseExact:
+		return "exact"
+	case FuseNumeric:
+		return "numeric"
+	default:
+		return fmt.Sprintf("fuse(%d)", int(m))
+	}
+}
+
+// ParseFuseMode parses the CLI spelling of a fusion mode.
+func ParseFuseMode(s string) (FuseMode, error) {
+	switch s {
+	case "off":
+		return FuseOff, nil
+	case "exact":
+		return FuseExact, nil
+	case "numeric":
+		return FuseNumeric, nil
+	}
+	return FuseOff, fmt.Errorf("unknown fuse mode %q (off, exact, numeric)", s)
+}
+
+// DefaultStripeMin is the state dimension below which striped execution
+// falls back to serial: under ~2^12 amplitudes the goroutine fan-out costs
+// more than the sweep itself.
+const DefaultStripeMin = 1 << 12
+
+// CompileOptions configures Compile.
+type CompileOptions struct {
+	// Fuse selects the fusion mode.
+	Fuse FuseMode
+	// Stripes > 1 splits every kernel sweep into that many goroutine-
+	// partitioned amplitude stripes when Run executes on a state of at
+	// least StripeMin amplitudes. Kernels are barriers: all stripes of
+	// one kernel complete before the next kernel starts.
+	Stripes int
+	// StripeMin overrides the minimum state dimension (in amplitudes)
+	// for striping; 0 means DefaultStripeMin. Tests set 1 to exercise
+	// striping on tiny states.
+	StripeMin int
+}
+
+func (o CompileOptions) stripeMin() int {
+	if o.StripeMin <= 0 {
+		return DefaultStripeMin
+	}
+	return o.StripeMin
+}
+
+// loweredOp is one circuit op captured at compile time.
+type loweredOp struct {
+	g      gate.Gate
+	qubits []int
+}
+
+// segment is the compiled form of a half-open layer range.
+type segment struct {
+	kernels []kernel
+	ops     int // logical circuit ops in the range, identity gates included
+}
+
+type segKey struct{ from, to int }
+
+// Program is a circuit compiled into fused kernels. Programs are
+// immutable after creation apart from the internal segment cache, and are
+// safe for concurrent use by any number of goroutines: plan executors
+// share one Program across all trials and workers.
+type Program struct {
+	n      int
+	layers [][]loweredOp
+	opt    CompileOptions
+
+	mu   sync.RWMutex
+	segs map[segKey]*segment
+}
+
+// Compile lowers the circuit with exact (bit-identical) fusion and no
+// striping.
+func Compile(c *circuit.Circuit) *Program {
+	return CompileWith(c, CompileOptions{Fuse: FuseExact})
+}
+
+// CompileWith lowers the circuit with explicit options. The circuit's
+// layer structure and ops are snapshotted; later mutation of the circuit
+// does not affect the program.
+func CompileWith(c *circuit.Circuit, opt CompileOptions) *Program {
+	if opt.Stripes < 1 {
+		opt.Stripes = 1
+	}
+	layers := c.Layers()
+	ops := c.Ops()
+	p := &Program{
+		n:      c.NumQubits(),
+		layers: make([][]loweredOp, len(layers)),
+		opt:    opt,
+		segs:   make(map[segKey]*segment),
+	}
+	for l, idxs := range layers {
+		lops := make([]loweredOp, len(idxs))
+		for i, oi := range idxs {
+			op := ops[oi]
+			lops[i] = loweredOp{g: op.Gate, qubits: append([]int(nil), op.Qubits...)}
+		}
+		p.layers[l] = lops
+	}
+	return p
+}
+
+// NumQubits returns the register width the program was compiled for.
+func (p *Program) NumQubits() int { return p.n }
+
+// NumLayers returns the number of circuit layers.
+func (p *Program) NumLayers() int { return len(p.layers) }
+
+// Options returns the compile options.
+func (p *Program) Options() CompileOptions { return p.opt }
+
+// Run applies layers [from, to) to the state and returns the number of
+// logical circuit ops that represents. Sweeps are striped across
+// goroutines when the options ask for it and the state is large enough.
+func (p *Program) Run(s *State, from, to int) int {
+	p.checkState(s)
+	seg := p.segment(from, to)
+	amp := s.amp
+	if p.opt.Stripes > 1 && len(amp) >= p.opt.stripeMin() {
+		for _, k := range seg.kernels {
+			p.runStriped(k, amp)
+		}
+		return seg.ops
+	}
+	for _, k := range seg.kernels {
+		k.run(amp, 0, k.units(len(amp)))
+	}
+	return seg.ops
+}
+
+// RunSerial is Run without striping, for callers that already execute in
+// a worker pool (the subtree executor's task bodies).
+func (p *Program) RunSerial(s *State, from, to int) int {
+	p.checkState(s)
+	seg := p.segment(from, to)
+	amp := s.amp
+	for _, k := range seg.kernels {
+		k.run(amp, 0, k.units(len(amp)))
+	}
+	return seg.ops
+}
+
+// RunAll applies the whole circuit.
+func (p *Program) RunAll(s *State) int { return p.Run(s, 0, len(p.layers)) }
+
+func (p *Program) checkState(s *State) {
+	if s.n != p.n {
+		panic(fmt.Sprintf("statevec: program compiled for %d qubits run on %d-qubit state", p.n, s.n))
+	}
+}
+
+func (p *Program) runStriped(k kernel, amp []complex128) {
+	units := k.units(len(amp))
+	w := p.opt.Stripes
+	if w > units {
+		w = units
+	}
+	if w <= 1 || units == 0 {
+		k.run(amp, 0, units)
+		return
+	}
+	chunk := (units + w - 1) / w
+	var wg sync.WaitGroup
+	for lo := 0; lo < units; lo += chunk {
+		hi := lo + chunk
+		if hi > units {
+			hi = units
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			k.run(amp, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// segment returns the compiled kernels for layers [from, to), compiling
+// and caching on first use. Plans advance between arbitrary layer
+// boundaries, but the same ranges recur across every trial and branch, so
+// each distinct range is lowered exactly once per program.
+func (p *Program) segment(from, to int) *segment {
+	if from < 0 || to > len(p.layers) || from > to {
+		panic(fmt.Sprintf("statevec: segment [%d,%d) outside [0,%d]", from, to, len(p.layers)))
+	}
+	key := segKey{from, to}
+	p.mu.RLock()
+	seg := p.segs[key]
+	p.mu.RUnlock()
+	if seg != nil {
+		return seg
+	}
+	ks, ops := lowerSegment(p.layers, from, to, p.opt.Fuse)
+	p.mu.Lock()
+	if prior := p.segs[key]; prior != nil {
+		p.mu.Unlock()
+		return prior
+	}
+	seg = &segment{kernels: ks, ops: ops}
+	p.segs[key] = seg
+	p.mu.Unlock()
+	return seg
+}
+
+// SegmentOps returns the logical-op count of layers [from, to) without
+// executing anything.
+func (p *Program) SegmentOps(from, to int) int { return p.segment(from, to).ops }
+
+// KernelInfo describes one compiled kernel for tests and analysis.
+// Qubits uses the gate library's convention: Qubits[0] is the
+// most-significant bit of Matrix's index. Nop kernels (fully cancelled
+// fusions in numeric mode) have no matrix.
+type KernelInfo struct {
+	Kind   string
+	Qubits []int
+	Ops    int
+	Matrix qmath.Matrix
+}
+
+// SegmentKernels returns descriptions of the compiled kernels for layers
+// [from, to), in application order.
+func (p *Program) SegmentKernels(from, to int) []KernelInfo {
+	seg := p.segment(from, to)
+	infos := make([]KernelInfo, len(seg.kernels))
+	for i, k := range seg.kernels {
+		infos[i] = k.info()
+	}
+	return infos
+}

@@ -1,0 +1,226 @@
+package statevec
+
+import "repro/internal/qmath"
+
+// This file holds the amplitude-sweep kernels behind every gate
+// application. Each kernel is a free function over a raw amplitude slice
+// plus an explicit work-unit range, so the same code path serves three
+// callers with bit-identical arithmetic:
+//
+//   - the per-gate dispatch (State.ApplyOp / State.ApplyPauli), which
+//     passes the full unit range;
+//   - the compiled programs of compile.go, which replay the same per-pair
+//     formulas inside fused sweeps;
+//   - the striped executor, which partitions the unit range across
+//     goroutines (every unit is an independent block of amplitudes, so
+//     stripes never overlap).
+//
+// A "unit" is the smallest independent block of the sweep: one `base`
+// block of 2*bit amplitudes for single-qubit kernels, one amplitude for
+// diagonal sweeps, and one free-subcube index for the controlled and
+// multi-qubit kernels (which iterate only the active subspace instead of
+// scanning and testing all 2^n indices).
+//
+// The per-pair formulas are deliberately tiny functions: the compiler
+// inlines them, and writing each formula exactly once is what guarantees
+// that fused execution stays bit-identical to gate-by-gate dispatch —
+// the differential harness compares amplitudes by Float64bits, so even a
+// reassociated addition or a flipped zero sign is a detectable bug.
+
+// pair1 applies a general 2x2 unitary to an amplitude pair.
+func pair1(a0, a1, u00, u01, u10, u11 complex128) (complex128, complex128) {
+	return u00*a0 + u01*a1, u10*a0 + u11*a1
+}
+
+// pairY applies Pauli-Y: (a0, a1) -> (-i*a1, i*a0). This is the formula
+// ApplyPauli has always used for injected Y errors; the Y-gate dispatch
+// and the fused kernels share it.
+func pairY(a0, a1 complex128) (complex128, complex128) {
+	return -1i * a1, 1i * a0
+}
+
+// pairH applies the Hadamard in factored form: two multiplies instead of
+// the generic kernel's four.
+func pairH(a0, a1 complex128) (complex128, complex128) {
+	c := qmath.SqrtHalf
+	return (a0 + a1) * c, (a0 - a1) * c
+}
+
+// kern1 sweeps a general 2x2 unitary over base blocks [lo, hi).
+func kern1(amp []complex128, bit, lo, hi int, u00, u01, u10, u11 complex128) {
+	stride := bit << 1
+	for u := lo; u < hi; u++ {
+		base := u * stride
+		for i := base; i < base+bit; i++ {
+			amp[i], amp[i|bit] = pair1(amp[i], amp[i|bit], u00, u01, u10, u11)
+		}
+	}
+}
+
+// kernX sweeps Pauli-X: swap the halves of each block.
+func kernX(amp []complex128, bit, lo, hi int) {
+	stride := bit << 1
+	for u := lo; u < hi; u++ {
+		base := u * stride
+		for i := base; i < base+bit; i++ {
+			amp[i], amp[i|bit] = amp[i|bit], amp[i]
+		}
+	}
+}
+
+// kernY sweeps Pauli-Y.
+func kernY(amp []complex128, bit, lo, hi int) {
+	stride := bit << 1
+	for u := lo; u < hi; u++ {
+		base := u * stride
+		for i := base; i < base+bit; i++ {
+			amp[i], amp[i|bit] = pairY(amp[i], amp[i|bit])
+		}
+	}
+}
+
+// kernZ sweeps Pauli-Z: negate the upper half of each block.
+func kernZ(amp []complex128, bit, lo, hi int) {
+	stride := bit << 1
+	for u := lo; u < hi; u++ {
+		base := u * stride
+		for i := base; i < base+bit; i++ {
+			amp[i|bit] = -amp[i|bit]
+		}
+	}
+}
+
+// kernH sweeps the Hadamard.
+func kernH(amp []complex128, bit, lo, hi int) {
+	stride := bit << 1
+	for u := lo; u < hi; u++ {
+		base := u * stride
+		for i := base; i < base+bit; i++ {
+			amp[i], amp[i|bit] = pairH(amp[i], amp[i|bit])
+		}
+	}
+}
+
+// kernDiag sweeps a diagonal single-qubit gate diag(d0, d1). When d0 is
+// exactly 1 (S, Sdg, T, Tdg, P, U1) only the upper half of each block is
+// touched — half the work and half the memory traffic of the generic
+// kernel, with no pair swaps.
+func kernDiag(amp []complex128, bit, lo, hi int, d0, d1 complex128) {
+	stride := bit << 1
+	if d0 == 1 {
+		for u := lo; u < hi; u++ {
+			base := u*stride | bit
+			for i := base; i < base+bit; i++ {
+				amp[i] *= d1
+			}
+		}
+		return
+	}
+	for u := lo; u < hi; u++ {
+		base := u * stride
+		for i := base; i < base+bit; i++ {
+			amp[i] *= d0
+			amp[i|bit] *= d1
+		}
+	}
+}
+
+// spreadBit inserts a zero bit at the position of `bit`: the bits of u at
+// or above that position shift up by one, the bits below stay. Applying
+// it for each fixed qubit in ascending position order enumerates a free
+// subcube: the 2^(n-k) indices with the fixed qubits' bits all zero.
+func spreadBit(u, bit int) int {
+	lo := u & (bit - 1)
+	return (u-lo)<<1 | lo
+}
+
+// sort2 and sort3 order bit masks ascending for the spread chain.
+func sort2(a, b int) (int, int) {
+	if a > b {
+		return b, a
+	}
+	return a, b
+}
+
+func sort3(a, b, c int) (int, int, int) {
+	a, b = sort2(a, b)
+	b, c = sort2(b, c)
+	a, b = sort2(a, b)
+	return a, b, c
+}
+
+// kernCX sweeps a controlled-X over free-subcube units [lo, hi): only the
+// control=1, target=0 quarter of the index space is visited, instead of
+// scanning all 2^n indices and testing each.
+func kernCX(amp []complex128, cb, tb, lo, hi int) {
+	lowb, highb := sort2(cb, tb)
+	for u := lo; u < hi; u++ {
+		j := spreadBit(spreadBit(u, lowb), highb) | cb
+		amp[j], amp[j|tb] = amp[j|tb], amp[j]
+	}
+}
+
+// kernCZ sweeps a controlled-Z: negate the both-bits-set quarter.
+func kernCZ(amp []complex128, b0, b1, lo, hi int) {
+	lowb, highb := sort2(b0, b1)
+	mask := b0 | b1
+	for u := lo; u < hi; u++ {
+		j := spreadBit(spreadBit(u, lowb), highb) | mask
+		amp[j] = -amp[j]
+	}
+}
+
+// kernSwap sweeps a SWAP: exchange the (1,0) and (0,1) quarters.
+func kernSwap(amp []complex128, b0, b1, lo, hi int) {
+	lowb, highb := sort2(b0, b1)
+	for u := lo; u < hi; u++ {
+		j := spreadBit(spreadBit(u, lowb), highb) | b0
+		k := j ^ b0 ^ b1
+		amp[j], amp[k] = amp[k], amp[j]
+	}
+}
+
+// kernCCX sweeps a Toffoli natively: visit the controls=11, target=0
+// eighth of the index space and swap with its target=1 partner, instead
+// of falling through to the generic 2^k matrix path.
+func kernCCX(amp []complex128, c0, c1, tb, lo, hi int) {
+	lb, mb, hb := sort3(c0, c1, tb)
+	set := c0 | c1
+	for u := lo; u < hi; u++ {
+		j := spreadBit(spreadBit(spreadBit(u, lb), mb), hb) | set
+		amp[j], amp[j|tb] = amp[j|tb], amp[j]
+	}
+}
+
+// kern2 sweeps a general 4x4 unitary over free-subcube units. The matrix
+// convention matches apply2/applyK: index (b0 << 1) | b1 where b0 is the
+// value of qubit q0. The accumulation starts from zero and adds row
+// terms in column order, replicating qmath.Matrix.MulVec bit-for-bit.
+func kern2(amp []complex128, b0, b1, lo, hi int, m *[16]complex128) {
+	lowb, highb := sort2(b0, b1)
+	for u := lo; u < hi; u++ {
+		i0 := spreadBit(spreadBit(u, lowb), highb)
+		i1 := i0 | b1
+		i2 := i0 | b0
+		i3 := i0 | b0 | b1
+		a0, a1, a2, a3 := amp[i0], amp[i1], amp[i2], amp[i3]
+		var r0, r1, r2, r3 complex128
+		r0 += m[0] * a0
+		r0 += m[1] * a1
+		r0 += m[2] * a2
+		r0 += m[3] * a3
+		r1 += m[4] * a0
+		r1 += m[5] * a1
+		r1 += m[6] * a2
+		r1 += m[7] * a3
+		r2 += m[8] * a0
+		r2 += m[9] * a1
+		r2 += m[10] * a2
+		r2 += m[11] * a3
+		r3 += m[12] * a0
+		r3 += m[13] * a1
+		r3 += m[14] * a2
+		r3 += m[15] * a3
+		amp[i0], amp[i1], amp[i2], amp[i3] = r0, r1, r2, r3
+	}
+}

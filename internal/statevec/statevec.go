@@ -115,9 +115,27 @@ func (s *State) ApplyOp(g gate.Gate, qubits ...int) {
 		s.apply1(g, qubits[0])
 	case 2:
 		s.apply2(g, qubits[0], qubits[1])
+	case 3:
+		if g.Kind() == gate.KindCCX {
+			s.applyCCXKernel(qubits[0], qubits[1], qubits[2])
+			return
+		}
+		s.applyK(g.Matrix(), qubits)
 	default:
 		s.applyK(g.Matrix(), qubits)
 	}
+}
+
+// diagKind reports whether a gate kind is diagonal in the computational
+// basis, i.e. eligible for the phase-multiply kernel and for diagonal-run
+// fusion. Z is diagonal too but keeps its dedicated negation kernel.
+func diagKind(k gate.Kind) bool {
+	switch k {
+	case gate.KindS, gate.KindSdg, gate.KindT, gate.KindTdg,
+		gate.KindRZ, gate.KindP, gate.KindU1:
+		return true
+	}
+	return false
 }
 
 // apply1 applies a single-qubit gate to qubit q.
@@ -125,49 +143,41 @@ func (s *State) apply1(g gate.Gate, q int) {
 	if q < 0 || q >= s.n {
 		panic(fmt.Sprintf("statevec: qubit %d out of range [0,%d)", q, s.n))
 	}
-	switch g.Kind() {
-	case gate.KindI:
+	amp := s.amp
+	bit := 1 << uint(q)
+	units := len(amp) >> uint(q+1)
+	switch k := g.Kind(); {
+	case k == gate.KindI:
 		return
-	case gate.KindX:
-		s.applyXKernel(q)
+	case k == gate.KindX:
+		kernX(amp, bit, 0, units)
 		return
-	case gate.KindZ:
-		s.applyZKernel(q)
+	case k == gate.KindY:
+		kernY(amp, bit, 0, units)
+		return
+	case k == gate.KindZ:
+		kernZ(amp, bit, 0, units)
+		return
+	case k == gate.KindH:
+		kernH(amp, bit, 0, units)
+		return
+	case diagKind(k):
+		m := g.Matrix()
+		kernDiag(amp, bit, 0, units, m.At(0, 0), m.At(1, 1))
 		return
 	}
 	m := g.Matrix()
-	u00, u01 := m.At(0, 0), m.At(0, 1)
-	u10, u11 := m.At(1, 0), m.At(1, 1)
-	bit := 1 << uint(q)
-	dim := len(s.amp)
-	for base := 0; base < dim; base += bit << 1 {
-		for i := base; i < base+bit; i++ {
-			a0 := s.amp[i]
-			a1 := s.amp[i|bit]
-			s.amp[i] = u00*a0 + u01*a1
-			s.amp[i|bit] = u10*a0 + u11*a1
-		}
-	}
+	kern1(amp, bit, 0, units, m.At(0, 0), m.At(0, 1), m.At(1, 0), m.At(1, 1))
 }
 
 func (s *State) applyXKernel(q int) {
 	bit := 1 << uint(q)
-	dim := len(s.amp)
-	for base := 0; base < dim; base += bit << 1 {
-		for i := base; i < base+bit; i++ {
-			s.amp[i], s.amp[i|bit] = s.amp[i|bit], s.amp[i]
-		}
-	}
+	kernX(s.amp, bit, 0, len(s.amp)>>uint(q+1))
 }
 
 func (s *State) applyZKernel(q int) {
 	bit := 1 << uint(q)
-	dim := len(s.amp)
-	for base := 0; base < dim; base += bit << 1 {
-		for i := base; i < base+bit; i++ {
-			s.amp[i|bit] = -s.amp[i|bit]
-		}
-	}
+	kernZ(s.amp, bit, 0, len(s.amp)>>uint(q+1))
 }
 
 // apply2 applies a two-qubit gate with qubit order (q0, q1) matching the
@@ -177,50 +187,50 @@ func (s *State) apply2(g gate.Gate, q0, q1 int) {
 	if q0 == q1 {
 		panic(fmt.Sprintf("statevec: two-qubit gate on duplicate qubit %d", q0))
 	}
+	if q0 < 0 || q0 >= s.n || q1 < 0 || q1 >= s.n {
+		panic(fmt.Sprintf("statevec: qubit pair (%d,%d) out of range [0,%d)", q0, q1, s.n))
+	}
+	amp := s.amp
+	units := len(amp) >> 2
 	switch g.Kind() {
 	case gate.KindCX:
-		s.applyCXKernel(q0, q1)
+		kernCX(amp, 1<<uint(q0), 1<<uint(q1), 0, units)
 		return
 	case gate.KindCZ:
-		s.applyCZKernel(q0, q1)
+		kernCZ(amp, 1<<uint(q0), 1<<uint(q1), 0, units)
 		return
 	case gate.KindSwap:
-		s.applySwapKernel(q0, q1)
+		kernSwap(amp, 1<<uint(q0), 1<<uint(q1), 0, units)
 		return
 	}
-	s.applyK(g.Matrix(), []int{q0, q1})
+	var m [16]complex128
+	mat2Flat(g.Matrix(), &m)
+	kern2(amp, 1<<uint(q0), 1<<uint(q1), 0, units, &m)
+}
+
+// mat2Flat copies a 4x4 qmath.Matrix into the flat row-major array kern2
+// consumes.
+func mat2Flat(m qmath.Matrix, out *[16]complex128) {
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			out[r*4+c] = m.At(r, c)
+		}
+	}
 }
 
 func (s *State) applyCXKernel(control, target int) {
-	cb := 1 << uint(control)
-	tb := 1 << uint(target)
-	for i := range s.amp {
-		if i&cb != 0 && i&tb == 0 {
-			s.amp[i], s.amp[i|tb] = s.amp[i|tb], s.amp[i]
-		}
-	}
+	kernCX(s.amp, 1<<uint(control), 1<<uint(target), 0, len(s.amp)>>2)
 }
 
-func (s *State) applyCZKernel(q0, q1 int) {
-	b0 := 1 << uint(q0)
-	b1 := 1 << uint(q1)
-	mask := b0 | b1
-	for i := range s.amp {
-		if i&mask == mask {
-			s.amp[i] = -s.amp[i]
-		}
+// applyCCXKernel applies a Toffoli with controls c0, c1 and target t.
+func (s *State) applyCCXKernel(c0, c1, t int) {
+	if c0 == c1 || c0 == t || c1 == t {
+		panic(fmt.Sprintf("statevec: CCX on duplicate qubits (%d,%d,%d)", c0, c1, t))
 	}
-}
-
-func (s *State) applySwapKernel(q0, q1 int) {
-	b0 := 1 << uint(q0)
-	b1 := 1 << uint(q1)
-	for i := range s.amp {
-		if i&b0 != 0 && i&b1 == 0 {
-			j := i ^ b0 ^ b1
-			s.amp[i], s.amp[j] = s.amp[j], s.amp[i]
-		}
+	if c0 < 0 || c0 >= s.n || c1 < 0 || c1 >= s.n || t < 0 || t >= s.n {
+		panic(fmt.Sprintf("statevec: CCX qubits (%d,%d,%d) out of range [0,%d)", c0, c1, t, s.n))
 	}
+	kernCCX(s.amp, 1<<uint(c0), 1<<uint(c1), 1<<uint(t), 0, len(s.amp)>>3)
 }
 
 // applyK applies an arbitrary k-qubit unitary given as a 2^k x 2^k matrix.
@@ -278,16 +288,7 @@ func (s *State) ApplyPauli(p gate.Pauli, q int) {
 	case gate.PauliX:
 		s.applyXKernel(q)
 	case gate.PauliY:
-		bit := 1 << uint(q)
-		dim := len(s.amp)
-		for base := 0; base < dim; base += bit << 1 {
-			for i := base; i < base+bit; i++ {
-				a0 := s.amp[i]
-				a1 := s.amp[i|bit]
-				s.amp[i] = -1i * a1
-				s.amp[i|bit] = 1i * a0
-			}
-		}
+		kernY(s.amp, 1<<uint(q), 0, len(s.amp)>>uint(q+1))
 	case gate.PauliZ:
 		s.applyZKernel(q)
 	default:
