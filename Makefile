@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race race-verify bench bench-json verify verify-deep selftest fuzz-smoke
+.PHONY: build vet test race race-verify bench bench-json verify verify-deep selftest fuzz-smoke metrics-smoke
 
 build:
 	$(GO) build ./...
@@ -28,7 +28,17 @@ bench:
 bench-json:
 	$(GO) run ./cmd/kernbench -out BENCH_kernels.json
 
-verify: build test race
+verify: build vet test race
+
+vet:
+	$(GO) vet ./...
+
+# End-to-end observability check: run a QV circuit with metrics capture,
+# then re-read the file and verify the executed counters agree with the
+# static plan analysis (ops == OptimizedOps, emitted == trials, ...).
+metrics-smoke: build
+	$(GO) run ./cmd/qsim -bench qv_n5d5 -trials 512 -mode both -metrics /tmp/qsim_metrics_smoke.json
+	$(GO) run ./cmd/qsim -verify-metrics /tmp/qsim_metrics_smoke.json
 
 # The seeded differential self-test: randomized workloads through every
 # executor, cross-checked bit-for-bit against naive execution.

@@ -129,8 +129,11 @@ func scalabilityCase(b *testing.B, n, d int, p1 float64, trials int) {
 	}
 	var norm float64
 	var msv int
+	// Seeds come from the harness's index-keyed derivation; the old
+	// float-based offset (n*1e6*p1) collided across cells with equal n*p1.
+	seed := harness.ScalabilitySeed(harness.Config{Seed: benchSeed}, scalShapeIndex(n, d), scalRateIndex(p1))
 	for i := 0; i < b.N; i++ {
-		rng := rand.New(rand.NewSource(benchSeed + int64(float64(n)*1e6*p1)))
+		rng := rand.New(rand.NewSource(seed))
 		ts := gen.Generate(rng, trials)
 		a, err := reorder.Analyze(c, ts)
 		if err != nil {
@@ -140,6 +143,27 @@ func scalabilityCase(b *testing.B, n, d int, p1 float64, trials int) {
 	}
 	b.ReportMetric(norm, "normcomp")
 	b.ReportMetric(float64(msv), "MSV")
+}
+
+// scalShapeIndex maps a circuit shape to its harness.ScalabilityConfigs
+// index.
+func scalShapeIndex(n, d int) int {
+	for i, sc := range harness.ScalabilityConfigs {
+		if sc.N == n && sc.D == d {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("bench: shape n%d,d%d not in harness.ScalabilityConfigs", n, d))
+}
+
+// scalRateIndex maps an error rate to its harness.ScalabilityRates index.
+func scalRateIndex(p1 float64) int {
+	for i, r := range harness.ScalabilityRates {
+		if r == p1 {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("bench: rate %g not in harness.ScalabilityRates", p1))
 }
 
 // BenchmarkFig7Scalability regenerates Figure 7's normalized-computation

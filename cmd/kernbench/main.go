@@ -15,6 +15,7 @@
 // Usage:
 //
 //	kernbench [-out BENCH_kernels.json] [-qubits 12] [-trials 256] [-mintime 200ms]
+//	kernbench -metrics kern_metrics.json -pprof 127.0.0.1:6060
 package main
 
 import (
@@ -30,6 +31,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/gate"
 	"repro/internal/noise"
+	"repro/internal/obs"
 	"repro/internal/reorder"
 	"repro/internal/sim"
 	"repro/internal/statevec"
@@ -66,18 +68,48 @@ func run() error {
 	qubits := flag.Int("qubits", 12, "workload width")
 	trials := flag.Int("trials", 256, "Monte Carlo trials for the exec benchmark")
 	minTime := flag.Duration("mintime", 200*time.Millisecond, "minimum measured time per case")
+	metricsPath := flag.String("metrics", "", "write per-case kernel/executor counters JSON to this file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on this address")
 	flag.Parse()
+
+	var mets *benchMetrics
+	if *metricsPath != "" || *pprofAddr != "" {
+		mets = &benchMetrics{suite: obs.NewSuite(), agg: obs.NewMetrics()}
+	}
+	if *pprofAddr != "" {
+		url, err := obs.StartPprof(*pprofAddr)
+		if err != nil {
+			return err
+		}
+		obs.PublishExpvar("kernbench", mets.agg)
+		fmt.Fprintf(os.Stderr, "pprof/expvar listening on %s\n", url)
+	}
 
 	rep := &report{Qubits: *qubits, Trials: *trials, Seed: benchSeed, GoMaxP: runtime.GOMAXPROCS(0)}
 
 	for _, w := range kernelWorkloads(*qubits) {
-		rep.Results = append(rep.Results, kernelCases(w.name, w.c, *qubits, *minTime)...)
+		rep.Results = append(rep.Results, kernelCases(w.name, w.c, *qubits, *minTime, mets)...)
 	}
-	execResults, err := execCases(*qubits, *trials, *minTime)
+	execResults, err := execCases(*qubits, *trials, *minTime, mets)
 	if err != nil {
 		return err
 	}
 	rep.Results = append(rep.Results, execResults...)
+
+	if *metricsPath != "" {
+		rm := &obs.RunMetrics{
+			Binary:    "kernbench",
+			Qubits:    *qubits,
+			Trials:    *trials,
+			Seed:      benchSeed,
+			Metrics:   mets.agg.Snapshot(),
+			Scenarios: mets.suite.Scenarios(),
+		}
+		if err := obs.WriteRunMetrics(*metricsPath, rm); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote metrics for %d cases to %s\n", mets.suite.Len(), *metricsPath)
+	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -89,6 +121,26 @@ func run() error {
 	}
 	fmt.Printf("wrote %s (%d cases)\n", *out, len(rep.Results))
 	return nil
+}
+
+// benchMetrics carries the optional observability sinks through the
+// benchmark drivers: one suite entry per (benchmark, variant) case plus a
+// run-wide aggregate published over expvar. Counters accumulate across
+// every timing iteration, so per-case sweep counts scale with Iters.
+type benchMetrics struct {
+	suite *obs.Suite
+	agg   *obs.Metrics
+}
+
+// recorder opens the suite entry for a case and returns a recorder that
+// feeds both it and the aggregate. Returns nil entry/recorder when
+// metrics collection is off, which disables the recording hot path.
+func (m *benchMetrics) recorder(benchmark, variant string) (*obs.SuiteEntry, obs.Recorder) {
+	if m == nil {
+		return nil, nil
+	}
+	e := m.suite.Scenario(benchmark, variant)
+	return e, obs.Multi(m.agg, e.Metrics)
 }
 
 type workload struct {
@@ -134,7 +186,7 @@ func timeIt(minTime time.Duration, fn func()) (float64, int) {
 	return float64(time.Since(start).Nanoseconds()) / float64(iters), iters
 }
 
-func kernelCases(name string, c *circuit.Circuit, n int, minTime time.Duration) []result {
+func kernelCases(name string, c *circuit.Circuit, n int, minTime time.Duration, mets *benchMetrics) []result {
 	bench := "kernels/" + name
 	s := statevec.NewState(n)
 	layers := c.Layers()
@@ -158,7 +210,9 @@ func kernelCases(name string, c *circuit.Circuit, n int, minTime time.Duration) 
 		{"fused-numeric-striped4", statevec.CompileOptions{Fuse: statevec.FuseNumeric, Stripes: 4, StripeMin: 1}},
 	}
 	for _, v := range variants {
-		prog := statevec.CompileWith(c, v.opt)
+		opt := v.opt
+		_, opt.Recorder = mets.recorder(bench, v.name)
+		prog := statevec.CompileWith(c, opt)
 		st := statevec.NewState(n)
 		ns, iters := timeIt(minTime, func() { prog.RunAll(st) })
 		results = append(results, result{
@@ -169,7 +223,7 @@ func kernelCases(name string, c *circuit.Circuit, n int, minTime time.Duration) 
 	return results
 }
 
-func execCases(n, trials int, minTime time.Duration) ([]result, error) {
+func execCases(n, trials int, minTime time.Duration, mets *benchMetrics) ([]result, error) {
 	c := bench.QV(n, 5, rand.New(rand.NewSource(benchSeed)))
 	m := noise.Uniform("u", n, 1e-3, 1e-2, 1e-2)
 	gen, err := trial.NewGenerator(c, m)
@@ -193,9 +247,22 @@ func execCases(n, trials int, minTime time.Duration) ([]result, error) {
 	var results []result
 	var dispatchNs float64
 	for _, v := range variants {
+		opt := v.opt
+		entry, rec := mets.recorder("exec/qv", v.name)
+		if entry != nil {
+			a := plan.Analysis()
+			entry.Plan = &obs.PlanStatics{
+				BaselineOps:  a.BaselineOps,
+				OptimizedOps: a.OptimizedOps,
+				Normalized:   a.Normalized,
+				MSV:          a.MSV,
+				Copies:       a.Copies,
+			}
+			opt.Recorder = rec
+		}
 		var runErr error
 		ns, iters := timeIt(minTime, func() {
-			res, err := sim.ExecutePlan(c, plan, v.opt)
+			res, err := sim.ExecutePlan(c, plan, opt)
 			if err != nil {
 				runErr = err
 				return

@@ -34,6 +34,17 @@
 //	                folds gate matrices algebraically; fastest, ~1 ulp)
 //	-stripes n      sweep each kernel across n goroutine-partitioned
 //	                amplitude stripes on large states (0/1 = serial)
+//	-metrics file   write run metrics (phase timings, executor counters,
+//	                plan statics) as JSON to file (see EXPERIMENTS.md)
+//	-verify-metrics file
+//	                validate a -metrics JSON file: counters must agree
+//	                with the recorded plan statics and result; exits
+//	                nonzero on any violation
+//	-trace file     write the plan-trace event stream (snapshot push/
+//	                drop/restore, task spawns, emits) as JSON to file
+//	-trace-summary  print a flame-style per-depth summary of the trace
+//	-pprof addr     serve net/http/pprof and expvar on addr (e.g.
+//	                localhost:6060); live metrics appear at /debug/vars
 //	-selftest       run the seeded differential self-test (internal/difftest)
 //	                instead of a simulation: randomized workloads through
 //	                every executor, cross-checked bit-for-bit against naive
@@ -46,6 +57,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/bench"
@@ -53,6 +65,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/difftest"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/statevec"
@@ -86,8 +99,16 @@ func run() error {
 	draw := flag.Bool("draw", false, "print the circuit as ASCII art before simulating")
 	selftest := flag.Bool("selftest", false, "run the seeded differential self-test and exit")
 	selftestRuns := flag.Int("selftest-runs", 25, "number of random workloads for -selftest")
+	metricsPath := flag.String("metrics", "", "write run metrics JSON to this file")
+	verifyPath := flag.String("verify-metrics", "", "validate a -metrics JSON file and exit")
+	tracePath := flag.String("trace", "", "write the plan-trace event stream as JSON to this file")
+	traceSummary := flag.Bool("trace-summary", false, "print a flame-style summary of the plan trace")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on this address")
 	flag.Parse()
 
+	if *verifyPath != "" {
+		return verifyMetrics(*verifyPath)
+	}
 	if *selftest {
 		return difftest.SelfTest(os.Stdout, *seed, *selftestRuns)
 	}
@@ -149,6 +170,26 @@ func run() error {
 		return fmt.Errorf("unknown error mode %q (per-gate, per-qubit)", *errMode)
 	}
 
+	var metrics *obs.Metrics
+	var trace *obs.Trace
+	var recorders []obs.Recorder
+	if *metricsPath != "" || *pprofAddr != "" {
+		metrics = obs.NewMetrics()
+		recorders = append(recorders, metrics)
+	}
+	if *tracePath != "" || *traceSummary {
+		trace = obs.NewTrace()
+		recorders = append(recorders, trace)
+	}
+	if *pprofAddr != "" {
+		bound, err := obs.StartPprof(*pprofAddr)
+		if err != nil {
+			return fmt.Errorf("-pprof: %v", err)
+		}
+		obs.PublishExpvar("qsim", metrics)
+		fmt.Printf("pprof: http://%s/debug/pprof (metrics at /debug/vars)\n", bound)
+	}
+
 	start := time.Now()
 	rep, err := core.Run(core.Config{
 		Circuit:         circ,
@@ -163,6 +204,7 @@ func run() error {
 		ChunkedParallel: chunked,
 		Fuse:            fuse,
 		Stripes:         *stripes,
+		Recorder:        obs.Multi(recorders...),
 	})
 	if err != nil {
 		return err
@@ -196,6 +238,136 @@ func run() error {
 			return fmt.Errorf("equivalence check FAILED: outcomes differ")
 		}
 	}
+
+	if metrics != nil && *metricsPath != "" {
+		rm := buildRunMetrics(rep, metrics, *trials, *seed, runModeLabel(mode, *budget, chunked, *workers))
+		if err := obs.WriteRunMetrics(*metricsPath, rm); err != nil {
+			return fmt.Errorf("-metrics: %v", err)
+		}
+		fmt.Printf("metrics written to %s\n", *metricsPath)
+	}
+	if trace != nil {
+		if *tracePath != "" {
+			f, err := os.Create(*tracePath)
+			if err != nil {
+				return fmt.Errorf("-trace: %v", err)
+			}
+			werr := trace.WriteJSON(f)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				return fmt.Errorf("-trace: %v", werr)
+			}
+			fmt.Printf("trace written to %s (%d events)\n", *tracePath, trace.Len())
+		}
+		if *traceSummary {
+			fmt.Print(trace.Summary())
+		}
+	}
+	return nil
+}
+
+// runModeLabel names the executed configuration in the metrics envelope.
+// Suffixes mark configurations whose executed op count legitimately
+// departs from the static plan count (budget replay, chunk-boundary
+// recomputation); -verify-metrics only enforces plan equality on
+// unsuffixed modes.
+func runModeLabel(mode core.Mode, budget int, chunked bool, workers int) string {
+	label := mode.String()
+	if budget > 0 {
+		label += "+budget"
+	}
+	if chunked && workers > 1 {
+		label += "+chunked"
+	}
+	return label
+}
+
+// buildRunMetrics assembles the JSON envelope from the report and the
+// recorder.
+func buildRunMetrics(rep *core.Report, metrics *obs.Metrics, trials int, seed int64, mode string) *obs.RunMetrics {
+	a := rep.Analysis
+	rm := &obs.RunMetrics{
+		Binary:  "qsim",
+		Circuit: rep.Circuit.Name(),
+		Qubits:  rep.Circuit.NumQubits(),
+		Trials:  trials,
+		Seed:    seed,
+		Mode:    mode,
+		Plan: &obs.PlanStatics{
+			BaselineOps:  a.BaselineOps,
+			OptimizedOps: a.OptimizedOps,
+			Normalized:   a.Normalized,
+			MSV:          a.MSV,
+			Copies:       a.Copies,
+		},
+		Metrics: metrics.Snapshot(),
+	}
+	if res := pick(rep); res != nil {
+		rm.Result = &obs.ExecStatics{Ops: res.Ops, Copies: res.Copies, MSV: res.MSV}
+	}
+	return rm
+}
+
+// verifyMetrics enforces the observability invariants on a -metrics file:
+// the recorder's counters must agree exactly with the recorded Result,
+// and — for sharing-preserving modes — with the static plan analysis.
+func verifyMetrics(path string) error {
+	rm, err := obs.ReadRunMetrics(path)
+	if err != nil {
+		return err
+	}
+	if rm.Plan == nil {
+		return fmt.Errorf("%s: no plan statics recorded", path)
+	}
+	ops := rm.Metrics.Counters[obs.Ops.String()]
+	emitted := rm.Metrics.Counters[obs.TrialsEmitted.String()]
+	msvGauge := rm.Metrics.Gauges[obs.MSVHighWater.String()]
+	base, _, suffixed := strings.Cut(rm.Mode, "+")
+	sharing := !suffixed
+
+	var violations []string
+	check := func(ok bool, format string, args ...any) {
+		if !ok {
+			violations = append(violations, fmt.Sprintf(format, args...))
+		}
+	}
+	if rm.Result != nil {
+		switch base {
+		case "reordered":
+			check(ops == rm.Result.Ops, "counter ops %d != result ops %d", ops, rm.Result.Ops)
+			check(emitted == int64(rm.Trials), "trials emitted %d != trials %d", emitted, rm.Trials)
+			check(msvGauge == int64(rm.Result.MSV), "MSV gauge %d != result MSV %d", msvGauge, rm.Result.MSV)
+			if sharing {
+				check(rm.Result.Ops == rm.Plan.OptimizedOps,
+					"executed ops %d != plan optimized ops %d", rm.Result.Ops, rm.Plan.OptimizedOps)
+				check(rm.Metrics.Counters[obs.Copies.String()] == rm.Result.Copies,
+					"counter copies %d != result copies %d", rm.Metrics.Counters[obs.Copies.String()], rm.Result.Copies)
+			}
+		case "both":
+			// Result holds the reordered executed run; the counters
+			// aggregate baseline + reordered.
+			check(emitted == 2*int64(rm.Trials), "trials emitted %d != 2x trials %d", emitted, rm.Trials)
+			check(msvGauge == int64(rm.Result.MSV), "MSV gauge %d != result MSV %d", msvGauge, rm.Result.MSV)
+			if sharing {
+				check(rm.Result.Ops == rm.Plan.OptimizedOps,
+					"executed ops %d != plan optimized ops %d", rm.Result.Ops, rm.Plan.OptimizedOps)
+				check(ops == rm.Plan.BaselineOps+rm.Plan.OptimizedOps,
+					"counter ops %d != baseline %d + optimized %d", ops, rm.Plan.BaselineOps, rm.Plan.OptimizedOps)
+			}
+		case "baseline":
+			check(ops == rm.Result.Ops, "counter ops %d != result ops %d", ops, rm.Result.Ops)
+			check(rm.Result.Ops == rm.Plan.BaselineOps,
+				"baseline executed ops %d != plan baseline ops %d", rm.Result.Ops, rm.Plan.BaselineOps)
+			check(emitted == int64(rm.Trials), "trials emitted %d != trials %d", emitted, rm.Trials)
+		}
+	}
+	if len(violations) > 0 {
+		return fmt.Errorf("%s: %d metric violation(s):\n  %s", path, len(violations), strings.Join(violations, "\n  "))
+	}
+	fmt.Printf("metrics OK: %s (%s, %d trials): counter ops %d agree with plan/result\n",
+		path, rm.Mode, rm.Trials, ops)
 	return nil
 }
 

@@ -18,6 +18,8 @@
 //	-trials list     comma-separated trial counts
 //	-seed n          RNG seed
 //	-csv             emit CSV instead of the aligned table
+//	-metrics file    write per-point run metrics JSON (see EXPERIMENTS.md)
+//	-pprof addr      serve net/http/pprof and expvar on addr
 package main
 
 import (
@@ -31,6 +33,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/noise"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -49,6 +52,8 @@ func run() error {
 	trialsArg := flag.String("trials", "4096", "comma-separated trial counts")
 	seed := flag.Int64("seed", 1, "RNG seed")
 	csv := flag.Bool("csv", false, "emit CSV")
+	metricsPath := flag.String("metrics", "", "write per-point run metrics JSON to this file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on this address")
 	flag.Parse()
 
 	circ, err := loadCircuit(*qasmPath, *benchName, *seed)
@@ -68,6 +73,21 @@ func run() error {
 		return err
 	}
 
+	var suite *obs.Suite
+	var agg *obs.Metrics
+	if *metricsPath != "" || *pprofAddr != "" {
+		suite = obs.NewSuite()
+		agg = obs.NewMetrics()
+	}
+	if *pprofAddr != "" {
+		url, err := obs.StartPprof(*pprofAddr)
+		if err != nil {
+			return err
+		}
+		obs.PublishExpvar("qsweep", agg)
+		fmt.Fprintf(os.Stderr, "pprof/expvar listening on %s\n", url)
+	}
+
 	if *csv {
 		fmt.Println("rate_1q,trials,target_probability,ci_lo,ci_hi,saving,msv")
 	} else {
@@ -78,11 +98,27 @@ func run() error {
 	for _, p1 := range rates {
 		for _, n := range trialCounts {
 			m := noise.Uniform(fmt.Sprintf("sweep-%g", p1), circ.NumQubits(), p1, clamp(10*p1), clamp(10*p1))
+			var rec obs.Recorder
+			var entry *obs.SuiteEntry
+			if suite != nil {
+				entry = suite.Scenario("sweep", fmt.Sprintf("p%g/n%d", p1, n))
+				rec = obs.Multi(agg, entry.Metrics)
+			}
 			rep, err := core.Run(core.Config{
 				Circuit: circ, Model: m, Trials: n, Seed: *seed, Mode: core.ModeReordered,
+				Recorder: rec,
 			})
 			if err != nil {
 				return err
+			}
+			if entry != nil {
+				entry.Plan = &obs.PlanStatics{
+					BaselineOps:  rep.Analysis.BaselineOps,
+					OptimizedOps: rep.Analysis.OptimizedOps,
+					Normalized:   rep.Analysis.Normalized,
+					MSV:          rep.Analysis.MSV,
+					Copies:       rep.Analysis.Copies,
+				}
 			}
 			ci, err := stats.EstimateProportion(rep.Reordered.Counts[targetBits], n)
 			if err != nil {
@@ -96,6 +132,21 @@ func run() error {
 					p1, n, ci.Estimate, ci.Lo, ci.Hi, rep.Analysis.Saving*100, rep.Reordered.MSV)
 			}
 		}
+	}
+	if *metricsPath != "" {
+		rm := &obs.RunMetrics{
+			Binary:    "qsweep",
+			Circuit:   circ.Name(),
+			Qubits:    circ.NumQubits(),
+			Seed:      *seed,
+			Mode:      "reordered",
+			Metrics:   agg.Snapshot(),
+			Scenarios: suite.Scenarios(),
+		}
+		if err := obs.WriteRunMetrics(*metricsPath, rm); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote metrics for %d sweep points to %s\n", suite.Len(), *metricsPath)
 	}
 	return nil
 }

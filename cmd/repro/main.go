@@ -6,10 +6,14 @@
 // Usage:
 //
 //	repro [-exp table1|fig4|fig5|fig6|fig7|fig8|ablation|parallel|all] [-full] [-csv dir] [-seed N]
+//	repro -metrics repro_metrics.json -pprof 127.0.0.1:6060
 //
 // By default the scalability experiments (Figures 7-8) run with a reduced
 // trial count so the whole suite finishes in seconds; -full restores the
 // paper's 10^6 trials per configuration (minutes, a few hundred MB).
+// With -metrics, every experiment scenario records counters, phase
+// timings, and static plan analysis into one JSON envelope (schema in
+// EXPERIMENTS.md).
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -28,6 +33,8 @@ func main() {
 	csvDir := flag.String("csv", "", "also write each experiment as CSV into this directory")
 	seed := flag.Int64("seed", 0, "override the experiment seed (0 = default)")
 	trials := flag.Int("scal-trials", 0, "override scalability trial count (0 = config default)")
+	metricsPath := flag.String("metrics", "", "write per-scenario experiment metrics JSON to this file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on this address")
 	flag.Parse()
 
 	cfg := harness.DefaultConfig()
@@ -39,6 +46,17 @@ func main() {
 	}
 	if *trials > 0 {
 		cfg.ScalabilityTrials = *trials
+	}
+	if *metricsPath != "" {
+		cfg.Metrics = obs.NewSuite()
+	}
+	if *pprofAddr != "" {
+		url, err := obs.StartPprof(*pprofAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "pprof listening on %s\n", url)
 	}
 
 	experiments := harness.Experiments(cfg)
@@ -89,5 +107,18 @@ func main() {
 				os.Exit(1)
 			}
 		}
+	}
+
+	if *metricsPath != "" {
+		rm := &obs.RunMetrics{
+			Binary:    "repro",
+			Seed:      cfg.Seed,
+			Scenarios: cfg.Metrics.Scenarios(),
+		}
+		if err := obs.WriteRunMetrics(*metricsPath, rm); err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote metrics for %d scenarios to %s\n", cfg.Metrics.Len(), *metricsPath)
 	}
 }

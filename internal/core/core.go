@@ -18,11 +18,13 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"repro/internal/circuit"
 	"repro/internal/device"
 	"repro/internal/noise"
+	"repro/internal/obs"
 	"repro/internal/reorder"
 	"repro/internal/sim"
 	"repro/internal/statevec"
@@ -114,6 +116,11 @@ type Config struct {
 	Stripes int
 	// KeepStates retains per-trial final states (tests only; memory!).
 	KeepStates bool
+	// Recorder, when non-nil, receives run metrics: per-phase wall-clock
+	// timings (trial generation, reorder sort, plan build, execution) and
+	// the executors' counters and trace events (see internal/obs). nil
+	// disables all recording; recording never changes any Result field.
+	Recorder obs.Recorder
 }
 
 // Report is the outcome of Run.
@@ -171,14 +178,24 @@ func Run(cfg Config) (*Report, error) {
 		return nil, err
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	genDone := obs.StartPhase(cfg.Recorder, obs.PhaseTrialGen)
 	rep.Trials = gen.Generate(rng, cfg.Trials)
+	genDone()
 	rep.TrialStats = trial.Summarize(rep.Trials)
 
+	// Sort and plan construction are timed as separate phases; building
+	// from the presorted order is equivalent to BuildPlan/BuildPlanBudget
+	// over the raw trial set.
+	sortDone := obs.StartPhase(cfg.Recorder, obs.PhaseSort)
+	ordered := reorder.Sort(rep.Trials)
+	sortDone()
+	budget := math.MaxInt
 	if cfg.SnapshotBudget > 0 {
-		rep.Plan, err = reorder.BuildPlanBudget(rep.Circuit, rep.Trials, cfg.SnapshotBudget)
-	} else {
-		rep.Plan, err = reorder.BuildPlan(rep.Circuit, rep.Trials)
+		budget = cfg.SnapshotBudget
 	}
+	planDone := obs.StartPhase(cfg.Recorder, obs.PhasePlanBuild)
+	rep.Plan, err = reorder.BuildPlanOrderedBudget(rep.Circuit, ordered, budget)
+	planDone()
 	if err != nil {
 		return nil, err
 	}
@@ -189,6 +206,7 @@ func Run(cfg Config) (*Report, error) {
 		SnapshotBudget: cfg.SnapshotBudget,
 		Fuse:           cfg.Fuse,
 		Stripes:        cfg.Stripes,
+		Recorder:       cfg.Recorder,
 	}
 	runReordered := func() (*sim.Result, error) {
 		if cfg.Workers > 1 {
@@ -199,6 +217,7 @@ func Run(cfg Config) (*Report, error) {
 		}
 		return sim.ExecutePlan(rep.Circuit, rep.Plan, opt)
 	}
+	execDone := obs.StartPhase(cfg.Recorder, obs.PhaseExecute)
 	switch cfg.Mode {
 	case ModeStatic:
 	case ModeBaseline:
@@ -211,8 +230,10 @@ func Run(cfg Config) (*Report, error) {
 			rep.Reordered, err = runReordered()
 		}
 	default:
+		execDone()
 		return nil, fmt.Errorf("core: unknown mode %v", cfg.Mode)
 	}
+	execDone()
 	if err != nil {
 		return nil, err
 	}

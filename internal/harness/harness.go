@@ -18,6 +18,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/device"
 	"repro/internal/noise"
+	"repro/internal/obs"
 	"repro/internal/reorder"
 	"repro/internal/transpile"
 	"repro/internal/trial"
@@ -108,6 +109,31 @@ type Config struct {
 	// 7-8. The paper uses 1e6; DefaultConfig uses a quicker setting and
 	// cmd/repro -full restores the paper's.
 	ScalabilityTrials int
+	// Metrics, when non-nil, collects per-scenario metrics (phase timings
+	// and static plan analyses) as the experiments run; cmd/repro's
+	// -metrics flag serializes the suite into the run-metrics JSON.
+	Metrics *obs.Suite
+}
+
+// scenario returns the recorder and entry for one experiment scenario, or
+// (nil, nil) when metrics collection is off.
+func (cfg Config) scenario(experiment, name string) (*obs.SuiteEntry, obs.Recorder) {
+	if cfg.Metrics == nil {
+		return nil, nil
+	}
+	e := cfg.Metrics.Scenario(experiment, name)
+	return e, e.Metrics
+}
+
+// planStatics converts a static analysis into the metrics-JSON form.
+func planStatics(a reorder.Analysis) *obs.PlanStatics {
+	return &obs.PlanStatics{
+		BaselineOps:  a.BaselineOps,
+		OptimizedOps: a.OptimizedOps,
+		Normalized:   a.Normalized,
+		MSV:          a.MSV,
+		Copies:       a.Copies,
+	}
 }
 
 // DefaultConfig returns the quick-run configuration: Figure 5/6 exactly as
@@ -213,11 +239,19 @@ func Fig5Data(cfg Config) ([]Fig5Result, error) {
 			return nil, fmt.Errorf("harness: %s: %v", ref.Name, err)
 		}
 		for _, n := range cfg.Fig5Trials {
-			rng := rand.New(rand.NewSource(cfg.Seed + int64(n)))
+			entry, rec := cfg.scenario("fig5", fmt.Sprintf("%s/%d", ref.Name, n))
+			rng := rand.New(rand.NewSource(Fig5Seed(cfg, n)))
+			genDone := obs.StartPhase(rec, obs.PhaseTrialGen)
 			trials := gen.Generate(rng, n)
+			genDone()
+			planDone := obs.StartPhase(rec, obs.PhasePlanBuild)
 			a, err := reorder.Analyze(c, trials)
+			planDone()
 			if err != nil {
 				return nil, fmt.Errorf("harness: %s/%d: %v", ref.Name, n, err)
+			}
+			if entry != nil {
+				entry.Plan = planStatics(a)
 			}
 			out = append(out, Fig5Result{
 				Benchmark:  ref.Name,
@@ -292,11 +326,19 @@ func Fig6(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		rng := rand.New(rand.NewSource(cfg.Seed + int64(cfg.Fig6Trials)))
+		entry, rec := cfg.scenario("fig6", ref.Name)
+		rng := rand.New(rand.NewSource(Fig6Seed(cfg)))
+		genDone := obs.StartPhase(rec, obs.PhaseTrialGen)
 		trials := gen.Generate(rng, cfg.Fig6Trials)
+		genDone()
+		planDone := obs.StartPhase(rec, obs.PhasePlanBuild)
 		a, err := reorder.Analyze(c, trials)
+		planDone()
 		if err != nil {
 			return nil, err
+		}
+		if entry != nil {
+			entry.Plan = planStatics(a)
 		}
 		t.AddRow(ref.Name, fmt.Sprintf("%d", a.MSV))
 	}
@@ -327,22 +369,33 @@ type ScalResult struct {
 // the 40-qubit configurations are exact, not scaled down).
 func ScalabilityData(cfg Config) ([]ScalResult, error) {
 	var out []ScalResult
-	for _, sc := range ScalabilityConfigs {
+	for si, sc := range ScalabilityConfigs {
 		// One circuit per shape, shared across rates (as in the paper,
 		// where the circuit is fixed and the device model varies).
 		crng := rand.New(rand.NewSource(cfg.Seed ^ int64(sc.N*1000+sc.D)))
 		c := bench.QV(sc.N, sc.D, crng)
-		for _, p1 := range ScalabilityRates {
+		for ri, p1 := range ScalabilityRates {
 			m := noise.Uniform(fmt.Sprintf("artificial-%g", p1), sc.N, p1, 10*p1, 10*p1)
 			gen, err := trial.NewGenerator(c, m)
 			if err != nil {
 				return nil, fmt.Errorf("harness: qv n%d d%d: %v", sc.N, sc.D, err)
 			}
-			rng := rand.New(rand.NewSource(cfg.Seed + int64(float64(sc.N)*1e6*p1)))
+			entry, rec := cfg.scenario("scalability", fmt.Sprintf("n%d_d%d/p%g", sc.N, sc.D, p1))
+			// The seed mixes the integer scenario indices: the old
+			// float-derived offset (N*1e6*p1) collided whenever N*p1 tied
+			// across cells.
+			rng := rand.New(rand.NewSource(ScalabilitySeed(cfg, si, ri)))
+			genDone := obs.StartPhase(rec, obs.PhaseTrialGen)
 			trials := gen.Generate(rng, cfg.ScalabilityTrials)
+			genDone()
+			planDone := obs.StartPhase(rec, obs.PhasePlanBuild)
 			a, err := reorder.Analyze(c, trials)
+			planDone()
 			if err != nil {
 				return nil, err
+			}
+			if entry != nil {
+				entry.Plan = planStatics(a)
 			}
 			st := trial.Summarize(trials)
 			out = append(out, ScalResult{
@@ -442,13 +495,19 @@ func Ablation(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		rng := rand.New(rand.NewSource(cfg.Seed + int64(cfg.Fig6Trials)))
+		rng := rand.New(rand.NewSource(AblationSeed(cfg)))
 		trials := gen.Generate(rng, cfg.Fig6Trials)
 		row := []string{ref.Name}
 		for _, cap := range AblationDepths {
+			entry, rec := cfg.scenario("ablation", fmt.Sprintf("%s/cap%d", ref.Name, cap))
+			planDone := obs.StartPhase(rec, obs.PhasePlanBuild)
 			a, err := reorder.AnalyzeCapped(c, trials, cap)
+			planDone()
 			if err != nil {
 				return nil, err
+			}
+			if entry != nil {
+				entry.Plan = planStatics(a)
 			}
 			row = append(row, fmt.Sprintf("%.3f", a.Normalized))
 		}

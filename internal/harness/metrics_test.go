@@ -1,0 +1,55 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestFig6PopulatesMetricsSuite: with Config.Metrics set, every benchmark
+// gets a suite entry carrying its static plan analysis and a nonzero
+// plan-build phase timing; the rendered table is unchanged by collection.
+func TestFig6PopulatesMetricsSuite(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Fig6Trials = 128
+	bare, err := Fig6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Metrics = obs.NewSuite()
+	instrumented, err := Fig6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bare.Rows) != len(instrumented.Rows) {
+		t.Fatalf("row count changed with metrics on: %d vs %d", len(bare.Rows), len(instrumented.Rows))
+	}
+	for i := range bare.Rows {
+		for j := range bare.Rows[i] {
+			if bare.Rows[i][j] != instrumented.Rows[i][j] {
+				t.Errorf("cell [%d][%d] changed with metrics on: %q vs %q",
+					i, j, bare.Rows[i][j], instrumented.Rows[i][j])
+			}
+		}
+	}
+	if cfg.Metrics.Len() != len(bare.Rows) {
+		t.Fatalf("suite has %d scenarios, table has %d rows", cfg.Metrics.Len(), len(bare.Rows))
+	}
+	for _, sc := range cfg.Metrics.Scenarios() {
+		if sc.Experiment != "fig6" {
+			t.Errorf("scenario %q filed under experiment %q", sc.Scenario, sc.Experiment)
+		}
+		if sc.Plan == nil {
+			t.Fatalf("scenario %q has no plan statics", sc.Scenario)
+		}
+		if sc.Plan.OptimizedOps <= 0 || sc.Plan.BaselineOps < sc.Plan.OptimizedOps {
+			t.Errorf("scenario %q has implausible plan statics: %+v", sc.Scenario, sc.Plan)
+		}
+		if sc.Metrics.PhaseNs[obs.PhasePlanBuild.String()] <= 0 {
+			t.Errorf("scenario %q recorded no plan-build time", sc.Scenario)
+		}
+		if sc.Metrics.PhaseNs[obs.PhaseTrialGen.String()] <= 0 {
+			t.Errorf("scenario %q recorded no trial-gen time", sc.Scenario)
+		}
+	}
+}

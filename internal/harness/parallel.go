@@ -8,6 +8,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/circuit"
 	"repro/internal/device"
+	"repro/internal/obs"
 	"repro/internal/reorder"
 	"repro/internal/trial"
 )
@@ -44,11 +45,19 @@ func ParallelSharing(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		rng := rand.New(rand.NewSource(cfg.Seed + int64(cfg.Fig6Trials)))
+		entry, rec := cfg.scenario("parallel", ref.Name)
+		rng := rand.New(rand.NewSource(ParallelSeed(cfg)))
+		genDone := obs.StartPhase(rec, obs.PhaseTrialGen)
 		trials := gen.Generate(rng, cfg.Fig6Trials)
+		genDone()
+		planDone := obs.StartPhase(rec, obs.PhasePlanBuild)
 		plan, err := reorder.BuildPlan(c, trials)
+		planDone()
 		if err != nil {
 			return nil, err
+		}
+		if entry != nil {
+			entry.Plan = planStatics(plan.Analysis())
 		}
 		row := []string{ref.Name, fmt.Sprintf("%d", plan.OptimizedOps())}
 		ordered := reorder.Sort(trials)

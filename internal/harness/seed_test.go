@@ -1,0 +1,90 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestScalabilitySeedsPairwiseDistinct is the regression test for the
+// float-derived seed scheme: cfg.Seed + int64(float64(N)*1e6*p1) collided
+// whenever N*p1 tied (e.g. N=10,p1=5e-4 and N=20,p1=2.5e-4 — and within
+// the actual sweep, n10/p5e-4 vs n20 (other shapes)/smaller rates). Every
+// cell of the sweep must draw a distinct trial stream.
+func TestScalabilitySeedsPairwiseDistinct(t *testing.T) {
+	cfg := DefaultConfig()
+	seen := make(map[int64]string)
+	for si, sc := range ScalabilityConfigs {
+		for ri, p1 := range ScalabilityRates {
+			s := ScalabilitySeed(cfg, si, ri)
+			cell := fmt.Sprintf("n%d_d%d/p%g", sc.N, sc.D, p1)
+			if prev, dup := seen[s]; dup {
+				t.Errorf("seed collision: %s and %s both derive %d", prev, cell, s)
+			}
+			seen[s] = cell
+		}
+	}
+	if len(seen) != len(ScalabilityConfigs)*len(ScalabilityRates) {
+		t.Errorf("expected %d distinct seeds, got %d",
+			len(ScalabilityConfigs)*len(ScalabilityRates), len(seen))
+	}
+}
+
+// TestOldScalabilitySeedCollides documents the bug being fixed: under the
+// old formula, cells with equal N*p1 shared a trial stream.
+func TestOldScalabilitySeedCollides(t *testing.T) {
+	old := func(seed int64, n int, p1 float64) int64 {
+		return seed + int64(float64(n)*1e6*p1)
+	}
+	cfg := DefaultConfig()
+	if old(cfg.Seed, 10, 1e-3) != old(cfg.Seed, 20, 5e-4) {
+		t.Fatal("old formula no longer collides; this test documents a fixed bug and can be removed")
+	}
+	// The replacement separates exactly that pair: n10,d5 at rate index 0
+	// vs n20,d20 at rate index 1 (p1 5e-4).
+	if ScalabilitySeed(cfg, 0, 0) == ScalabilitySeed(cfg, 4, 1) {
+		t.Error("ScalabilitySeed still collides on equal N*p1")
+	}
+}
+
+// TestExperimentSeedsDistinct checks the per-experiment salts: every
+// experiment derives a distinct stream from the same base seed, where the
+// old scheme gave Fig6, the ablation and the parallel experiment the
+// identical seed (cfg.Seed + Fig6Trials), also shared with Fig5's series
+// at Fig6Trials trials.
+func TestExperimentSeedsDistinct(t *testing.T) {
+	cfg := DefaultConfig()
+	seeds := map[string]int64{
+		"fig6":     Fig6Seed(cfg),
+		"ablation": AblationSeed(cfg),
+		"parallel": ParallelSeed(cfg),
+	}
+	for _, n := range cfg.Fig5Trials {
+		seeds[fmt.Sprintf("fig5/%d", n)] = Fig5Seed(cfg, n)
+	}
+	for si := range ScalabilityConfigs {
+		for ri := range ScalabilityRates {
+			seeds[fmt.Sprintf("scal/%d_%d", si, ri)] = ScalabilitySeed(cfg, si, ri)
+		}
+	}
+	byseed := make(map[int64]string)
+	for name, s := range seeds {
+		if prev, dup := byseed[s]; dup {
+			t.Errorf("experiments %s and %s share seed %d", prev, name, s)
+		}
+		byseed[s] = name
+	}
+}
+
+// TestSeedsDeterministic: equal configs give equal seeds (the experiments
+// must stay reproducible run to run).
+func TestSeedsDeterministic(t *testing.T) {
+	a, b := DefaultConfig(), DefaultConfig()
+	if Fig6Seed(a) != Fig6Seed(b) || ScalabilitySeed(a, 2, 3) != ScalabilitySeed(b, 2, 3) {
+		t.Error("seed derivation is not deterministic")
+	}
+	c := a
+	c.Seed++
+	if Fig6Seed(a) == Fig6Seed(c) {
+		t.Error("base seed does not influence derived seed")
+	}
+}

@@ -1,0 +1,39 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// StartPprof serves the net/http/pprof profile handlers and the expvar
+// JSON endpoint on addr (e.g. "localhost:6060") from a background
+// goroutine, returning the bound address (useful with ":0"). The listener
+// lives for the remainder of the process; CLI binaries call this once at
+// startup when -pprof is set.
+func StartPprof(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	go http.Serve(ln, mux) //nolint:errcheck // best-effort debug endpoint
+	return ln.Addr().String(), nil
+}
+
+// PublishExpvar exposes live metrics under the given expvar name (at
+// /debug/vars), snapshotting on every scrape. Publishing the same name
+// twice is a no-op rather than the package-level panic.
+func PublishExpvar(name string, m *Metrics) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return m.Snapshot() }))
+}

@@ -1,0 +1,391 @@
+// Package obs is the execution-observability layer: structured run
+// metrics (counters, high-water gauges, per-phase wall-clock timings), an
+// optional plan-trace event stream, and profiling endpoints
+// (net/http/pprof + expvar) shared by the CLI binaries.
+//
+// The design is allocation-conscious so that observability never shows up
+// on the paper's hot path:
+//
+//   - Executors hold a Recorder interface value that is nil when
+//     observability is off, so every instrumented site costs one
+//     nil-check when disabled.
+//   - The standard Metrics recorder is a fixed array of atomic counters:
+//     recording never allocates and never takes a lock.
+//   - Trace events are fixed-size structs appended to a bounded buffer.
+//
+// Metrics are strictly an observer: they must never perturb the logical
+// basic-operation accounting (executors report ops == plan.OptimizedOps()
+// with or without a recorder attached — the sim test suite enforces it).
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sync/atomic"
+	"time"
+)
+
+// Counter enumerates the monotonically increasing run counters.
+type Counter uint8
+
+// Run counters. Ops and Copies mirror the executed Result fields; the
+// snapshot and kernel counters expose what the Result aggregates hide.
+const (
+	// Ops counts basic operations: gate applications plus injected
+	// Paulis, the paper's normalized-computation numerator.
+	Ops Counter = iota
+	// Copies counts whole-state copies (snapshot pushes, budget
+	// restores, subtree entry clones).
+	Copies
+	// SnapshotPushes counts prefix states pushed onto snapshot stacks.
+	SnapshotPushes
+	// SnapshotDrops counts snapshots popped (dropped after last use).
+	SnapshotDrops
+	// SnapshotRestores counts budget-forced restores (resume from the
+	// top snapshot, or from scratch when nothing is stored).
+	SnapshotRestores
+	// TrialsEmitted counts per-trial classical outcomes produced.
+	TrialsEmitted
+	// TasksSpawned counts subtree tasks handed to the worker pool.
+	TasksSpawned
+	// KernelSweeps counts compiled fused-kernel invocations.
+	KernelSweeps
+	// StripeBarriers counts kernel sweeps that ran striped (each striped
+	// sweep is one WaitGroup barrier).
+	StripeBarriers
+
+	numCounters
+)
+
+var counterNames = [numCounters]string{
+	Ops:              "ops",
+	Copies:           "copies",
+	SnapshotPushes:   "snapshot_pushes",
+	SnapshotDrops:    "snapshot_drops",
+	SnapshotRestores: "snapshot_restores",
+	TrialsEmitted:    "trials_emitted",
+	TasksSpawned:     "tasks_spawned",
+	KernelSweeps:     "kernel_sweeps",
+	StripeBarriers:   "stripe_barriers",
+}
+
+// String returns the counter's canonical (JSON) name.
+func (c Counter) String() string { return counterNames[c] }
+
+// Gauge enumerates the high-water gauges.
+type Gauge uint8
+
+// High-water gauges.
+const (
+	// MSVHighWater is the peak number of concurrently stored state
+	// vectors — the paper's MSV metric, taken across all goroutines.
+	MSVHighWater Gauge = iota
+
+	numGauges
+)
+
+var gaugeNames = [numGauges]string{
+	MSVHighWater: "msv_high_water",
+}
+
+// String returns the gauge's canonical (JSON) name.
+func (g Gauge) String() string { return gaugeNames[g] }
+
+// Phase enumerates the timed pipeline phases.
+type Phase uint8
+
+// Pipeline phases, in execution order.
+const (
+	// PhaseTrialGen is Monte Carlo trial generation.
+	PhaseTrialGen Phase = iota
+	// PhaseSort is the reorder sort of the trial set (Algorithm 1's
+	// grouping step).
+	PhaseSort
+	// PhasePlanBuild is execution-plan (or split-plan) construction.
+	PhasePlanBuild
+	// PhaseExecute is plan execution with real state vectors.
+	PhaseExecute
+
+	numPhases
+)
+
+var phaseNames = [numPhases]string{
+	PhaseTrialGen:  "trial_gen",
+	PhaseSort:      "sort",
+	PhasePlanBuild: "plan_build",
+	PhaseExecute:   "execute",
+}
+
+// String returns the phase's canonical (JSON) name.
+func (p Phase) String() string { return phaseNames[p] }
+
+// EventKind enumerates plan-trace events.
+type EventKind uint8
+
+// Plan-trace event kinds.
+const (
+	// EvPush: a prefix snapshot was stored.
+	EvPush EventKind = iota
+	// EvDrop: a snapshot was dropped at its last use.
+	EvDrop
+	// EvRestore: a budgeted plan resumed from the top snapshot (or from
+	// scratch).
+	EvRestore
+	// EvSpawn: the trunk handed a subtree task (with a cloned entry
+	// state) to the worker pool.
+	EvSpawn
+	// EvEmit: one or more trial outcomes were emitted.
+	EvEmit
+
+	numEventKinds
+)
+
+var eventNames = [numEventKinds]string{
+	EvPush:    "push",
+	EvDrop:    "drop",
+	EvRestore: "restore",
+	EvSpawn:   "spawn",
+	EvEmit:    "emit",
+}
+
+// String returns the event kind's canonical (JSON) name.
+func (k EventKind) String() string { return eventNames[k] }
+
+// Recorder is the sink the executors report into. All methods must be
+// safe for concurrent use; implementations should treat every call as
+// hot-path adjacent (no locks on Add/SetMax, no allocation).
+//
+// A nil Recorder means observability is off; instrumented code guards
+// every call with a single nil-check.
+type Recorder interface {
+	// Add increments a counter by delta.
+	Add(c Counter, delta int64)
+	// SetMax raises a gauge to v when v exceeds its current value.
+	SetMax(g Gauge, v int64)
+	// PhaseDone accumulates d into a phase's total wall-clock time.
+	PhaseDone(p Phase, d time.Duration)
+	// Event reports one plan-trace event at the given snapshot-stack
+	// depth. Worker identifies the reporting goroutine (-1 = the subtree
+	// trunk, 0 = a sequential executor, 0..n-1 = pool workers).
+	// Metrics-only recorders ignore events.
+	Event(kind EventKind, worker, depth int)
+}
+
+// StartPhase begins timing a phase and returns the function that stops
+// the clock and records the duration. Safe on a nil recorder (returns a
+// no-op), so callers can time unconditionally:
+//
+//	done := obs.StartPhase(rec, obs.PhaseExecute)
+//	res, err := sim.ExecutePlan(c, plan, opt)
+//	done()
+func StartPhase(rec Recorder, p Phase) func() {
+	if rec == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { rec.PhaseDone(p, time.Since(start)) }
+}
+
+// Metrics is the standard Recorder: lock-free atomic counters, gauges
+// and phase timings. The zero value is ready to use; Metrics must not be
+// copied after first use.
+type Metrics struct {
+	counters [numCounters]atomic.Int64
+	gauges   [numGauges]atomic.Int64
+	phases   [numPhases]atomic.Int64 // nanoseconds
+}
+
+// NewMetrics returns an empty Metrics recorder.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+// Add implements Recorder.
+func (m *Metrics) Add(c Counter, delta int64) { m.counters[c].Add(delta) }
+
+// SetMax implements Recorder: a compare-and-swap high-water update.
+func (m *Metrics) SetMax(g Gauge, v int64) {
+	for {
+		cur := m.gauges[g].Load()
+		if v <= cur || m.gauges[g].CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// PhaseDone implements Recorder.
+func (m *Metrics) PhaseDone(p Phase, d time.Duration) { m.phases[p].Add(int64(d)) }
+
+// Event implements Recorder as a no-op: Metrics aggregates, it does not
+// record streams. Combine with a Trace via Multi for both.
+func (m *Metrics) Event(EventKind, int, int) {}
+
+// Counter returns a counter's current value.
+func (m *Metrics) Counter(c Counter) int64 { return m.counters[c].Load() }
+
+// Gauge returns a gauge's current high-water value.
+func (m *Metrics) Gauge(g Gauge) int64 { return m.gauges[g].Load() }
+
+// PhaseNanos returns a phase's accumulated wall-clock nanoseconds.
+func (m *Metrics) PhaseNanos(p Phase) int64 { return m.phases[p].Load() }
+
+// Snapshot captures the current values as a JSON-friendly value. Zero
+// counters and phases are included so consumers see a stable schema.
+func (m *Metrics) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters: make(map[string]int64, int(numCounters)),
+		Gauges:   make(map[string]int64, int(numGauges)),
+		PhaseNs:  make(map[string]int64, int(numPhases)),
+	}
+	for c := Counter(0); c < numCounters; c++ {
+		s.Counters[c.String()] = m.counters[c].Load()
+	}
+	for g := Gauge(0); g < numGauges; g++ {
+		s.Gauges[g.String()] = m.gauges[g].Load()
+	}
+	for p := Phase(0); p < numPhases; p++ {
+		s.PhaseNs[p.String()] = m.phases[p].Load()
+	}
+	return s
+}
+
+// Snapshot is a point-in-time copy of a Metrics recorder, keyed by the
+// canonical counter/gauge/phase names.
+type Snapshot struct {
+	Counters map[string]int64 `json:"counters"`
+	Gauges   map[string]int64 `json:"gauges"`
+	PhaseNs  map[string]int64 `json:"phase_ns"`
+}
+
+// multi fans every record out to several recorders.
+type multi []Recorder
+
+func (m multi) Add(c Counter, delta int64) {
+	for _, r := range m {
+		r.Add(c, delta)
+	}
+}
+
+func (m multi) SetMax(g Gauge, v int64) {
+	for _, r := range m {
+		r.SetMax(g, v)
+	}
+}
+
+func (m multi) PhaseDone(p Phase, d time.Duration) {
+	for _, r := range m {
+		r.PhaseDone(p, d)
+	}
+}
+
+func (m multi) Event(kind EventKind, worker, depth int) {
+	for _, r := range m {
+		r.Event(kind, worker, depth)
+	}
+}
+
+// Multi combines recorders into one. Nil inputs are skipped; with zero or
+// one live recorder it returns nil or that recorder directly, so the
+// hot-path nil-check and single-sink fast path survive composition.
+func Multi(rs ...Recorder) Recorder {
+	var live multi
+	for _, r := range rs {
+		if r != nil {
+			live = append(live, r)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return live
+}
+
+// RunMetrics is the JSON envelope the CLI binaries write for -metrics
+// (and repro writes per experiment scenario). The schema is documented in
+// EXPERIMENTS.md ("Run metrics JSON").
+type RunMetrics struct {
+	// Binary names the producing command (qsim, qsweep, kernbench,
+	// repro).
+	Binary string `json:"binary"`
+	// Circuit/Qubits/Trials/Seed/Mode describe the workload when the
+	// binary runs a single job (qsim); sweep binaries use Scenarios.
+	Circuit string `json:"circuit,omitempty"`
+	Qubits  int    `json:"qubits,omitempty"`
+	Trials  int    `json:"trials,omitempty"`
+	Seed    int64  `json:"seed,omitempty"`
+	Mode    string `json:"mode,omitempty"`
+	// Plan holds the static plan analysis the executed counters are
+	// checked against.
+	Plan *PlanStatics `json:"plan,omitempty"`
+	// Result holds the executed reordered Result fields, when a
+	// simulation ran.
+	Result *ExecStatics `json:"result,omitempty"`
+	// Metrics is the aggregated recorder snapshot for the whole run.
+	Metrics Snapshot `json:"metrics"`
+	// Scenarios holds per-scenario snapshots for sweep/suite binaries.
+	Scenarios []ScenarioMetrics `json:"scenarios,omitempty"`
+}
+
+// PlanStatics are the static plan metrics embedded in RunMetrics.
+type PlanStatics struct {
+	BaselineOps  int64   `json:"baseline_ops"`
+	OptimizedOps int64   `json:"optimized_ops"`
+	Normalized   float64 `json:"normalized"`
+	MSV          int     `json:"msv"`
+	Copies       int64   `json:"copies"`
+}
+
+// ExecStatics are the executed Result fields embedded in RunMetrics.
+type ExecStatics struct {
+	Ops    int64 `json:"ops"`
+	Copies int64 `json:"copies"`
+	MSV    int   `json:"msv"`
+}
+
+// ScenarioMetrics is one scenario of a sweep or experiment suite.
+type ScenarioMetrics struct {
+	Experiment string       `json:"experiment,omitempty"`
+	Scenario   string       `json:"scenario"`
+	Plan       *PlanStatics `json:"plan,omitempty"`
+	Metrics    Snapshot     `json:"metrics"`
+}
+
+// WriteJSON writes the envelope as indented JSON.
+func (rm *RunMetrics) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(rm, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// WriteRunMetrics writes the envelope to a file.
+func WriteRunMetrics(path string, rm *RunMetrics) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rm.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadRunMetrics loads a -metrics file, for validation tooling
+// (qsim -verify-metrics, make metrics-smoke).
+func ReadRunMetrics(path string) (*RunMetrics, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rm := &RunMetrics{}
+	if err := json.Unmarshal(data, rm); err != nil {
+		return nil, err
+	}
+	return rm, nil
+}

@@ -1,0 +1,64 @@
+package obs
+
+import "sync"
+
+// Suite collects per-scenario metrics for experiment sweeps: the harness
+// opens one entry per (experiment, scenario) cell, records into its
+// Metrics, and the driving binary serializes the whole suite into a
+// RunMetrics envelope.
+type Suite struct {
+	mu      sync.Mutex
+	entries []*SuiteEntry
+	index   map[[2]string]*SuiteEntry
+}
+
+// SuiteEntry is one scenario's recorder plus its static plan metrics.
+type SuiteEntry struct {
+	Experiment string
+	Scenario   string
+	Metrics    *Metrics
+	Plan       *PlanStatics
+}
+
+// NewSuite returns an empty suite.
+func NewSuite() *Suite {
+	return &Suite{index: make(map[[2]string]*SuiteEntry)}
+}
+
+// Scenario returns the entry for (experiment, scenario), creating it on
+// first use. Entries keep insertion order in the serialized output.
+func (s *Suite) Scenario(experiment, scenario string) *SuiteEntry {
+	key := [2]string{experiment, scenario}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e := s.index[key]; e != nil {
+		return e
+	}
+	e := &SuiteEntry{Experiment: experiment, Scenario: scenario, Metrics: NewMetrics()}
+	s.index[key] = e
+	s.entries = append(s.entries, e)
+	return e
+}
+
+// Len returns the number of scenarios recorded so far.
+func (s *Suite) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Scenarios snapshots every entry for serialization, in insertion order.
+func (s *Suite) Scenarios() []ScenarioMetrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]ScenarioMetrics, len(s.entries))
+	for i, e := range s.entries {
+		out[i] = ScenarioMetrics{
+			Experiment: e.Experiment,
+			Scenario:   e.Scenario,
+			Plan:       e.Plan,
+			Metrics:    e.Metrics.Snapshot(),
+		}
+	}
+	return out
+}

@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// DefaultTraceLimit bounds a Trace's event buffer: at 24 bytes per event
+// the default caps the trace near 24 MB, after which further events are
+// counted but not stored.
+const DefaultTraceLimit = 1 << 20
+
+// Event is one plan-trace record: a snapshot push/drop/restore, a task
+// spawn, or an outcome emission, stamped with the time since the trace
+// began, the reporting worker, and the snapshot-stack depth after the
+// transition.
+type Event struct {
+	AtNanos int64     `json:"t_ns"`
+	Kind    EventKind `json:"-"`
+	Worker  int32     `json:"worker"`
+	Depth   int32     `json:"depth"`
+}
+
+// MarshalJSON names the kind instead of emitting its integer code.
+func (e Event) MarshalJSON() ([]byte, error) {
+	type alias Event
+	return json.Marshal(struct {
+		alias
+		Kind string `json:"kind"`
+	}{alias(e), e.Kind.String()})
+}
+
+// Trace is a Recorder that captures the plan-execution event stream:
+// snapshot push/drop/restore and branch-depth transitions during
+// ExecutePlan and the subtree executor, for debugging why MSV or copies
+// spiked. Counters, gauges and phases are ignored — combine with a
+// Metrics via Multi to collect both.
+type Trace struct {
+	start time.Time
+	limit int
+
+	mu      sync.Mutex
+	events  []Event
+	dropped int64
+}
+
+// NewTrace returns a Trace bounded at DefaultTraceLimit events.
+func NewTrace() *Trace { return NewTraceLimit(DefaultTraceLimit) }
+
+// NewTraceLimit returns a Trace that stores at most limit events;
+// overflow is counted in Dropped instead of growing the buffer.
+func NewTraceLimit(limit int) *Trace {
+	if limit < 1 {
+		limit = 1
+	}
+	return &Trace{start: time.Now(), limit: limit}
+}
+
+// Add implements Recorder as a no-op.
+func (t *Trace) Add(Counter, int64) {}
+
+// SetMax implements Recorder as a no-op.
+func (t *Trace) SetMax(Gauge, int64) {}
+
+// PhaseDone implements Recorder as a no-op.
+func (t *Trace) PhaseDone(Phase, time.Duration) {}
+
+// Event implements Recorder: append one bounded-buffer record.
+func (t *Trace) Event(kind EventKind, worker, depth int) {
+	at := int64(time.Since(t.start))
+	t.mu.Lock()
+	if len(t.events) < t.limit {
+		t.events = append(t.events, Event{AtNanos: at, Kind: kind, Worker: int32(worker), Depth: int32(depth)})
+	} else {
+		t.dropped++
+	}
+	t.mu.Unlock()
+}
+
+// Len returns the number of stored events.
+func (t *Trace) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Dropped returns how many events overflowed the buffer.
+func (t *Trace) Dropped() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Events returns a copy of the stored events in arrival order.
+func (t *Trace) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
+}
+
+// WriteJSON dumps the trace as one JSON document:
+//
+//	{"events":[{"t_ns":..,"worker":0,"depth":2,"kind":"push"},...],"dropped":0}
+func (t *Trace) WriteJSON(w io.Writer) error {
+	t.mu.Lock()
+	doc := struct {
+		Events  []Event `json:"events"`
+		Dropped int64   `json:"dropped"`
+	}{t.events, t.dropped}
+	data, err := json.Marshal(doc)
+	t.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// Summary renders a flame-style text digest: per snapshot-stack depth,
+// the event counts, with a bar proportional to the activity at that
+// depth. Deep, busy levels explain MSV and copy spikes at a glance.
+func (t *Trace) Summary() string {
+	t.mu.Lock()
+	events := append([]Event(nil), t.events...)
+	dropped := t.dropped
+	t.mu.Unlock()
+
+	type row struct{ counts [numEventKinds]int64 }
+	byDepth := map[int32]*row{}
+	var peak int32
+	for _, e := range events {
+		r := byDepth[e.Depth]
+		if r == nil {
+			r = &row{}
+			byDepth[e.Depth] = r
+		}
+		r.counts[e.Kind]++
+		if e.Depth > peak {
+			peak = e.Depth
+		}
+	}
+	depths := make([]int32, 0, len(byDepth))
+	var busiest int64
+	for d, r := range byDepth {
+		depths = append(depths, d)
+		var total int64
+		for _, c := range r.counts {
+			total += c
+		}
+		if total > busiest {
+			busiest = total
+		}
+	}
+	sort.Slice(depths, func(i, j int) bool { return depths[i] < depths[j] })
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan trace: %d events (%d dropped), peak stack depth %d\n", len(events), dropped, peak)
+	for _, d := range depths {
+		r := byDepth[d]
+		var total int64
+		parts := make([]string, 0, int(numEventKinds))
+		for k := EventKind(0); k < numEventKinds; k++ {
+			if c := r.counts[k]; c > 0 {
+				parts = append(parts, fmt.Sprintf("%d %s", c, k))
+				total += c
+			}
+		}
+		const barWidth = 40
+		bar := 1
+		if busiest > 0 {
+			bar = int(total * barWidth / busiest)
+			if bar < 1 {
+				bar = 1
+			}
+		}
+		fmt.Fprintf(&b, "  depth %2d %-*s| %s\n", d, barWidth+1, strings.Repeat("#", bar), strings.Join(parts, ", "))
+	}
+	return b.String()
+}

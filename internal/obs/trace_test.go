@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTraceRecordsEvents(t *testing.T) {
+	tr := NewTrace()
+	tr.Event(EvPush, 0, 1)
+	tr.Event(EvPush, 0, 2)
+	tr.Event(EvEmit, 0, 2)
+	tr.Event(EvDrop, 0, 1)
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tr.Len())
+	}
+	evs := tr.Events()
+	if evs[0].Kind != EvPush || evs[3].Kind != EvDrop {
+		t.Errorf("event order wrong: %+v", evs)
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].AtNanos < evs[i-1].AtNanos {
+			t.Errorf("timestamps not monotone: %d before %d", evs[i].AtNanos, evs[i-1].AtNanos)
+		}
+	}
+}
+
+func TestTraceLimitDropsOverflow(t *testing.T) {
+	tr := NewTraceLimit(2)
+	for i := 0; i < 5; i++ {
+		tr.Event(EvPush, 0, i)
+	}
+	if tr.Len() != 2 {
+		t.Errorf("Len = %d, want 2", tr.Len())
+	}
+	if tr.Dropped() != 3 {
+		t.Errorf("Dropped = %d, want 3", tr.Dropped())
+	}
+}
+
+func TestTraceJSONNamesKinds(t *testing.T) {
+	tr := NewTrace()
+	tr.Event(EvRestore, -1, 0)
+	tr.Event(EvSpawn, -1, 3)
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Events []struct {
+			TNs    int64  `json:"t_ns"`
+			Kind   string `json:"kind"`
+			Worker int    `json:"worker"`
+			Depth  int    `json:"depth"`
+		} `json:"events"`
+		Dropped int64 `json:"dropped"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace JSON does not parse: %v\n%s", err, buf.String())
+	}
+	if len(doc.Events) != 2 || doc.Events[0].Kind != "restore" || doc.Events[1].Kind != "spawn" {
+		t.Errorf("events mangled: %+v", doc.Events)
+	}
+	if doc.Events[1].Worker != -1 || doc.Events[1].Depth != 3 {
+		t.Errorf("worker/depth mangled: %+v", doc.Events[1])
+	}
+}
+
+func TestTraceSummaryFlameStyle(t *testing.T) {
+	tr := NewTrace()
+	for i := 0; i < 10; i++ {
+		tr.Event(EvPush, 0, 0)
+		tr.Event(EvDrop, 0, 0)
+	}
+	tr.Event(EvPush, 0, 1)
+	tr.Event(EvEmit, 0, 2)
+	s := tr.Summary()
+	for _, want := range []string{"peak stack depth 2", "depth  0", "10 push", "10 drop", "1 emit", "#"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTraceConcurrentUnderRace(t *testing.T) {
+	tr := NewTrace()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tr.Event(EvPush, w, i%4)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tr.Len() != 8*200 {
+		t.Errorf("Len = %d, want 1600", tr.Len())
+	}
+}

@@ -1,0 +1,287 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/device"
+	"repro/internal/obs"
+	"repro/internal/reorder"
+	"repro/internal/statevec"
+)
+
+// The observability contract: a Recorder attached to any executor reports
+// counters that agree exactly with the Result it returns — and for the
+// sharing-preserving executors, with the plan's static analysis. These
+// tests are the acceptance gate for "ops == plan.OptimizedOps() in every
+// mode with metrics enabled".
+
+func TestMetricsAgreeSequential(t *testing.T) {
+	c := bench.QV(5, 3, rand.New(rand.NewSource(7)))
+	m := device.Yorktown().Model()
+	trials := genTrials(t, c, m, 400, 11)
+	plan, err := reorder.BuildPlan(c, trials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.NewMetrics()
+	res, err := ExecutePlan(c, plan, Options{Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.Counter(obs.Ops); got != res.Ops {
+		t.Errorf("metrics ops = %d, Result.Ops = %d", got, res.Ops)
+	}
+	if res.Ops != plan.OptimizedOps() {
+		t.Errorf("Result.Ops = %d, plan.OptimizedOps() = %d", res.Ops, plan.OptimizedOps())
+	}
+	if got := rec.Counter(obs.Copies); got != res.Copies {
+		t.Errorf("metrics copies = %d, Result.Copies = %d", got, res.Copies)
+	}
+	if got := rec.Gauge(obs.MSVHighWater); got != int64(res.MSV) {
+		t.Errorf("metrics MSV high-water = %d, Result.MSV = %d", got, res.MSV)
+	}
+	if got := rec.Counter(obs.TrialsEmitted); got != int64(len(trials)) {
+		t.Errorf("metrics trials emitted = %d, want %d", got, len(trials))
+	}
+	pushes, drops := rec.Counter(obs.SnapshotPushes), rec.Counter(obs.SnapshotDrops)
+	if pushes != drops {
+		t.Errorf("pushes %d != drops %d: a sequential plan drops every snapshot", pushes, drops)
+	}
+	if pushes != res.Copies {
+		// Unbudgeted sequential plans never restore, so every copy is a
+		// snapshot push.
+		t.Errorf("pushes %d != copies %d", pushes, res.Copies)
+	}
+	if rec.Counter(obs.SnapshotRestores) != 0 {
+		t.Errorf("unbudgeted plan restored %d times, want 0", rec.Counter(obs.SnapshotRestores))
+	}
+}
+
+// TestMetricsAgreeAllExecutors runs every executor with a live Metrics
+// recorder and checks the counter/Result agreement that qsim's
+// -verify-metrics flag enforces in production.
+func TestMetricsAgreeAllExecutors(t *testing.T) {
+	c := bench.QV(5, 4, rand.New(rand.NewSource(3)))
+	m := device.Yorktown().Model()
+	trials := genTrials(t, c, m, 300, 5)
+	plan, err := reorder.BuildPlan(c, trials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	static := plan.OptimizedOps()
+
+	cases := []struct {
+		name string
+		// sharing reports whether the executor preserves all prefix
+		// sharing (ops must equal the static plan count).
+		sharing bool
+		run     func(Options) (*Result, error)
+	}{
+		{"ExecutePlan", true, func(o Options) (*Result, error) {
+			return ExecutePlan(c, plan, o)
+		}},
+		{"Reordered/budget3", false, func(o Options) (*Result, error) {
+			o.SnapshotBudget = 3
+			return Reordered(c, trials, o)
+		}},
+		{"ExecutePlan/fuseExact", true, func(o Options) (*Result, error) {
+			o.Fuse = statevec.FuseExact
+			return ExecutePlan(c, plan, o)
+		}},
+		{"ExecutePlan/fuseNumericStriped", true, func(o Options) (*Result, error) {
+			o.Fuse = statevec.FuseNumeric
+			o.Stripes = 4
+			o.StripeMin = 1
+			return ExecutePlan(c, plan, o)
+		}},
+		{"Parallel4", false, func(o Options) (*Result, error) {
+			return Parallel(c, trials, 4, o)
+		}},
+		{"ParallelSubtree4", true, func(o Options) (*Result, error) {
+			return ParallelSubtree(c, trials, 4, o)
+		}},
+		{"Baseline", false, func(o Options) (*Result, error) {
+			return Baseline(c, trials, o)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := obs.NewMetrics()
+			res, err := tc.run(Options{Recorder: rec})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := rec.Counter(obs.Ops); got != res.Ops {
+				t.Errorf("metrics ops = %d, Result.Ops = %d", got, res.Ops)
+			}
+			if tc.sharing && res.Ops != static {
+				t.Errorf("ops = %d, want static plan count %d", res.Ops, static)
+			}
+			if got := rec.Counter(obs.TrialsEmitted); got != int64(len(trials)) {
+				t.Errorf("metrics trials emitted = %d, want %d", got, len(trials))
+			}
+			if got := rec.Gauge(obs.MSVHighWater); got != int64(res.MSV) {
+				t.Errorf("metrics MSV high-water = %d, Result.MSV = %d", got, res.MSV)
+			}
+			if tc.name != "Baseline" {
+				if got := rec.Counter(obs.Copies); got != res.Copies {
+					t.Errorf("metrics copies = %d, Result.Copies = %d", got, res.Copies)
+				}
+			}
+		})
+	}
+}
+
+// TestRecorderDoesNotPerturbResults runs each executor with and without a
+// recorder and demands bit-identical outcomes and identical accounting.
+func TestRecorderDoesNotPerturbResults(t *testing.T) {
+	c := bench.QV(4, 3, rand.New(rand.NewSource(9)))
+	m := device.Yorktown().Model()
+	trials := genTrials(t, c, m, 200, 21)
+	runs := map[string]func(Options) (*Result, error){
+		"Reordered": func(o Options) (*Result, error) { return Reordered(c, trials, o) },
+		"Parallel":  func(o Options) (*Result, error) { return Parallel(c, trials, 3, o) },
+		"Subtree":   func(o Options) (*Result, error) { return ParallelSubtree(c, trials, 3, o) },
+		"Baseline":  func(o Options) (*Result, error) { return Baseline(c, trials, o) },
+	}
+	for name, run := range runs {
+		t.Run(name, func(t *testing.T) {
+			bare, err := run(Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec := obs.Multi(obs.NewMetrics(), obs.NewTrace())
+			instrumented, err := run(Options{Recorder: rec})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !EqualOutcomes(bare, instrumented) {
+				t.Error("recorder changed per-trial outcomes")
+			}
+			if bare.Ops != instrumented.Ops || bare.Copies != instrumented.Copies || bare.MSV != instrumented.MSV {
+				t.Errorf("recorder changed accounting: ops %d/%d copies %d/%d MSV %d/%d",
+					bare.Ops, instrumented.Ops, bare.Copies, instrumented.Copies, bare.MSV, instrumented.MSV)
+			}
+		})
+	}
+}
+
+// TestTraceDepthMatchesMSV checks the trace's structural view against the
+// executor's accounting: for a sequential unbudgeted run, the peak
+// post-push stack depth seen in events is exactly Result.MSV, and
+// push/drop events balance.
+func TestTraceDepthMatchesMSV(t *testing.T) {
+	c := bench.QV(5, 3, rand.New(rand.NewSource(2)))
+	m := device.Yorktown().Model()
+	trials := genTrials(t, c, m, 350, 8)
+	plan, err := reorder.BuildPlan(c, trials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewTrace()
+	res, err := ExecutePlan(c, plan, Options{Recorder: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak, pushes, drops := 0, 0, 0
+	for _, ev := range tr.Events() {
+		switch ev.Kind {
+		case obs.EvPush:
+			pushes++
+			if int(ev.Depth) > peak {
+				peak = int(ev.Depth)
+			}
+		case obs.EvDrop:
+			drops++
+		}
+		if ev.Worker != 0 {
+			t.Fatalf("sequential execution produced worker id %d", ev.Worker)
+		}
+	}
+	if peak != res.MSV {
+		t.Errorf("trace peak depth = %d, Result.MSV = %d", peak, res.MSV)
+	}
+	if pushes != drops {
+		t.Errorf("trace pushes %d != drops %d", pushes, drops)
+	}
+	if res.MSV != plan.MSV() {
+		t.Errorf("Result.MSV = %d, plan.MSV() = %d", res.MSV, plan.MSV())
+	}
+}
+
+// TestKernelSweepsRecorded checks that compiled-program execution reports
+// kernel sweeps (and stripe barriers when striping is on) without
+// disturbing the logical-op invariant.
+func TestKernelSweepsRecorded(t *testing.T) {
+	c := bench.QV(5, 3, rand.New(rand.NewSource(4)))
+	m := device.Yorktown().Model()
+	trials := genTrials(t, c, m, 150, 3)
+	plan, err := reorder.BuildPlan(c, trials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.NewMetrics()
+	res, err := ExecutePlan(c, plan, Options{
+		Fuse: statevec.FuseExact, Stripes: 4, StripeMin: 1, Recorder: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != plan.OptimizedOps() {
+		t.Errorf("fused ops = %d, want %d", res.Ops, plan.OptimizedOps())
+	}
+	if rec.Counter(obs.KernelSweeps) == 0 {
+		t.Error("no kernel sweeps recorded under fused execution")
+	}
+	if rec.Counter(obs.StripeBarriers) == 0 {
+		t.Error("no stripe barriers recorded with Stripes=4, StripeMin=1")
+	}
+	if rec.Counter(obs.StripeBarriers) > rec.Counter(obs.KernelSweeps) {
+		t.Errorf("barriers %d exceed sweeps %d", rec.Counter(obs.StripeBarriers), rec.Counter(obs.KernelSweeps))
+	}
+}
+
+// TestSubtreeSpawnAccounting: the subtree executor's spawn counter equals
+// the split plan's task count, and trunk events carry worker id -1.
+func TestSubtreeSpawnAccounting(t *testing.T) {
+	c := bench.QV(5, 4, rand.New(rand.NewSource(6)))
+	m := device.Yorktown().Model()
+	trials := genTrials(t, c, m, 300, 17)
+	ordered := reorder.Sort(trials)
+	sp, err := reorder.SplitPlanOrderedCut(c, ordered, 1, planBudgetFor(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := obs.NewMetrics()
+	trace := obs.NewTrace()
+	res, err := ExecuteSplitPlan(c, sp, 4, Options{Recorder: obs.Multi(metrics, trace)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := metrics.Counter(obs.TasksSpawned); got != int64(len(sp.Subtrees)) {
+		t.Errorf("tasks spawned = %d, split plan has %d subtrees", got, len(sp.Subtrees))
+	}
+	if got := metrics.Counter(obs.Ops); got != res.Ops {
+		t.Errorf("metrics ops = %d, Result.Ops = %d", got, res.Ops)
+	}
+	spawns, trunkEvents := 0, 0
+	for _, ev := range trace.Events() {
+		if ev.Kind == obs.EvSpawn {
+			spawns++
+			if ev.Worker != -1 {
+				t.Errorf("spawn event from worker %d, want trunk (-1)", ev.Worker)
+			}
+		}
+		if ev.Worker == -1 {
+			trunkEvents++
+		}
+	}
+	if spawns != len(sp.Subtrees) {
+		t.Errorf("trace has %d spawn events, want %d", spawns, len(sp.Subtrees))
+	}
+	if trunkEvents == 0 {
+		t.Error("no trunk events recorded")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/circuit"
+	"repro/internal/obs"
 	"repro/internal/reorder"
 	"repro/internal/statevec"
 	"repro/internal/trial"
@@ -35,9 +36,8 @@ func Parallel(c *circuit.Circuit, trials []*trial.Trial, workers int, opt Option
 	if len(trials) == 0 {
 		return nil, fmt.Errorf("sim: empty trial set")
 	}
-	if workers > len(trials) {
-		workers = len(trials)
-	}
+	// Workers beyond the trial count simply get empty chunks (lo == hi
+	// below) and contribute nothing to the merge.
 	ordered := reorder.Sort(trials)
 	budget := opt.planBudget()
 	// One compiled circuit shared by every chunk (Programs are
@@ -68,7 +68,7 @@ func Parallel(c *circuit.Circuit, trials []*trial.Trial, workers int, opt Option
 				return
 			}
 			plan.Prog = prog
-			res, err := executePlan(c, plan, opt, &tracker)
+			res, err := executePlan(c, plan, opt, &tracker, w)
 			results[w] = chunkResult{res: res, err: err}
 		}(w, ordered[lo:hi])
 	}
@@ -96,6 +96,11 @@ func Parallel(c *circuit.Circuit, trials []*trial.Trial, workers int, opt Option
 		}
 	}
 	merged.MSV = tracker.highWater()
+	if opt.Recorder != nil {
+		// Chunks recorded their own stack peaks; the tracker's concurrent
+		// high-water is the true combined MSV.
+		opt.Recorder.SetMax(obs.MSVHighWater, int64(merged.MSV))
+	}
 	sort.Slice(merged.Outcomes, func(i, j int) bool {
 		return merged.Outcomes[i].TrialID < merged.Outcomes[j].TrialID
 	})

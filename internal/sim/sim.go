@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/circuit"
+	"repro/internal/obs"
 	"repro/internal/reorder"
 	"repro/internal/statevec"
 	"repro/internal/trial"
@@ -90,6 +91,13 @@ type Options struct {
 	// amplitudes); 0 means statevec.DefaultStripeMin. Tests set 1 to
 	// exercise striping on small states.
 	StripeMin int
+	// Recorder, when non-nil, receives run metrics (ops, copies,
+	// snapshot push/drop/restore counts, MSV high-water, emitted trials)
+	// and the plan-trace event stream from every executor. nil disables
+	// observability; the hot path then pays one nil-check per
+	// instrumented site. Recording never perturbs the Result: executors
+	// report ops == plan.OptimizedOps() with or without a recorder.
+	Recorder obs.Recorder
 }
 
 // compileProgram returns the compiled program the options imply for the
@@ -102,6 +110,7 @@ func (o Options) compileProgram(c *circuit.Circuit) *statevec.Program {
 		Fuse:      o.Fuse,
 		Stripes:   o.Stripes,
 		StripeMin: o.StripeMin,
+		Recorder:  o.Recorder,
 	})
 }
 
@@ -224,6 +233,7 @@ func Baseline(c *circuit.Circuit, trials []*trial.Trial, opt Options) (*Result, 
 	if opt.KeepStates {
 		res.FinalStates = make(map[int]*statevec.State, len(trials))
 	}
+	rec := opt.Recorder
 	st := statevec.NewState(c.NumQubits())
 	layers := c.Layers()
 	ops := c.Ops()
@@ -251,6 +261,10 @@ func Baseline(c *circuit.Circuit, trials []*trial.Trial, opt Options) (*Result, 
 			res.FinalStates[t.ID] = st.Clone()
 		}
 	}
+	if rec != nil {
+		rec.Add(obs.Ops, res.Ops)
+		rec.Add(obs.TrialsEmitted, int64(len(trials)))
+	}
 	finish(res)
 	return res, nil
 }
@@ -270,7 +284,7 @@ func Reordered(c *circuit.Circuit, trials []*trial.Trial, opt Options) (*Result,
 // ExecutePlan runs a prebuilt plan. Exposed separately so callers can
 // reuse one plan across analyses and execution.
 func ExecutePlan(c *circuit.Circuit, plan *reorder.Plan, opt Options) (*Result, error) {
-	return executePlan(c, plan, opt, &msvTracker{})
+	return executePlan(c, plan, opt, &msvTracker{}, 0)
 }
 
 // executePlan is ExecutePlan reporting every stored-vector acquisition
@@ -278,8 +292,10 @@ func ExecutePlan(c *circuit.Circuit, plan *reorder.Plan, opt Options) (*Result, 
 // measure their true combined peak. Result.MSV remains this execution's
 // own stack peak. Popped working registers are recycled through a free
 // list rather than garbage-collected, eliminating the 2^n-sized
-// allocation churn of branch returns.
-func executePlan(c *circuit.Circuit, plan *reorder.Plan, opt Options, tr *msvTracker) (*Result, error) {
+// allocation churn of branch returns. wid labels this execution's
+// plan-trace events (0 for a sequential run, the chunk index under
+// Parallel).
+func executePlan(c *circuit.Circuit, plan *reorder.Plan, opt Options, tr *msvTracker, wid int) (*Result, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
@@ -287,6 +303,7 @@ func executePlan(c *circuit.Circuit, plan *reorder.Plan, opt Options, tr *msvTra
 	if opt.KeepStates {
 		res.FinalStates = make(map[int]*statevec.State)
 	}
+	rec := opt.Recorder
 	pool := newStatePool(c.NumQubits())
 	work := statevec.NewState(c.NumQubits())
 	var stack []*statevec.State
@@ -319,6 +336,10 @@ func executePlan(c *circuit.Circuit, plan *reorder.Plan, opt Options, tr *msvTra
 				res.MSV = len(stack)
 			}
 			tr.add(1)
+			if rec != nil {
+				rec.Add(obs.SnapshotPushes, 1)
+				rec.Event(obs.EvPush, wid, len(stack))
+			}
 		case reorder.StepInject:
 			work.ApplyPauli(s.Op, s.Qubit)
 			res.Ops++
@@ -330,6 +351,10 @@ func executePlan(c *circuit.Circuit, plan *reorder.Plan, opt Options, tr *msvTra
 					res.FinalStates[t.ID] = work.Clone()
 				}
 			}
+			if rec != nil {
+				rec.Add(obs.TrialsEmitted, int64(len(s.Trials)))
+				rec.Event(obs.EvEmit, wid, len(stack))
+			}
 		case reorder.StepPop:
 			if len(stack) == 0 {
 				return nil, fmt.Errorf("sim: plan pops an empty snapshot stack")
@@ -338,6 +363,10 @@ func executePlan(c *circuit.Circuit, plan *reorder.Plan, opt Options, tr *msvTra
 			work = stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			tr.add(-1)
+			if rec != nil {
+				rec.Add(obs.SnapshotDrops, 1)
+				rec.Event(obs.EvDrop, wid, len(stack))
+			}
 		case reorder.StepRestore:
 			// Budgeted plans: resume from a copy of the top snapshot
 			// (keeping it for its own later consumers), or from scratch
@@ -348,12 +377,23 @@ func executePlan(c *circuit.Circuit, plan *reorder.Plan, opt Options, tr *msvTra
 				work.CopyFrom(stack[len(stack)-1])
 				res.Copies++
 			}
+			if rec != nil {
+				rec.Add(obs.SnapshotRestores, 1)
+				rec.Event(obs.EvRestore, wid, len(stack))
+			}
 		default:
 			return nil, fmt.Errorf("sim: unknown plan step %v", s.Kind)
 		}
 	}
 	if len(res.Outcomes) != len(plan.Order) {
 		return nil, fmt.Errorf("sim: plan emitted %d of %d trials", len(res.Outcomes), len(plan.Order))
+	}
+	if rec != nil {
+		rec.Add(obs.Ops, res.Ops)
+		rec.Add(obs.Copies, res.Copies)
+		// This execution's own stack peak; concurrent executors raise the
+		// gauge again with the cross-worker tracker peak after merging.
+		rec.SetMax(obs.MSVHighWater, int64(res.MSV))
 	}
 	finish(res)
 	return res, nil

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/circuit"
+	"repro/internal/obs"
 	"repro/internal/reorder"
 	"repro/internal/statevec"
 	"repro/internal/trial"
@@ -220,7 +221,7 @@ func ExecuteSplitPlan(c *circuit.Circuit, sp *reorder.SplitPlan, workers int, op
 					break
 				}
 				if errs[w] == nil {
-					errs[w] = runSubtree(c, sp, prog, qt.st, qt.entry, opt, res, &tracker, pool)
+					errs[w] = runSubtree(c, sp, prog, qt.st, qt.entry, opt, res, &tracker, pool, w)
 				} else {
 					// Already failed: drain so the trunk never blocks on
 					// the entry-state bound, dropping the queued clone.
@@ -259,6 +260,14 @@ func ExecuteSplitPlan(c *circuit.Circuit, sp *reorder.SplitPlan, workers int, op
 		return nil, fmt.Errorf("sim: split plan emitted %d of %d trials", len(merged.Outcomes), len(sp.Order))
 	}
 	merged.MSV = tracker.highWater()
+	if rec := opt.Recorder; rec != nil {
+		// Trunk and tasks record their push/drop/restore/spawn events
+		// inline; the logical totals are added once here so they match the
+		// merged Result exactly.
+		rec.Add(obs.Ops, merged.Ops)
+		rec.Add(obs.Copies, merged.Copies)
+		rec.SetMax(obs.MSVHighWater, int64(merged.MSV))
+	}
 	finish(merged)
 	return merged, nil
 }
@@ -273,6 +282,7 @@ func runTrunk(c *circuit.Circuit, sp *reorder.SplitPlan, prog *statevec.Program,
 	if opt.KeepStates {
 		res.FinalStates = make(map[int]*statevec.State)
 	}
+	rec := opt.Recorder // trunk events carry worker id -1
 	pool := newStatePool(c.NumQubits())
 	work := statevec.NewState(c.NumQubits())
 	var stack []*statevec.State
@@ -298,6 +308,10 @@ func runTrunk(c *circuit.Circuit, sp *reorder.SplitPlan, prog *statevec.Program,
 			stack = append(stack, snap)
 			res.Copies++
 			tr.add(1)
+			if rec != nil {
+				rec.Add(obs.SnapshotPushes, 1)
+				rec.Event(obs.EvPush, -1, len(stack))
+			}
 		case reorder.StepInject:
 			work.ApplyPauli(s.Op, s.Qubit)
 			res.Ops++
@@ -309,6 +323,10 @@ func runTrunk(c *circuit.Circuit, sp *reorder.SplitPlan, prog *statevec.Program,
 			work = stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			tr.add(-1)
+			if rec != nil {
+				rec.Add(obs.SnapshotDrops, 1)
+				rec.Event(obs.EvDrop, -1, len(stack))
+			}
 		case reorder.StepRestore:
 			if len(stack) == 0 {
 				work.Reset()
@@ -316,11 +334,19 @@ func runTrunk(c *circuit.Circuit, sp *reorder.SplitPlan, prog *statevec.Program,
 				work.CopyFrom(stack[len(stack)-1])
 				res.Copies++
 			}
+			if rec != nil {
+				rec.Add(obs.SnapshotRestores, 1)
+				rec.Event(obs.EvRestore, -1, len(stack))
+			}
 		case reorder.StepSpawn:
 			sem <- struct{}{}
 			entry := work.Clone()
 			res.Copies++
 			tr.add(1) // the queued entry state is a stored vector
+			if rec != nil {
+				rec.Add(obs.TasksSpawned, 1)
+				rec.Event(obs.EvSpawn, -1, len(stack))
+			}
 			queue.push(queuedTask{st: sp.Subtrees[s.Task], entry: entry})
 		default:
 			return nil, fmt.Errorf("sim: invalid trunk step %v", s.Kind)
@@ -340,9 +366,10 @@ func runTrunk(c *circuit.Circuit, sp *reorder.SplitPlan, prog *statevec.Program,
 // the entry pristine at the bottom of its snapshot stack — the replay
 // floor for StepRestore — and works on a copy; with budget 0 nothing is
 // preserved and restores replay from |0...0>.
-func runSubtree(c *circuit.Circuit, sp *reorder.SplitPlan, prog *statevec.Program, st *reorder.Subtree, entry *statevec.State, opt Options, res *Result, tr *msvTracker, pool *statePool) error {
+func runSubtree(c *circuit.Circuit, sp *reorder.SplitPlan, prog *statevec.Program, st *reorder.Subtree, entry *statevec.State, opt Options, res *Result, tr *msvTracker, pool *statePool, wid int) error {
 	layers := c.Layers()
 	ops := c.Ops()
+	rec := opt.Recorder // task events carry the pool worker's id
 	var work *statevec.State
 	var stack []*statevec.State
 	floor := 0
@@ -380,6 +407,10 @@ func runSubtree(c *circuit.Circuit, sp *reorder.SplitPlan, prog *statevec.Progra
 			stack = append(stack, snap)
 			res.Copies++
 			tr.add(1)
+			if rec != nil {
+				rec.Add(obs.SnapshotPushes, 1)
+				rec.Event(obs.EvPush, wid, len(stack))
+			}
 		case reorder.StepInject:
 			work.ApplyPauli(s.Op, s.Qubit)
 			res.Ops++
@@ -392,6 +423,10 @@ func runSubtree(c *circuit.Circuit, sp *reorder.SplitPlan, prog *statevec.Progra
 					res.FinalStates[t.ID] = work.Clone()
 				}
 			}
+			if rec != nil {
+				rec.Add(obs.TrialsEmitted, int64(len(s.Trials)))
+				rec.Event(obs.EvEmit, wid, len(stack))
+			}
 		case reorder.StepPop:
 			if len(stack) <= floor {
 				return fmt.Errorf("sim: task %d pops below its entry floor", st.ID)
@@ -400,12 +435,20 @@ func runSubtree(c *circuit.Circuit, sp *reorder.SplitPlan, prog *statevec.Progra
 			work = stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			tr.add(-1)
+			if rec != nil {
+				rec.Add(obs.SnapshotDrops, 1)
+				rec.Event(obs.EvDrop, wid, len(stack))
+			}
 		case reorder.StepRestore:
 			if len(stack) == 0 {
 				work.Reset()
 			} else {
 				work.CopyFrom(stack[len(stack)-1])
 				res.Copies++
+			}
+			if rec != nil {
+				rec.Add(obs.SnapshotRestores, 1)
+				rec.Event(obs.EvRestore, wid, len(stack))
 			}
 		default:
 			return fmt.Errorf("sim: invalid subtree step %v", s.Kind)

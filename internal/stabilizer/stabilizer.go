@@ -341,8 +341,18 @@ func (t *Tableau) MeasureZ(q int, rng *rand.Rand) (outcome bool) {
 		t.r[p] = outcome
 		return outcome
 	}
-	// Deterministic outcome: accumulate destabilizer-indexed stabilizers
-	// into the scratch row.
+	return t.deterministicZ(q)
+}
+
+// deterministicZ computes the outcome of measuring Z_q when the
+// measurement is deterministic (no stabilizer anticommutes with Z_q):
+// destabilizer-indexed stabilizers accumulate into the scratch row, whose
+// sign is the outcome. Only scratch is written — the logical state is
+// untouched and no randomness is consumed — so callers may use it as a
+// non-collapsing probe. The caller must have established determinism
+// first; on a random-outcome qubit the result is meaningless.
+func (t *Tableau) deterministicZ(q int) bool {
+	w, b := q/64, uint(q%64)
 	for ww := 0; ww < t.words; ww++ {
 		t.sx[ww] = 0
 		t.sz[ww] = 0
@@ -378,7 +388,8 @@ func (t *Tableau) Sample(rng *rand.Rand) uint64 {
 }
 
 // ExpectationZ returns the expectation of Z_q: +1, -1, or 0 (when the
-// outcome is random). Non-collapsing.
+// outcome is random). Non-collapsing: the deterministic probe writes only
+// the scratch row, so no clone is made and no RNG is consumed.
 func (t *Tableau) ExpectationZ(q int) int {
 	w, b := q/64, uint(q%64)
 	for i := t.n; i < 2*t.n; i++ {
@@ -386,8 +397,7 @@ func (t *Tableau) ExpectationZ(q int) int {
 			return 0 // Z_q anticommutes with a stabilizer: random
 		}
 	}
-	c := t.Clone()
-	if c.MeasureZ(q, rand.New(rand.NewSource(0))) {
+	if t.deterministicZ(q) {
 		return -1
 	}
 	return 1

@@ -276,3 +276,64 @@ func TestWideRegisterWordBoundaries(t *testing.T) {
 		t.Error("GHZ across word boundaries decorrelated")
 	}
 }
+
+// TestExpectationZLeavesTableauUntouched: the deterministic probe behind
+// ExpectationZ must not modify the logical state (only scratch), so
+// repeated probes and subsequent measurements see the original tableau.
+func TestExpectationZLeavesTableauUntouched(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tab := New(4)
+	// A state mixing deterministic and random qubits: GHZ on 0-2, X on 3.
+	tab.H(0)
+	tab.CX(0, 1)
+	tab.CX(1, 2)
+	tab.X(3)
+	before := tab.String()
+	for q := 0; q < 4; q++ {
+		tab.ExpectationZ(q)
+		tab.ExpectationZ(q) // twice: scratch reuse must not accumulate
+	}
+	if after := tab.String(); after != before {
+		t.Fatalf("ExpectationZ modified the tableau:\nbefore:\n%s\nafter:\n%s", before, after)
+	}
+	// The state still behaves: GHZ qubits remain perfectly correlated.
+	bits := tab.Sample(rng)
+	ghz := bits & 0b111
+	if ghz != 0 && ghz != 0b111 {
+		t.Errorf("GHZ correlation broken after probes: sampled %04b", bits)
+	}
+	if bits&0b1000 == 0 {
+		t.Errorf("X qubit lost its flip after probes: sampled %04b", bits)
+	}
+}
+
+// TestExpectationZMatchesMeasureZ: on deterministic qubits the probe must
+// agree with a real collapsing measurement, independent of the RNG handed
+// to MeasureZ.
+func TestExpectationZMatchesMeasureZ(t *testing.T) {
+	prep := []func(tab *Tableau){
+		func(tab *Tableau) {},                              // |000>
+		func(tab *Tableau) { tab.X(0); tab.X(2) },          // |101>
+		func(tab *Tableau) { tab.X(1); tab.Z(1) },          // phases ignored
+		func(tab *Tableau) { tab.H(0); tab.CX(0, 1) },      // Bell: q2 det
+		func(tab *Tableau) { tab.H(2); tab.S(2); tab.X(0) }, // q2 random
+	}
+	for pi, p := range prep {
+		tab := New(3)
+		p(tab)
+		for q := 0; q < 3; q++ {
+			e := tab.ExpectationZ(q)
+			if e == 0 {
+				continue // random qubit: MeasureZ would collapse, not comparable
+			}
+			for seed := int64(0); seed < 3; seed++ {
+				got := tab.Clone().MeasureZ(q, rand.New(rand.NewSource(seed)))
+				want := e == -1
+				if got != want {
+					t.Errorf("prep %d qubit %d: ExpectationZ %d but MeasureZ(seed %d) %v",
+						pi, q, e, seed, got)
+				}
+			}
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/circuit"
 	"repro/internal/gate"
+	"repro/internal/obs"
 	"repro/internal/qmath"
 )
 
@@ -100,6 +101,10 @@ type CompileOptions struct {
 	// for striping; 0 means DefaultStripeMin. Tests set 1 to exercise
 	// striping on tiny states.
 	StripeMin int
+	// Recorder, when non-nil, counts kernel sweeps and stripe barriers
+	// (obs.KernelSweeps, obs.StripeBarriers) at one Add per Run call.
+	// It never affects the logical-op counts Run returns.
+	Recorder obs.Recorder
 }
 
 func (o CompileOptions) stripeMin() int {
@@ -185,13 +190,23 @@ func (p *Program) Run(s *State, from, to int) int {
 	seg := p.segment(from, to)
 	amp := s.amp
 	if p.opt.Stripes > 1 && len(amp) >= p.opt.stripeMin() {
+		barriers := 0
 		for _, k := range seg.kernels {
-			p.runStriped(k, amp)
+			if p.runStriped(k, amp) {
+				barriers++
+			}
+		}
+		if rec := p.opt.Recorder; rec != nil {
+			rec.Add(obs.KernelSweeps, int64(len(seg.kernels)))
+			rec.Add(obs.StripeBarriers, int64(barriers))
 		}
 		return seg.ops
 	}
 	for _, k := range seg.kernels {
 		k.run(amp, 0, k.units(len(amp)))
+	}
+	if rec := p.opt.Recorder; rec != nil {
+		rec.Add(obs.KernelSweeps, int64(len(seg.kernels)))
 	}
 	return seg.ops
 }
@@ -205,6 +220,9 @@ func (p *Program) RunSerial(s *State, from, to int) int {
 	for _, k := range seg.kernels {
 		k.run(amp, 0, k.units(len(amp)))
 	}
+	if rec := p.opt.Recorder; rec != nil {
+		rec.Add(obs.KernelSweeps, int64(len(seg.kernels)))
+	}
 	return seg.ops
 }
 
@@ -217,7 +235,9 @@ func (p *Program) checkState(s *State) {
 	}
 }
 
-func (p *Program) runStriped(k kernel, amp []complex128) {
+// runStriped sweeps one kernel across goroutine-partitioned stripes,
+// reporting whether it actually striped (one WaitGroup barrier).
+func (p *Program) runStriped(k kernel, amp []complex128) bool {
 	units := k.units(len(amp))
 	w := p.opt.Stripes
 	if w > units {
@@ -225,7 +245,7 @@ func (p *Program) runStriped(k kernel, amp []complex128) {
 	}
 	if w <= 1 || units == 0 {
 		k.run(amp, 0, units)
-		return
+		return false
 	}
 	chunk := (units + w - 1) / w
 	var wg sync.WaitGroup
@@ -241,6 +261,7 @@ func (p *Program) runStriped(k kernel, amp []complex128) {
 		}(lo, hi)
 	}
 	wg.Wait()
+	return true
 }
 
 // segment returns the compiled kernels for layers [from, to), compiling
