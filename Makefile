@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race race-verify bench bench-json verify verify-deep selftest fuzz-smoke metrics-smoke
+.PHONY: build vet test race race-verify bench bench-json bench-regress verify verify-deep selftest fuzz-smoke metrics-smoke
 
 build:
 	$(GO) build ./...
@@ -9,15 +9,17 @@ test:
 	$(GO) test ./...
 
 # The parallel executors share MSV trackers and work queues across
-# goroutines; always gate changes to them on the race detector.
+# goroutines; always gate changes to them on the race detector. The obs
+# package's histograms and sampler are written to concurrently by every
+# parallel executor, so they ride along.
 race:
-	$(GO) test -race ./internal/sim/... ./internal/reorder/...
+	$(GO) test -race ./internal/sim/... ./internal/reorder/... ./internal/obs/...
 
 # Striped kernel execution splits every compiled sweep across goroutines;
 # race-verify drives the compiled paths (fusion + striping) under the race
 # detector, including an end-to-end striped CLI run.
 race-verify:
-	$(GO) test -race ./internal/statevec/... ./internal/sim/... ./internal/reorder/... ./internal/difftest/...
+	$(GO) test -race ./internal/statevec/... ./internal/sim/... ./internal/reorder/... ./internal/difftest/... ./internal/obs/...
 	$(GO) run -race ./cmd/qsim -bench qft5 -mode both -fuse exact -stripes 4 -trials 256
 	$(GO) run -race ./cmd/qsim -bench qv_n5d5 -mode both -fuse numeric -stripes 4 -trials 256
 
@@ -28,6 +30,14 @@ bench:
 bench-json:
 	$(GO) run ./cmd/kernbench -out BENCH_kernels.json
 
+# Statistical perf-regression gate: run the quick qbench suite and compare
+# against the committed trajectory (Mann-Whitney U, alpha 0.05) without
+# appending, so the working tree stays clean. Exits nonzero on a
+# significant regression. Append a real trajectory point with:
+#   go run ./cmd/qbench
+bench-regress: build
+	$(GO) run ./cmd/qbench -quick -append=false -suite quick
+
 verify: build vet test race
 
 vet:
@@ -36,8 +46,11 @@ vet:
 # End-to-end observability check: run a QV circuit with metrics capture,
 # then re-read the file and verify the executed counters agree with the
 # static plan analysis (ops == OptimizedOps, emitted == trials, ...).
+# -prom-smoke additionally serves the recorded metrics on an ephemeral
+# port, scrapes /metrics over HTTP in-process, and validates the
+# Prometheus text exposition format.
 metrics-smoke: build
-	$(GO) run ./cmd/qsim -bench qv_n5d5 -trials 512 -mode both -metrics /tmp/qsim_metrics_smoke.json
+	$(GO) run ./cmd/qsim -bench qv_n5d5 -trials 512 -mode both -metrics /tmp/qsim_metrics_smoke.json -prom-smoke -sample-interval 20ms
 	$(GO) run ./cmd/qsim -verify-metrics /tmp/qsim_metrics_smoke.json
 
 # The seeded differential self-test: randomized workloads through every

@@ -15,7 +15,11 @@
 // Usage:
 //
 //	kernbench [-out BENCH_kernels.json] [-qubits 12] [-trials 256] [-mintime 200ms]
-//	kernbench -metrics kern_metrics.json -pprof 127.0.0.1:6060
+//	kernbench -metrics kern_metrics.json -pprof 127.0.0.1:6060 -sample-interval 100ms
+//
+// The report is stamped with the capture environment (Go version, OS,
+// architecture, CPU count, git commit) so checked-in results remain
+// attributable.
 package main
 
 import (
@@ -49,11 +53,12 @@ type result struct {
 }
 
 type report struct {
-	Qubits  int      `json:"qubits"`
-	Trials  int      `json:"trials"`
-	Seed    int64    `json:"seed"`
-	GoMaxP  int      `json:"gomaxprocs"`
-	Results []result `json:"results"`
+	Qubits  int         `json:"qubits"`
+	Trials  int         `json:"trials"`
+	Seed    int64       `json:"seed"`
+	GoMaxP  int         `json:"gomaxprocs"`
+	Env     obs.EnvMeta `json:"env"`
+	Results []result    `json:"results"`
 }
 
 func main() {
@@ -69,23 +74,40 @@ func run() error {
 	trials := flag.Int("trials", 256, "Monte Carlo trials for the exec benchmark")
 	minTime := flag.Duration("mintime", 200*time.Millisecond, "minimum measured time per case")
 	metricsPath := flag.String("metrics", "", "write per-case kernel/executor counters JSON to this file")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on this address")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof, expvar, and /metrics on this address")
+	sampleInterval := flag.Duration("sample-interval", 0, "runtime.MemStats sampling interval (0 = off)")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	logJSON := flag.Bool("log-json", false, "emit logs as JSON")
 	flag.Parse()
+
+	logger, err := obs.SetupLogger(*logLevel, *logJSON, os.Stderr)
+	if err != nil {
+		return err
+	}
 
 	var mets *benchMetrics
 	if *metricsPath != "" || *pprofAddr != "" {
 		mets = &benchMetrics{suite: obs.NewSuite(), agg: obs.NewMetrics()}
 	}
 	if *pprofAddr != "" {
-		url, err := obs.StartPprof(*pprofAddr)
+		exporter := obs.NewExporter()
+		exporter.Register("kernbench", mets.agg)
+		if *sampleInterval > 0 {
+			sampler := obs.StartSampler(*sampleInterval, obs.DefaultSamplerCapacity)
+			defer sampler.Stop()
+			exporter.AttachSampler(sampler)
+		}
+		url, closeSrv, err := obs.StartPprof(*pprofAddr, exporter)
 		if err != nil {
 			return err
 		}
+		defer closeSrv()
 		obs.PublishExpvar("kernbench", mets.agg)
-		fmt.Fprintf(os.Stderr, "pprof/expvar listening on %s\n", url)
+		logger.Info("pprof listening", "addr", url, "expvar", "/debug/vars", "prometheus", "/metrics")
 	}
 
-	rep := &report{Qubits: *qubits, Trials: *trials, Seed: benchSeed, GoMaxP: runtime.GOMAXPROCS(0)}
+	rep := &report{Qubits: *qubits, Trials: *trials, Seed: benchSeed,
+		GoMaxP: runtime.GOMAXPROCS(0), Env: obs.CaptureEnv()}
 
 	for _, w := range kernelWorkloads(*qubits) {
 		rep.Results = append(rep.Results, kernelCases(w.name, w.c, *qubits, *minTime, mets)...)
@@ -108,7 +130,7 @@ func run() error {
 		if err := obs.WriteRunMetrics(*metricsPath, rm); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "wrote metrics for %d cases to %s\n", mets.suite.Len(), *metricsPath)
+		logger.Info("case metrics written", "cases", mets.suite.Len(), "path", *metricsPath)
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")

@@ -1,0 +1,209 @@
+// Command qbench is the perf-regression harness: it runs a named suite
+// of in-process benchmark scenarios (baseline vs plan vs fused vs
+// subtree-parallel on fixed seeds), records N repetitions of each,
+// stamps the result with environment metadata, appends it to the
+// benchmark trajectory, and compares against the stored baseline with a
+// Mann–Whitney U test — exiting nonzero when a scenario is
+// statistically significantly slower.
+//
+//	qbench                      # full suite, append to BENCH_trajectory.json
+//	qbench -quick -append=false # CI regression gate (make bench-regress)
+//	qbench -reps 20 -alpha 0.01 # more power, stricter significance
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/circuit"
+	"repro/internal/noise"
+	"repro/internal/obs"
+	"repro/internal/perf"
+	"repro/internal/reorder"
+	"repro/internal/sim"
+	"repro/internal/statevec"
+	"repro/internal/trial"
+)
+
+func main() {
+	var (
+		suite    = flag.String("suite", "core", "suite name recorded in the trajectory")
+		reps     = flag.Int("reps", 8, "timed repetitions per scenario")
+		qubits   = flag.Int("qubits", 10, "QV circuit width")
+		depth    = flag.Int("depth", 4, "QV circuit depth")
+		trialN   = flag.Int("trials", 1024, "Monte Carlo trials per repetition")
+		seed     = flag.Int64("seed", 20200720, "workload seed (circuit and trials)")
+		workers  = flag.Int("workers", 0, "subtree-parallel workers (0 = NumCPU, capped at 8)")
+		out      = flag.String("out", "BENCH_trajectory.json", "trajectory file")
+		alpha    = flag.Float64("alpha", 0.05, "significance level for the Mann-Whitney test")
+		appendTo = flag.Bool("append", true, "append this run to the trajectory file")
+		quick    = flag.Bool("quick", false, "reduced workload for CI (8 qubits, depth 3, 256 trials, 5 reps)")
+		logLevel = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		logJSON  = flag.Bool("log-json", false, "emit logs as JSON")
+	)
+	flag.Parse()
+	logger, err := obs.SetupLogger(*logLevel, *logJSON, os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qbench: %v\n", err)
+		os.Exit(1)
+	}
+	if *quick {
+		*qubits, *depth, *trialN = 8, 3, 256
+		if *reps > 5 {
+			*reps = 5
+		}
+	}
+	if *workers <= 0 {
+		*workers = runtime.NumCPU()
+		if *workers > 8 {
+			*workers = 8
+		}
+	}
+	code, err := run(logger, config{
+		suite: *suite, reps: *reps, qubits: *qubits, depth: *depth,
+		trials: *trialN, seed: *seed, workers: *workers,
+		out: *out, alpha: *alpha, appendTo: *appendTo,
+	})
+	if err != nil {
+		logger.Error("qbench failed", "err", err)
+		os.Exit(1)
+	}
+	os.Exit(code)
+}
+
+type config struct {
+	suite                       string
+	reps, qubits, depth, trials int
+	seed                        int64
+	workers                     int
+	out                         string
+	alpha                       float64
+	appendTo                    bool
+}
+
+// scenario is one benchmark configuration: run executes the workload
+// once and returns the logical op count.
+type scenario struct {
+	name string
+	// sharing demands ops == plan.OptimizedOps() on every repetition.
+	sharing bool
+	run     func() (int64, error)
+}
+
+func run(logger *slog.Logger, cfg config) (int, error) {
+	c := bench.QV(cfg.qubits, cfg.depth, rand.New(rand.NewSource(cfg.seed)))
+	m := noise.Uniform("qbench", cfg.qubits, 1e-3, 1e-2, 1e-2)
+	gen, err := trial.NewGenerator(c, m)
+	if err != nil {
+		return 0, err
+	}
+	trials := gen.Generate(rand.New(rand.NewSource(cfg.seed)), cfg.trials)
+	plan, err := reorder.BuildPlan(c, trials)
+	if err != nil {
+		return 0, err
+	}
+	static := plan.OptimizedOps()
+	logger.Info("workload ready", "suite", cfg.suite, "qubits", cfg.qubits,
+		"depth", cfg.depth, "trials", len(trials), "planOps", static, "reps", cfg.reps)
+
+	scenarios := buildScenarios(c, plan, trials, cfg.workers)
+	entry := perf.Entry{Suite: cfg.suite, Env: obs.CaptureEnv()}
+	for _, sc := range scenarios {
+		mea, err := measure(logger, sc, cfg.reps, static, len(trials))
+		if err != nil {
+			return 0, err
+		}
+		entry.Scenarios = append(entry.Scenarios, mea)
+	}
+
+	traj, err := perf.Load(cfg.out)
+	if err != nil {
+		return 0, err
+	}
+	// Pick the comparison baseline BEFORE appending, so a run never
+	// compares against itself.
+	base := traj.LastMatching(cfg.suite, entry.Env.Fingerprint())
+	comparisons, err := perf.Compare(base, &entry, cfg.alpha)
+	if err != nil {
+		return 0, err
+	}
+	perf.WriteReport(os.Stdout, base, comparisons, cfg.alpha)
+
+	if cfg.appendTo {
+		traj.Entries = append(traj.Entries, entry)
+		if err := traj.Save(cfg.out); err != nil {
+			return 0, err
+		}
+		logger.Info("trajectory updated", "path", cfg.out, "entries", len(traj.Entries))
+	}
+	if perf.AnyRegression(comparisons) {
+		return 2, nil
+	}
+	return 0, nil
+}
+
+func buildScenarios(c *circuit.Circuit, plan *reorder.Plan, trials []*trial.Trial, workers int) []scenario {
+	return []scenario{
+		{"baseline", false, func() (int64, error) {
+			res, err := sim.Baseline(c, trials, sim.Options{})
+			return opsOf(res), err
+		}},
+		{"plan", true, func() (int64, error) {
+			res, err := sim.ExecutePlan(c, plan, sim.Options{})
+			return opsOf(res), err
+		}},
+		{"fused-numeric", true, func() (int64, error) {
+			res, err := sim.ExecutePlan(c, plan, sim.Options{Fuse: statevec.FuseNumeric})
+			return opsOf(res), err
+		}},
+		{fmt.Sprintf("subtree-parallel-%dw", workers), true, func() (int64, error) {
+			res, err := sim.ParallelSubtree(c, trials, workers, sim.Options{})
+			return opsOf(res), err
+		}},
+	}
+}
+
+func opsOf(res *sim.Result) int64 {
+	if res == nil {
+		return 0
+	}
+	return res.Ops
+}
+
+// measure runs one warmup plus reps timed repetitions of a scenario,
+// checking the sharing invariant on every repetition.
+func measure(logger *slog.Logger, sc scenario, reps int, static int64, trials int) (perf.Scenario, error) {
+	out := perf.Scenario{Name: sc.name, Trials: trials}
+	check := func(ops int64, err error) error {
+		if err != nil {
+			return fmt.Errorf("%s: %w", sc.name, err)
+		}
+		if sc.sharing && ops != static {
+			return fmt.Errorf("%s: ops %d != plan %d — sharing invariant broken", sc.name, ops, static)
+		}
+		out.Ops = ops
+		return nil
+	}
+	if err := check(sc.run()); err != nil { // warmup
+		return out, err
+	}
+	for r := 0; r < reps; r++ {
+		t0 := time.Now()
+		ops, err := sc.run()
+		d := time.Since(t0)
+		if err := check(ops, err); err != nil {
+			return out, err
+		}
+		out.RepsNs = append(out.RepsNs, int64(d))
+		logger.Debug("rep", "scenario", sc.name, "rep", r, "ns", int64(d))
+	}
+	logger.Info("scenario measured", "scenario", sc.name,
+		"medianNs", int64(out.MedianNs()), "reps", len(out.RepsNs), "ops", out.Ops)
+	return out, nil
+}

@@ -43,8 +43,18 @@
 //	-trace file     write the plan-trace event stream (snapshot push/
 //	                drop/restore, task spawns, emits) as JSON to file
 //	-trace-summary  print a flame-style per-depth summary of the trace
-//	-pprof addr     serve net/http/pprof and expvar on addr (e.g.
-//	                localhost:6060); live metrics appear at /debug/vars
+//	-pprof addr     serve net/http/pprof, expvar, and Prometheus text
+//	                exposition on addr (e.g. localhost:6060); live
+//	                metrics appear at /debug/vars and /metrics
+//	-sample-interval d
+//	                sample runtime.MemStats every d (e.g. 100ms) and
+//	                expose the latest sample as Prometheus gauges
+//	-prom-smoke     after the run, serve the recorded metrics on an
+//	                ephemeral port, scrape /metrics in-process, and
+//	                validate the exposition format; exits nonzero on a
+//	                malformed exposition
+//	-log-level l    debug, info, warn, or error (default info)
+//	-log-json       emit structured logs as JSON lines
 //	-selftest       run the seeded differential self-test (internal/difftest)
 //	                instead of a simulation: randomized workloads through
 //	                every executor, cross-checked bit-for-bit against naive
@@ -55,6 +65,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
 	"os"
 	"sort"
 	"strings"
@@ -67,8 +80,8 @@ import (
 	"repro/internal/difftest"
 	"repro/internal/obs"
 	"repro/internal/sim"
-	"repro/internal/stats"
 	"repro/internal/statevec"
+	"repro/internal/stats"
 	"repro/internal/trial"
 )
 
@@ -103,8 +116,17 @@ func run() error {
 	verifyPath := flag.String("verify-metrics", "", "validate a -metrics JSON file and exit")
 	tracePath := flag.String("trace", "", "write the plan-trace event stream as JSON to this file")
 	traceSummary := flag.Bool("trace-summary", false, "print a flame-style summary of the plan trace")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on this address")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof, expvar, and /metrics on this address")
+	sampleInterval := flag.Duration("sample-interval", 0, "runtime.MemStats sampling interval (0 = off)")
+	promSmoke := flag.Bool("prom-smoke", false, "scrape and validate the Prometheus exposition in-process after the run")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	logJSON := flag.Bool("log-json", false, "emit logs as JSON")
 	flag.Parse()
+
+	logger, err := obs.SetupLogger(*logLevel, *logJSON, os.Stderr)
+	if err != nil {
+		return err
+	}
 
 	if *verifyPath != "" {
 		return verifyMetrics(*verifyPath)
@@ -173,7 +195,7 @@ func run() error {
 	var metrics *obs.Metrics
 	var trace *obs.Trace
 	var recorders []obs.Recorder
-	if *metricsPath != "" || *pprofAddr != "" {
+	if *metricsPath != "" || *pprofAddr != "" || *promSmoke {
 		metrics = obs.NewMetrics()
 		recorders = append(recorders, metrics)
 	}
@@ -181,13 +203,27 @@ func run() error {
 		trace = obs.NewTrace()
 		recorders = append(recorders, trace)
 	}
+	var exporter *obs.Exporter
+	if *pprofAddr != "" || *promSmoke {
+		exporter = obs.NewExporter()
+		exporter.Register("qsim", metrics)
+	}
+	if *sampleInterval > 0 {
+		sampler := obs.StartSampler(*sampleInterval, obs.DefaultSamplerCapacity)
+		defer sampler.Stop()
+		if exporter != nil {
+			exporter.AttachSampler(sampler)
+		}
+		logger.Debug("runtime sampler started", "interval", *sampleInterval)
+	}
 	if *pprofAddr != "" {
-		bound, err := obs.StartPprof(*pprofAddr)
+		bound, closeSrv, err := obs.StartPprof(*pprofAddr, exporter)
 		if err != nil {
 			return fmt.Errorf("-pprof: %v", err)
 		}
+		defer closeSrv()
 		obs.PublishExpvar("qsim", metrics)
-		fmt.Printf("pprof: http://%s/debug/pprof (metrics at /debug/vars)\n", bound)
+		logger.Info("pprof listening", "addr", bound, "expvar", "/debug/vars", "prometheus", "/metrics")
 	}
 
 	start := time.Now()
@@ -244,7 +280,7 @@ func run() error {
 		if err := obs.WriteRunMetrics(*metricsPath, rm); err != nil {
 			return fmt.Errorf("-metrics: %v", err)
 		}
-		fmt.Printf("metrics written to %s\n", *metricsPath)
+		logger.Info("metrics written", "path", *metricsPath)
 	}
 	if trace != nil {
 		if *tracePath != "" {
@@ -259,12 +295,52 @@ func run() error {
 			if werr != nil {
 				return fmt.Errorf("-trace: %v", werr)
 			}
-			fmt.Printf("trace written to %s (%d events)\n", *tracePath, trace.Len())
+			logger.Info("trace written", "path", *tracePath, "events", trace.Len())
 		}
 		if *traceSummary {
 			fmt.Print(trace.Summary())
 		}
 	}
+	if *promSmoke {
+		if err := promSmokeTest(logger, exporter); err != nil {
+			return fmt.Errorf("-prom-smoke: %v", err)
+		}
+	}
+	return nil
+}
+
+// promSmokeTest serves the recorded metrics on an ephemeral port, scrapes
+// /metrics over real HTTP, and validates the exposition format — the
+// in-process equivalent of pointing a Prometheus scraper at -pprof.
+func promSmokeTest(logger *slog.Logger, exporter *obs.Exporter) error {
+	addr, closeSrv, err := obs.StartPprof("127.0.0.1:0", exporter)
+	if err != nil {
+		return err
+	}
+	defer closeSrv()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /metrics: %s", resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if err := obs.ValidateExposition(strings.NewReader(string(body))); err != nil {
+		return err
+	}
+	series := 0
+	for _, line := range strings.Split(string(body), "\n") {
+		if line != "" && !strings.HasPrefix(line, "#") {
+			series++
+		}
+	}
+	logger.Info("prometheus exposition validated", "series", series, "bytes", len(body))
+	fmt.Printf("prom-smoke OK: %d series, %d bytes, exposition valid\n", series, len(body))
 	return nil
 }
 

@@ -19,7 +19,11 @@
 //	-seed n          RNG seed
 //	-csv             emit CSV instead of the aligned table
 //	-metrics file    write per-point run metrics JSON (see EXPERIMENTS.md)
-//	-pprof addr      serve net/http/pprof and expvar on addr
+//	-pprof addr      serve net/http/pprof, expvar, and /metrics on addr
+//	-sample-interval d
+//	                 sample runtime.MemStats every d for /metrics gauges
+//	-log-level l     debug, info, warn, or error
+//	-log-json        emit structured logs as JSON lines
 package main
 
 import (
@@ -53,8 +57,16 @@ func run() error {
 	seed := flag.Int64("seed", 1, "RNG seed")
 	csv := flag.Bool("csv", false, "emit CSV")
 	metricsPath := flag.String("metrics", "", "write per-point run metrics JSON to this file")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on this address")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof, expvar, and /metrics on this address")
+	sampleInterval := flag.Duration("sample-interval", 0, "runtime.MemStats sampling interval (0 = off)")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	logJSON := flag.Bool("log-json", false, "emit logs as JSON")
 	flag.Parse()
+
+	logger, err := obs.SetupLogger(*logLevel, *logJSON, os.Stderr)
+	if err != nil {
+		return err
+	}
 
 	circ, err := loadCircuit(*qasmPath, *benchName, *seed)
 	if err != nil {
@@ -80,12 +92,20 @@ func run() error {
 		agg = obs.NewMetrics()
 	}
 	if *pprofAddr != "" {
-		url, err := obs.StartPprof(*pprofAddr)
+		exporter := obs.NewExporter()
+		exporter.Register("qsweep", agg)
+		if *sampleInterval > 0 {
+			sampler := obs.StartSampler(*sampleInterval, obs.DefaultSamplerCapacity)
+			defer sampler.Stop()
+			exporter.AttachSampler(sampler)
+		}
+		url, closeSrv, err := obs.StartPprof(*pprofAddr, exporter)
 		if err != nil {
 			return err
 		}
+		defer closeSrv()
 		obs.PublishExpvar("qsweep", agg)
-		fmt.Fprintf(os.Stderr, "pprof/expvar listening on %s\n", url)
+		logger.Info("pprof listening", "addr", url, "expvar", "/debug/vars", "prometheus", "/metrics")
 	}
 
 	if *csv {
@@ -146,7 +166,7 @@ func run() error {
 		if err := obs.WriteRunMetrics(*metricsPath, rm); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "wrote metrics for %d sweep points to %s\n", suite.Len(), *metricsPath)
+		logger.Info("sweep metrics written", "points", suite.Len(), "path", *metricsPath)
 	}
 	return nil
 }

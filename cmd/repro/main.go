@@ -34,8 +34,17 @@ func main() {
 	seed := flag.Int64("seed", 0, "override the experiment seed (0 = default)")
 	trials := flag.Int("scal-trials", 0, "override scalability trial count (0 = config default)")
 	metricsPath := flag.String("metrics", "", "write per-scenario experiment metrics JSON to this file")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on this address")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof, expvar, and /metrics on this address")
+	sampleInterval := flag.Duration("sample-interval", 0, "runtime.MemStats sampling interval (0 = off)")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	logJSON := flag.Bool("log-json", false, "emit logs as JSON")
 	flag.Parse()
+
+	logger, err := obs.SetupLogger(*logLevel, *logJSON, os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+		os.Exit(1)
+	}
 
 	cfg := harness.DefaultConfig()
 	if *full {
@@ -51,12 +60,19 @@ func main() {
 		cfg.Metrics = obs.NewSuite()
 	}
 	if *pprofAddr != "" {
-		url, err := obs.StartPprof(*pprofAddr)
+		exporter := obs.NewExporter()
+		if *sampleInterval > 0 {
+			sampler := obs.StartSampler(*sampleInterval, obs.DefaultSamplerCapacity)
+			defer sampler.Stop()
+			exporter.AttachSampler(sampler)
+		}
+		url, closeSrv, err := obs.StartPprof(*pprofAddr, exporter)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "repro: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "pprof listening on %s\n", url)
+		defer closeSrv()
+		logger.Info("pprof listening", "addr", url, "prometheus", "/metrics")
 	}
 
 	experiments := harness.Experiments(cfg)
@@ -119,6 +135,6 @@ func main() {
 			fmt.Fprintf(os.Stderr, "repro: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("wrote metrics for %d scenarios to %s\n", cfg.Metrics.Len(), *metricsPath)
+		logger.Info("experiment metrics written", "scenarios", cfg.Metrics.Len(), "path", *metricsPath)
 	}
 }

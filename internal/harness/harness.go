@@ -464,11 +464,12 @@ func Experiments(cfg Config) map[string]func() (*Table, error) {
 		"fig8":     func() (*Table, error) { return Fig8(cfg) },
 		"ablation": func() (*Table, error) { return Ablation(cfg) },
 		"parallel": func() (*Table, error) { return ParallelSharing(cfg) },
+		"latency":  func() (*Table, error) { return Latency(cfg) },
 	}
 }
 
 // ExperimentOrder lists experiment names in report order.
-var ExperimentOrder = []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "ablation", "parallel"}
+var ExperimentOrder = []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "ablation", "parallel", "latency"}
 
 // AblationDepths lists the shared-prefix caps the ablation experiment
 // sweeps (1<<30 = unbounded, the paper's full Algorithm 1).

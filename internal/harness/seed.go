@@ -28,6 +28,7 @@ const (
 	saltScalability = 0x3d90_57e8_c4a1_6f2b
 	saltAblation    = 0x81fe_b32a_5c47_d909
 	saltParallel    = 0xc752_18d6_3e9f_a471
+	saltLatency     = 0x2e8b_f693_1a5d_c037
 )
 
 // mix64 is the splitmix64 finalizer: a bijective avalanche so that
@@ -77,4 +78,10 @@ func AblationSeed(cfg Config) int64 {
 // ParallelSeed returns the trial seed of the parallel-sharing experiment.
 func ParallelSeed(cfg Config) int64 {
 	return seedFor(cfg.Seed, saltParallel, cfg.Fig6Trials)
+}
+
+// LatencySeed returns the trial seed of the latency-distribution
+// experiment.
+func LatencySeed(cfg Config) int64 {
+	return seedFor(cfg.Seed, saltLatency, cfg.Fig6Trials)
 }

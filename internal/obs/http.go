@@ -7,15 +7,15 @@ import (
 	"net/http/pprof"
 )
 
-// StartPprof serves the net/http/pprof profile handlers and the expvar
-// JSON endpoint on addr (e.g. "localhost:6060") from a background
-// goroutine, returning the bound address (useful with ":0"). The listener
-// lives for the remainder of the process; CLI binaries call this once at
-// startup when -pprof is set.
-func StartPprof(addr string) (string, error) {
+// StartPprof serves the net/http/pprof profile handlers, the expvar
+// JSON endpoint and — when exp is non-nil — the Prometheus exposition
+// at /metrics on addr (e.g. "localhost:6060") from a background
+// goroutine. It returns the bound address (useful with ":0") and a
+// close function that shuts the server down and releases the port.
+func StartPprof(addr string, exp *Exporter) (string, func() error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", err
+		return "", nil, err
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -24,8 +24,12 @@ func StartPprof(addr string) (string, error) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
-	go http.Serve(ln, mux) //nolint:errcheck // best-effort debug endpoint
-	return ln.Addr().String(), nil
+	if exp != nil {
+		mux.Handle("/metrics", exp)
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return ln.Addr().String(), srv.Close, nil
 }
 
 // PublishExpvar exposes live metrics under the given expvar name (at

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Satellite: StartPprof must release its port on close. Bind :0, scrape
+// /metrics and /debug/vars, close, and verify the exact port can be
+// re-bound.
+func TestStartPprofCloseFreesPort(t *testing.T) {
+	e := NewExporter()
+	e.Register("httptest", populatedMetrics())
+	addr, closeFn, err := StartPprof("127.0.0.1:0", e)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	body := mustGet(t, "http://"+addr+"/metrics")
+	if !strings.Contains(body, `repro_ops_total{job="httptest"} 123`) {
+		t.Errorf("/metrics missing counter series; got %d bytes", len(body))
+	}
+	if err := ValidateExposition(strings.NewReader(body)); err != nil {
+		t.Errorf("/metrics exposition invalid: %v", err)
+	}
+	if vars := mustGet(t, "http://"+addr+"/debug/vars"); !strings.Contains(vars, "cmdline") {
+		t.Error("/debug/vars not serving expvar")
+	}
+
+	if err := closeFn(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	// The port must be immediately re-bindable once the server is down.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		ln, err := net.Listen("tcp", addr)
+		if err == nil {
+			ln.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("port %s still bound after close: %v", addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Error("server still answering after close")
+	}
+}
+
+func TestStartPprofWithoutExporterOmitsMetrics(t *testing.T) {
+	addr, closeFn, err := StartPprof("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeFn() //nolint:errcheck
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("/metrics without exporter: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func mustGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}

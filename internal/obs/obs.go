@@ -170,6 +170,10 @@ type Recorder interface {
 	// trunk, 0 = a sequential executor, 0..n-1 = pool workers).
 	// Metrics-only recorders ignore events.
 	Event(kind EventKind, worker, depth int)
+	// Observe records one value into a distribution (latency in
+	// nanoseconds, or a dimensionless depth). Trace-only recorders
+	// ignore observations.
+	Observe(h Hist, v int64)
 }
 
 // StartPhase begins timing a phase and returns the function that stops
@@ -194,6 +198,7 @@ type Metrics struct {
 	counters [numCounters]atomic.Int64
 	gauges   [numGauges]atomic.Int64
 	phases   [numPhases]atomic.Int64 // nanoseconds
+	hists    [numHists]Histogram
 }
 
 // NewMetrics returns an empty Metrics recorder.
@@ -219,6 +224,10 @@ func (m *Metrics) PhaseDone(p Phase, d time.Duration) { m.phases[p].Add(int64(d)
 // record streams. Combine with a Trace via Multi for both.
 func (m *Metrics) Event(EventKind, int, int) {}
 
+// Observe implements Recorder: record one value into a log-bucketed
+// histogram (lock-free, allocation-free).
+func (m *Metrics) Observe(h Hist, v int64) { m.hists[h].Observe(v) }
+
 // Counter returns a counter's current value.
 func (m *Metrics) Counter(c Counter) int64 { return m.counters[c].Load() }
 
@@ -228,13 +237,18 @@ func (m *Metrics) Gauge(g Gauge) int64 { return m.gauges[g].Load() }
 // PhaseNanos returns a phase's accumulated wall-clock nanoseconds.
 func (m *Metrics) PhaseNanos(p Phase) int64 { return m.phases[p].Load() }
 
+// Hist returns the recorder's live histogram for h (never nil), for
+// quantile queries and exact cross-recorder merging.
+func (m *Metrics) Hist(h Hist) *Histogram { return &m.hists[h] }
+
 // Snapshot captures the current values as a JSON-friendly value. Zero
 // counters and phases are included so consumers see a stable schema.
 func (m *Metrics) Snapshot() Snapshot {
 	s := Snapshot{
-		Counters: make(map[string]int64, int(numCounters)),
-		Gauges:   make(map[string]int64, int(numGauges)),
-		PhaseNs:  make(map[string]int64, int(numPhases)),
+		Counters:   make(map[string]int64, int(numCounters)),
+		Gauges:     make(map[string]int64, int(numGauges)),
+		PhaseNs:    make(map[string]int64, int(numPhases)),
+		Histograms: make(map[string]HistogramSnapshot, int(numHists)),
 	}
 	for c := Counter(0); c < numCounters; c++ {
 		s.Counters[c.String()] = m.counters[c].Load()
@@ -245,15 +259,19 @@ func (m *Metrics) Snapshot() Snapshot {
 	for p := Phase(0); p < numPhases; p++ {
 		s.PhaseNs[p.String()] = m.phases[p].Load()
 	}
+	for h := Hist(0); h < numHists; h++ {
+		s.Histograms[h.String()] = m.hists[h].Snapshot()
+	}
 	return s
 }
 
 // Snapshot is a point-in-time copy of a Metrics recorder, keyed by the
 // canonical counter/gauge/phase names.
 type Snapshot struct {
-	Counters map[string]int64 `json:"counters"`
-	Gauges   map[string]int64 `json:"gauges"`
-	PhaseNs  map[string]int64 `json:"phase_ns"`
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	PhaseNs    map[string]int64             `json:"phase_ns"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
 }
 
 // multi fans every record out to several recorders.
@@ -280,6 +298,12 @@ func (m multi) PhaseDone(p Phase, d time.Duration) {
 func (m multi) Event(kind EventKind, worker, depth int) {
 	for _, r := range m {
 		r.Event(kind, worker, depth)
+	}
+}
+
+func (m multi) Observe(h Hist, v int64) {
+	for _, r := range m {
+		r.Observe(h, v)
 	}
 }
 

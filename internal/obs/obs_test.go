@@ -178,10 +178,11 @@ func TestStartPprofServesVars(t *testing.T) {
 	PublishExpvar("obs_test_metrics", m)
 	PublishExpvar("obs_test_metrics", m) // duplicate must not panic
 
-	addr, err := StartPprof("127.0.0.1:0")
+	addr, closeFn, err := StartPprof("127.0.0.1:0", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer closeFn() //nolint:errcheck
 	resp, err := http.Get("http://" + addr + "/debug/vars")
 	if err != nil {
 		t.Fatal(err)

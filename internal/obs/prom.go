@@ -1,0 +1,295 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// This file renders live Metrics in the Prometheus text exposition
+// format (version 0.0.4) so any scraper — or curl — can watch a run.
+// Histograms become the conventional cumulative series: one
+// `<name>_bucket{le="..."}` per populated boundary plus `le="+Inf"`,
+// and `<name>_sum` / `<name>_count`. All metric names carry the
+// `repro_` prefix; concurrent sources (per-scenario suites, aggregate
+// recorders) are distinguished by a `job` label.
+
+// promNamespace prefixes every exposed metric name.
+const promNamespace = "repro"
+
+// Exporter serves registered Metrics (and, optionally, the latest
+// runtime Sampler reading) in Prometheus text exposition format. The
+// zero value is unusable; construct with NewExporter. Safe for
+// concurrent use.
+type Exporter struct {
+	mu      sync.Mutex
+	jobs    []promJob
+	sampler *Sampler
+}
+
+type promJob struct {
+	name string
+	m    *Metrics
+}
+
+// NewExporter returns an empty Exporter; mount it at /metrics via
+// StartPprof or http.Handle.
+func NewExporter() *Exporter { return &Exporter{} }
+
+// Register adds a Metrics source under the given job label. Registering
+// the same job again replaces the source (the latest wins), so a CLI
+// can re-register between scenarios.
+func (e *Exporter) Register(job string, m *Metrics) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i := range e.jobs {
+		if e.jobs[i].name == job {
+			e.jobs[i].m = m
+			return
+		}
+	}
+	e.jobs = append(e.jobs, promJob{name: job, m: m})
+}
+
+// AttachSampler adds runtime gauges (heap, GC, goroutines) from the
+// sampler's most recent reading to every exposition.
+func (e *Exporter) AttachSampler(s *Sampler) {
+	e.mu.Lock()
+	e.sampler = s
+	e.mu.Unlock()
+}
+
+// ServeHTTP implements http.Handler: one full exposition per scrape.
+func (e *Exporter) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = e.WriteExposition(w)
+}
+
+// WriteExposition renders every registered source as one Prometheus
+// text document.
+func (e *Exporter) WriteExposition(w io.Writer) error {
+	e.mu.Lock()
+	jobs := append([]promJob(nil), e.jobs...)
+	sampler := e.sampler
+	e.mu.Unlock()
+
+	b := bufio.NewWriter(w)
+	// Counters.
+	for c := Counter(0); c < numCounters; c++ {
+		name := fmt.Sprintf("%s_%s_total", promNamespace, c)
+		fmt.Fprintf(b, "# HELP %s Cumulative %s across the run.\n# TYPE %s counter\n", name, c, name)
+		for _, j := range jobs {
+			fmt.Fprintf(b, "%s{job=%q} %d\n", name, j.name, j.m.Counter(c))
+		}
+	}
+	// Gauges.
+	for g := Gauge(0); g < numGauges; g++ {
+		name := fmt.Sprintf("%s_%s", promNamespace, g)
+		fmt.Fprintf(b, "# HELP %s High-water %s.\n# TYPE %s gauge\n", name, g, name)
+		for _, j := range jobs {
+			fmt.Fprintf(b, "%s{job=%q} %d\n", name, j.name, j.m.Gauge(g))
+		}
+	}
+	// Phase timings (one family, phase label).
+	{
+		name := promNamespace + "_phase_ns_total"
+		fmt.Fprintf(b, "# HELP %s Cumulative wall-clock nanoseconds per pipeline phase.\n# TYPE %s counter\n", name, name)
+		for _, j := range jobs {
+			for p := Phase(0); p < numPhases; p++ {
+				fmt.Fprintf(b, "%s{job=%q,phase=%q} %d\n", name, j.name, p.String(), j.m.PhaseNanos(p))
+			}
+		}
+	}
+	// Histograms: cumulative buckets + sum + count.
+	for h := Hist(0); h < numHists; h++ {
+		name := fmt.Sprintf("%s_%s", promNamespace, h)
+		fmt.Fprintf(b, "# HELP %s Distribution of %s.\n# TYPE %s histogram\n", name, h, name)
+		for _, j := range jobs {
+			hist := j.m.Hist(h)
+			var cum int64
+			for i := 0; i < NumHistBuckets; i++ {
+				c := hist.Bucket(i)
+				if c == 0 {
+					continue
+				}
+				cum += c
+				fmt.Fprintf(b, "%s_bucket{job=%q,le=%q} %d\n", name, j.name, strconv.FormatInt(HistBucketUpper(i), 10), cum)
+			}
+			fmt.Fprintf(b, "%s_bucket{job=%q,le=\"+Inf\"} %d\n", name, j.name, hist.Count())
+			fmt.Fprintf(b, "%s_sum{job=%q} %d\n", name, j.name, hist.Sum())
+			fmt.Fprintf(b, "%s_count{job=%q} %d\n", name, j.name, hist.Count())
+		}
+	}
+	// Runtime gauges from the sampler's latest reading.
+	if sampler != nil {
+		if sm, ok := sampler.Last(); ok {
+			writeRuntimeGauge(b, "runtime_heap_alloc_bytes", "Heap bytes in use at the last sample.", "gauge", float64(sm.HeapAllocBytes))
+			writeRuntimeGauge(b, "runtime_heap_sys_bytes", "Heap bytes obtained from the OS at the last sample.", "gauge", float64(sm.HeapSysBytes))
+			writeRuntimeGauge(b, "runtime_goroutines", "Goroutine count at the last sample.", "gauge", float64(sm.Goroutines))
+			writeRuntimeGauge(b, "runtime_gc_cycles_total", "Completed GC cycles.", "counter", float64(sm.NumGC))
+			writeRuntimeGauge(b, "runtime_gc_pause_ns_total", "Cumulative GC stop-the-world pause nanoseconds.", "counter", float64(sm.GCPauseTotalNs))
+		}
+	}
+	return b.Flush()
+}
+
+func writeRuntimeGauge(w io.Writer, suffix, help, typ string, v float64) {
+	name := promNamespace + "_" + suffix
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %.0f\n", name, help, name, typ, name, v)
+}
+
+// ValidateExposition parses a Prometheus text document and checks the
+// structural invariants a scraper relies on: every sample line parses,
+// and for each family declared `# TYPE ... histogram` and label set, the
+// `_bucket` series is cumulative (non-decreasing in le, le sorted),
+// terminates in `le="+Inf"`, and agrees with `_count`; `_sum` must be
+// present. Returns nil on a well-formed document.
+func ValidateExposition(r io.Reader) error {
+	type bucketPoint struct {
+		le  float64
+		val float64
+	}
+	histFamilies := map[string]bool{}
+	buckets := map[string][]bucketPoint{} // family + label-set (sans le) -> points in order
+	counts := map[string]float64{}
+	sums := map[string]bool{}
+	lines := 0
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 4 && fields[1] == "TYPE" && fields[3] == "histogram" {
+				histFamilies[fields[2]] = true
+			}
+			continue
+		}
+		lines++
+		name, labels, valStr, err := splitSample(line)
+		if err != nil {
+			return fmt.Errorf("line %q: %w", line, err)
+		}
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return fmt.Errorf("line %q: bad value: %w", line, err)
+		}
+		switch {
+		case strings.HasSuffix(name, "_bucket"):
+			family := strings.TrimSuffix(name, "_bucket")
+			if !histFamilies[family] {
+				continue
+			}
+			le, rest, err := extractLE(labels)
+			if err != nil {
+				return fmt.Errorf("line %q: %w", line, err)
+			}
+			key := family + "{" + rest + "}"
+			buckets[key] = append(buckets[key], bucketPoint{le: le, val: val})
+		case strings.HasSuffix(name, "_count"):
+			family := strings.TrimSuffix(name, "_count")
+			if histFamilies[family] {
+				counts[family+"{"+labels+"}"] = val
+			}
+		case strings.HasSuffix(name, "_sum"):
+			family := strings.TrimSuffix(name, "_sum")
+			if histFamilies[family] {
+				sums[family+"{"+labels+"}"] = true
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if lines == 0 {
+		return fmt.Errorf("empty exposition")
+	}
+	for key, pts := range buckets {
+		if !sort.SliceIsSorted(pts, func(i, j int) bool { return pts[i].le < pts[j].le }) {
+			return fmt.Errorf("%s: buckets not sorted by le", key)
+		}
+		last := pts[len(pts)-1]
+		if !math.IsInf(last.le, 1) {
+			return fmt.Errorf("%s: missing le=\"+Inf\" bucket", key)
+		}
+		for i := 1; i < len(pts); i++ {
+			if pts[i].val < pts[i-1].val {
+				return fmt.Errorf("%s: bucket counts not cumulative at le=%g", key, pts[i].le)
+			}
+		}
+		count, ok := counts[key]
+		if !ok {
+			return fmt.Errorf("%s: missing _count series", key)
+		}
+		if count != last.val {
+			return fmt.Errorf("%s: _count %g != +Inf bucket %g", key, count, last.val)
+		}
+		if !sums[key] {
+			return fmt.Errorf("%s: missing _sum series", key)
+		}
+	}
+	for key := range counts {
+		if _, ok := buckets[key]; !ok {
+			return fmt.Errorf("%s: _count without _bucket series", key)
+		}
+	}
+	return nil
+}
+
+// splitSample parses `name{labels} value` or `name value`.
+func splitSample(line string) (name, labels, value string, err error) {
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		j := strings.LastIndexByte(line, '}')
+		if j < i {
+			return "", "", "", fmt.Errorf("unbalanced braces")
+		}
+		name = line[:i]
+		labels = line[i+1 : j]
+		value = strings.TrimSpace(line[j+1:])
+	} else {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return "", "", "", fmt.Errorf("want `name value`")
+		}
+		name, value = fields[0], fields[1]
+	}
+	if name == "" || value == "" {
+		return "", "", "", fmt.Errorf("missing name or value")
+	}
+	return name, labels, value, nil
+}
+
+// extractLE pulls the le label out of a label string, returning its
+// numeric value and the remaining labels (the series identity).
+func extractLE(labels string) (le float64, rest string, err error) {
+	parts := strings.Split(labels, ",")
+	kept := parts[:0]
+	found := false
+	for _, p := range parts {
+		if v, ok := strings.CutPrefix(strings.TrimSpace(p), "le="); ok {
+			raw := strings.Trim(v, `"`)
+			found = true
+			if raw == "+Inf" {
+				le = math.Inf(1)
+			} else if le, err = strconv.ParseFloat(raw, 64); err != nil {
+				return 0, "", fmt.Errorf("bad le %q: %w", raw, err)
+			}
+			continue
+		}
+		kept = append(kept, p)
+	}
+	if !found {
+		return 0, "", fmt.Errorf("bucket line without le label")
+	}
+	return le, strings.Join(kept, ","), nil
+}

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func populatedMetrics() *Metrics {
+	m := NewMetrics()
+	m.Add(Ops, 123)
+	m.Add(Copies, 4)
+	m.SetMax(MSVHighWater, 7)
+	m.PhaseDone(PhaseExecute, 5*time.Millisecond)
+	for v := int64(1); v <= 100; v++ {
+		m.Observe(HistTrialLatency, v*1000)
+	}
+	m.Observe(HistRestoreDepth, 0)
+	m.Observe(HistRestoreDepth, 2)
+	return m
+}
+
+func TestWriteExpositionValidates(t *testing.T) {
+	e := NewExporter()
+	e.Register("qsim", populatedMetrics())
+	e.Register("agg", NewMetrics()) // empty source must also be well-formed
+	s := StartSampler(10*time.Millisecond, 4)
+	defer s.Stop()
+	e.AttachSampler(s)
+
+	var b strings.Builder
+	if err := e.WriteExposition(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		`repro_ops_total{job="qsim"} 123`,
+		`repro_msv_high_water{job="qsim"} 7`,
+		`repro_phase_ns_total{job="qsim",phase="execute"} 5000000`,
+		`repro_trial_latency_ns_bucket{job="qsim",le="+Inf"} 100`,
+		`repro_trial_latency_ns_count{job="qsim"} 100`,
+		`repro_restore_depth_count{job="qsim"} 2`,
+		`repro_runtime_goroutines`,
+		`# TYPE repro_trial_latency_ns histogram`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	if err := ValidateExposition(strings.NewReader(text)); err != nil {
+		t.Errorf("own exposition failed validation: %v", err)
+	}
+}
+
+func TestRegisterReplacesJob(t *testing.T) {
+	e := NewExporter()
+	e.Register("j", NewMetrics())
+	m2 := NewMetrics()
+	m2.Add(Ops, 9)
+	e.Register("j", m2)
+	var b strings.Builder
+	if err := e.WriteExposition(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `repro_ops_total{job="j"} 9`) {
+		t.Error("re-registering a job did not replace its source")
+	}
+	if strings.Count(b.String(), `repro_ops_total{job="j"}`) != 1 {
+		t.Error("duplicate job series after re-register")
+	}
+}
+
+func TestValidateExpositionCatchesDefects(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"empty", ""},
+		{"garbage line", "not a metric line at all { nope\n"},
+		{"bad value", "repro_x_total 12abc\n"},
+		{"non-cumulative buckets", "# TYPE repro_h histogram\n" +
+			"repro_h_bucket{le=\"1\"} 5\nrepro_h_bucket{le=\"2\"} 3\nrepro_h_bucket{le=\"+Inf\"} 5\nrepro_h_sum 9\nrepro_h_count 5\n"},
+		{"missing +Inf", "# TYPE repro_h histogram\n" +
+			"repro_h_bucket{le=\"1\"} 5\nrepro_h_sum 9\nrepro_h_count 5\n"},
+		{"count mismatch", "# TYPE repro_h histogram\n" +
+			"repro_h_bucket{le=\"+Inf\"} 5\nrepro_h_sum 9\nrepro_h_count 6\n"},
+		{"missing sum", "# TYPE repro_h histogram\n" +
+			"repro_h_bucket{le=\"+Inf\"} 5\nrepro_h_count 5\n"},
+		{"count without buckets", "# TYPE repro_h histogram\nrepro_h_count 5\n"},
+	}
+	for _, c := range cases {
+		if err := ValidateExposition(strings.NewReader(c.doc)); err == nil {
+			t.Errorf("%s: validation passed, want error", c.name)
+		}
+	}
+	// A plain counter document with no histograms is fine.
+	if err := ValidateExposition(strings.NewReader("repro_ops_total{job=\"x\"} 1\n")); err != nil {
+		t.Errorf("valid counter doc rejected: %v", err)
+	}
+}

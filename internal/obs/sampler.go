@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// RuntimeSample is one point-in-time reading of the Go runtime: heap
+// usage, GC activity and goroutine count. Pause fields are cumulative
+// (process-lifetime) totals from runtime.MemStats.
+type RuntimeSample struct {
+	AtNanos        int64  `json:"t_ns"` // since sampler start
+	HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
+	HeapSysBytes   uint64 `json:"heap_sys_bytes"`
+	NumGC          uint32 `json:"num_gc"`
+	GCPauseTotalNs uint64 `json:"gc_pause_total_ns"`
+	Goroutines     int    `json:"goroutines"`
+}
+
+// Sampler polls runtime.MemStats and the goroutine count on a fixed
+// interval from a background goroutine, keeping the most recent samples
+// in a bounded ring buffer. runtime.ReadMemStats stops the world
+// briefly, so intervals below ~10ms are clamped up; the executors' own
+// hot paths are never touched. Stop the sampler before reading final
+// results from a benchmark run.
+type Sampler struct {
+	interval time.Duration
+	start    time.Time
+	stop     chan struct{}
+	done     chan struct{}
+
+	mu    sync.Mutex
+	ring  []RuntimeSample
+	next  int   // ring write cursor
+	total int64 // lifetime samples taken
+}
+
+// DefaultSamplerCapacity bounds the ring buffer when StartSampler is
+// given a non-positive capacity.
+const DefaultSamplerCapacity = 4096
+
+// minSamplerInterval floors the polling period: ReadMemStats is a
+// stop-the-world operation and should not dominate the run.
+const minSamplerInterval = 10 * time.Millisecond
+
+// StartSampler begins polling at the given interval, retaining up to
+// capacity samples (older samples are overwritten). One sample is taken
+// synchronously before returning, so Last is immediately meaningful.
+func StartSampler(interval time.Duration, capacity int) *Sampler {
+	if interval < minSamplerInterval {
+		interval = minSamplerInterval
+	}
+	if capacity <= 0 {
+		capacity = DefaultSamplerCapacity
+	}
+	s := &Sampler{
+		interval: interval,
+		start:    time.Now(),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+		ring:     make([]RuntimeSample, 0, capacity),
+	}
+	s.sample()
+	go s.loop()
+	return s
+}
+
+func (s *Sampler) loop() {
+	defer close(s.done)
+	t := time.NewTicker(s.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.sample()
+		}
+	}
+}
+
+func (s *Sampler) sample() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	sm := RuntimeSample{
+		AtNanos:        int64(time.Since(s.start)),
+		HeapAllocBytes: ms.HeapAlloc,
+		HeapSysBytes:   ms.HeapSys,
+		NumGC:          ms.NumGC,
+		GCPauseTotalNs: ms.PauseTotalNs,
+		Goroutines:     runtime.NumGoroutine(),
+	}
+	s.mu.Lock()
+	if len(s.ring) < cap(s.ring) {
+		s.ring = append(s.ring, sm)
+	} else {
+		s.ring[s.next] = sm
+	}
+	s.next = (s.next + 1) % cap(s.ring)
+	s.total++
+	s.mu.Unlock()
+}
+
+// Stop halts the polling goroutine, taking one final sample first so
+// the buffer reflects end-of-run state. Stop is idempotent-unsafe: call
+// it exactly once.
+func (s *Sampler) Stop() {
+	close(s.stop)
+	<-s.done
+	s.sample()
+}
+
+// Total returns the lifetime number of samples taken (including any
+// that the ring has since overwritten).
+func (s *Sampler) Total() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// Last returns the most recent sample, or false when none exists.
+func (s *Sampler) Last() (RuntimeSample, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.ring) == 0 {
+		return RuntimeSample{}, false
+	}
+	i := s.next - 1
+	if i < 0 {
+		i = len(s.ring) - 1
+	}
+	return s.ring[i], true
+}
+
+// Samples returns the retained samples in chronological order.
+func (s *Sampler) Samples() []RuntimeSample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]RuntimeSample, 0, len(s.ring))
+	if len(s.ring) < cap(s.ring) {
+		return append(out, s.ring...)
+	}
+	out = append(out, s.ring[s.next:]...)
+	return append(out, s.ring[:s.next]...)
+}

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSamplerCapturesAndStops(t *testing.T) {
+	s := StartSampler(10*time.Millisecond, 16)
+	last, ok := s.Last()
+	if !ok {
+		t.Fatal("no sample immediately after start")
+	}
+	if last.HeapSysBytes == 0 || last.Goroutines < 1 {
+		t.Errorf("implausible first sample: %+v", last)
+	}
+	time.Sleep(35 * time.Millisecond)
+	s.Stop()
+	total := s.Total()
+	if total < 2 {
+		t.Errorf("Total = %d, want >= 2 (initial + final)", total)
+	}
+	samples := s.Samples()
+	if int64(len(samples)) != total && len(samples) != 16 {
+		t.Errorf("Samples len %d inconsistent with total %d / cap 16", len(samples), total)
+	}
+	for i := 1; i < len(samples); i++ {
+		if samples[i].AtNanos < samples[i-1].AtNanos {
+			t.Fatalf("samples out of chronological order at %d", i)
+		}
+	}
+	// Stopped sampler must not take further samples.
+	time.Sleep(25 * time.Millisecond)
+	if s.Total() != total {
+		t.Errorf("sampler continued after Stop: %d -> %d", total, s.Total())
+	}
+}
+
+func TestSamplerRingOverwrite(t *testing.T) {
+	s := StartSampler(10*time.Millisecond, 3)
+	time.Sleep(60 * time.Millisecond)
+	s.Stop()
+	if got := len(s.Samples()); got != 3 {
+		t.Fatalf("ring retained %d samples, want capacity 3", got)
+	}
+	if s.Total() <= 3 {
+		t.Errorf("Total = %d, want > capacity after overwrite", s.Total())
+	}
+	samples := s.Samples()
+	for i := 1; i < len(samples); i++ {
+		if samples[i].AtNanos < samples[i-1].AtNanos {
+			t.Fatalf("overwritten ring out of order at %d", i)
+		}
+	}
+}
+
+func TestSamplerClampsInterval(t *testing.T) {
+	s := StartSampler(0, 4) // would spin without the clamp
+	if s.interval < minSamplerInterval {
+		t.Errorf("interval %v below floor %v", s.interval, minSamplerInterval)
+	}
+	s.Stop()
+}

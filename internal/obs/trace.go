@@ -70,6 +70,10 @@ func (t *Trace) SetMax(Gauge, int64) {}
 // PhaseDone implements Recorder as a no-op.
 func (t *Trace) PhaseDone(Phase, time.Duration) {}
 
+// Observe implements Recorder as a no-op: Trace records the event
+// stream, not distributions. Combine with a Metrics via Multi for both.
+func (t *Trace) Observe(Hist, int64) {}
+
 // Event implements Recorder: append one bounded-buffer record.
 func (t *Trace) Event(kind EventKind, worker, depth int) {
 	at := int64(time.Since(t.start))

@@ -1,0 +1,270 @@
+// Package perf maintains the benchmark trajectory: every qbench run
+// appends one environment-stamped entry of per-scenario latency samples
+// to BENCH_trajectory.json, and later runs compare themselves against
+// the stored history with a Mann–Whitney U test. The trajectory is what
+// makes "is this commit slower?" a statistical question instead of a
+// single-number eyeball.
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+
+	"repro/internal/obs"
+	"repro/internal/stats"
+)
+
+// Scenario is one named benchmark configuration's samples within an
+// entry: the wall time of each repetition, plus the logical-op count
+// and trial count for cross-run sanity checks.
+type Scenario struct {
+	Name   string  `json:"name"`
+	RepsNs []int64 `json:"reps_ns"`
+	Ops    int64   `json:"ops,omitempty"`
+	Trials int     `json:"trials,omitempty"`
+}
+
+// MedianNs returns the scenario's median repetition time.
+func (s Scenario) MedianNs() float64 {
+	if len(s.RepsNs) == 0 {
+		return 0
+	}
+	v := append([]int64(nil), s.RepsNs...)
+	sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
+	mid := len(v) / 2
+	if len(v)%2 == 1 {
+		return float64(v[mid])
+	}
+	return float64(v[mid-1]+v[mid]) / 2
+}
+
+// Entry is one qbench run: a named suite measured under a captured
+// environment.
+type Entry struct {
+	Suite     string      `json:"suite"`
+	Env       obs.EnvMeta `json:"env"`
+	Scenarios []Scenario  `json:"scenarios"`
+}
+
+// Scenario returns the named scenario, or nil.
+func (e *Entry) Scenario(name string) *Scenario {
+	for i := range e.Scenarios {
+		if e.Scenarios[i].Name == name {
+			return &e.Scenarios[i]
+		}
+	}
+	return nil
+}
+
+// Trajectory is the append-only run history.
+type Trajectory struct {
+	Entries []Entry `json:"entries"`
+}
+
+// Load reads a trajectory file; a missing file is an empty trajectory,
+// not an error.
+func Load(path string) (*Trajectory, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Trajectory{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var t Trajectory
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("perf: %s: %w", path, err)
+	}
+	return &t, nil
+}
+
+// Save writes the trajectory as indented JSON (the file is checked in;
+// diffs should be readable).
+func (t *Trajectory) Save(path string) error {
+	data, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LastMatching returns the most recent entry for the suite, preferring
+// entries whose environment fingerprint matches (measurements from an
+// interchangeable machine/toolchain configuration); nil when the suite
+// has no history.
+func (t *Trajectory) LastMatching(suite, fingerprint string) *Entry {
+	var lastAny *Entry
+	for i := len(t.Entries) - 1; i >= 0; i-- {
+		e := &t.Entries[i]
+		if e.Suite != suite {
+			continue
+		}
+		if e.Env.Fingerprint() == fingerprint {
+			return e
+		}
+		if lastAny == nil {
+			lastAny = e
+		}
+	}
+	return lastAny
+}
+
+// Verdict classifies one scenario comparison.
+type Verdict int
+
+const (
+	// VerdictNoChange: the samples are statistically indistinguishable.
+	VerdictNoChange Verdict = iota
+	// VerdictRegression: significantly slower than the baseline.
+	VerdictRegression
+	// VerdictImprovement: significantly faster than the baseline.
+	VerdictImprovement
+	// VerdictNew: the scenario has no baseline samples.
+	VerdictNew
+)
+
+// String names the verdict as the report prints it.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictNoChange:
+		return "no change"
+	case VerdictRegression:
+		return "REGRESSION"
+	case VerdictImprovement:
+		return "improvement"
+	case VerdictNew:
+		return "new"
+	default:
+		return fmt.Sprintf("verdict(%d)", int(v))
+	}
+}
+
+// Comparison is one scenario's current-vs-baseline test result.
+type Comparison struct {
+	Scenario     string
+	BaseMedianNs float64
+	CurMedianNs  float64
+	// Change is the relative median change, (cur - base) / base.
+	Change float64
+	// P is the Mann–Whitney two-sided p-value (1 for VerdictNew).
+	P       float64
+	Exact   bool
+	Verdict Verdict
+}
+
+// Compare tests every scenario of cur against the baseline entry at
+// significance level alpha. A scenario regresses when its repetition
+// samples are significantly shifted (p < alpha) toward a larger median.
+func Compare(base, cur *Entry, alpha float64) ([]Comparison, error) {
+	out := make([]Comparison, 0, len(cur.Scenarios))
+	for _, sc := range cur.Scenarios {
+		cmp := Comparison{Scenario: sc.Name, CurMedianNs: sc.MedianNs(), P: 1, Verdict: VerdictNew}
+		var bs *Scenario
+		if base != nil {
+			bs = base.Scenario(sc.Name)
+		}
+		if bs != nil && len(bs.RepsNs) > 0 && len(sc.RepsNs) > 0 {
+			cmp.BaseMedianNs = bs.MedianNs()
+			if cmp.BaseMedianNs > 0 {
+				cmp.Change = (cmp.CurMedianNs - cmp.BaseMedianNs) / cmp.BaseMedianNs
+			}
+			res, err := stats.MannWhitneyU(toFloat(bs.RepsNs), toFloat(sc.RepsNs))
+			if err != nil {
+				return nil, fmt.Errorf("perf: %s: %w", sc.Name, err)
+			}
+			cmp.P, cmp.Exact = res.P, res.Exact
+			switch {
+			case res.P < alpha && cmp.CurMedianNs > cmp.BaseMedianNs:
+				cmp.Verdict = VerdictRegression
+			case res.P < alpha && cmp.CurMedianNs < cmp.BaseMedianNs:
+				cmp.Verdict = VerdictImprovement
+			default:
+				cmp.Verdict = VerdictNoChange
+			}
+		}
+		out = append(out, cmp)
+	}
+	return out, nil
+}
+
+// AnyRegression reports whether any comparison regressed.
+func AnyRegression(cs []Comparison) bool {
+	for _, c := range cs {
+		if c.Verdict == VerdictRegression {
+			return true
+		}
+	}
+	return false
+}
+
+// WriteReport renders the comparison table and a one-line summary. The
+// summary line is the contract `make bench-regress` greps: it contains
+// "no significant change" when nothing regressed or improved.
+func WriteReport(w io.Writer, base *Entry, cs []Comparison, alpha float64) {
+	if base == nil {
+		fmt.Fprintf(w, "no baseline entry — recording first trajectory point\n")
+	} else {
+		ref := base.Env.GitCommit
+		if ref == "" {
+			ref = base.Env.Timestamp
+		}
+		fmt.Fprintf(w, "baseline: %s (%s)\n", ref, base.Env.Fingerprint())
+	}
+	fmt.Fprintf(w, "%-24s %14s %14s %9s %9s  %s\n", "scenario", "base median", "cur median", "change", "p", "verdict")
+	for _, c := range cs {
+		change := "-"
+		if c.Verdict != VerdictNew {
+			change = fmt.Sprintf("%+.1f%%", c.Change*100)
+		}
+		p := "-"
+		if c.Verdict != VerdictNew && !math.IsNaN(c.P) {
+			p = fmt.Sprintf("%.4f", c.P)
+		}
+		fmt.Fprintf(w, "%-24s %14s %14s %9s %9s  %s\n",
+			c.Scenario, formatNs(c.BaseMedianNs), formatNs(c.CurMedianNs), change, p, c.Verdict)
+	}
+	regressions, improvements := 0, 0
+	for _, c := range cs {
+		switch c.Verdict {
+		case VerdictRegression:
+			regressions++
+		case VerdictImprovement:
+			improvements++
+		}
+	}
+	switch {
+	case regressions > 0:
+		fmt.Fprintf(w, "%d scenario(s) REGRESSED at alpha=%g\n", regressions, alpha)
+	case improvements > 0:
+		fmt.Fprintf(w, "%d scenario(s) improved, no regressions at alpha=%g\n", improvements, alpha)
+	default:
+		fmt.Fprintf(w, "no significant change at alpha=%g\n", alpha)
+	}
+}
+
+func formatNs(ns float64) string {
+	switch {
+	case ns == 0:
+		return "-"
+	case ns >= 1e9:
+		return fmt.Sprintf("%.3fs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fus", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
+	}
+}
+
+func toFloat(v []int64) []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = float64(x)
+	}
+	return out
+}

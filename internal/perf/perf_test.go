@@ -1,0 +1,146 @@
+package perf
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func entry(suite string, env obs.EnvMeta, scenarios ...Scenario) Entry {
+	return Entry{Suite: suite, Env: env, Scenarios: scenarios}
+}
+
+func TestTrajectoryRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "traj.json")
+	tr, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Entries) != 0 {
+		t.Fatal("missing file should load as empty trajectory")
+	}
+	env := obs.CaptureEnv()
+	tr.Entries = append(tr.Entries, entry("core", env, Scenario{Name: "plan", RepsNs: []int64{5, 7, 6}, Ops: 42, Trials: 10}))
+	if err := tr.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Entries) != 1 || back.Entries[0].Scenarios[0].Ops != 42 {
+		t.Fatalf("round trip lost data: %+v", back.Entries)
+	}
+	if back.Entries[0].Env.Fingerprint() != env.Fingerprint() {
+		t.Error("environment fingerprint changed across round trip")
+	}
+}
+
+func TestLoadRejectsCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "traj.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Error("corrupt trajectory loaded without error")
+	}
+}
+
+func TestLastMatchingPrefersFingerprint(t *testing.T) {
+	envA := obs.EnvMeta{GoVersion: "go1.24", GOOS: "linux", GOARCH: "amd64", NumCPU: 8, GOMAXPROCS: 8, GitCommit: "aaa"}
+	envB := envA
+	envB.NumCPU, envB.GitCommit = 4, "bbb"
+	tr := &Trajectory{Entries: []Entry{
+		entry("core", envA),
+		entry("core", envB),
+		entry("other", envA),
+	}}
+	if got := tr.LastMatching("core", envA.Fingerprint()); got == nil || got.Env.GitCommit != "aaa" {
+		t.Errorf("want fingerprint-matching entry aaa, got %+v", got)
+	}
+	if got := tr.LastMatching("core", "something-else"); got == nil || got.Env.GitCommit != "bbb" {
+		t.Errorf("want most recent same-suite entry bbb, got %+v", got)
+	}
+	if got := tr.LastMatching("missing", envA.Fingerprint()); got != nil {
+		t.Errorf("unknown suite should return nil, got %+v", got)
+	}
+}
+
+func TestCompareVerdicts(t *testing.T) {
+	fast := []int64{100, 101, 99, 102, 98, 100, 101, 99}
+	slow := []int64{150, 151, 149, 152, 148, 150, 151, 149}
+	base := entry("core", obs.EnvMeta{},
+		Scenario{Name: "steady", RepsNs: fast},
+		Scenario{Name: "regressing", RepsNs: fast},
+		Scenario{Name: "improving", RepsNs: slow},
+	)
+	cur := entry("core", obs.EnvMeta{},
+		Scenario{Name: "steady", RepsNs: []int64{99, 100, 101, 100, 99, 102, 98, 100}},
+		Scenario{Name: "regressing", RepsNs: slow},
+		Scenario{Name: "improving", RepsNs: fast},
+		Scenario{Name: "brand-new", RepsNs: fast},
+	)
+	cs, err := Compare(&base, &cur, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]Verdict{
+		"steady":     VerdictNoChange,
+		"regressing": VerdictRegression,
+		"improving":  VerdictImprovement,
+		"brand-new":  VerdictNew,
+	}
+	for _, c := range cs {
+		if c.Verdict != want[c.Scenario] {
+			t.Errorf("%s: verdict %v, want %v (p=%g)", c.Scenario, c.Verdict, want[c.Scenario], c.P)
+		}
+	}
+	if !AnyRegression(cs) {
+		t.Error("AnyRegression missed the regression")
+	}
+
+	// Same samples against themselves: everything no-change.
+	self, err := Compare(&base, &base, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if AnyRegression(self) {
+		t.Error("self-comparison flagged a regression")
+	}
+	var b strings.Builder
+	WriteReport(&b, &base, self, 0.05)
+	if !strings.Contains(b.String(), "no significant change") {
+		t.Errorf("self-comparison report missing the no-change line:\n%s", b.String())
+	}
+}
+
+func TestCompareWithoutBaseline(t *testing.T) {
+	cur := entry("core", obs.EnvMeta{}, Scenario{Name: "s", RepsNs: []int64{1, 2, 3}})
+	cs, err := Compare(nil, &cur, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 1 || cs[0].Verdict != VerdictNew {
+		t.Errorf("no-baseline comparison: %+v", cs)
+	}
+	var b strings.Builder
+	WriteReport(&b, nil, cs, 0.05)
+	if !strings.Contains(b.String(), "first trajectory point") {
+		t.Error("report missing first-point notice")
+	}
+}
+
+func TestMedianNs(t *testing.T) {
+	if m := (Scenario{RepsNs: []int64{3, 1, 2}}).MedianNs(); m != 2 {
+		t.Errorf("odd median = %g, want 2", m)
+	}
+	if m := (Scenario{RepsNs: []int64{4, 1, 3, 2}}).MedianNs(); m != 2.5 {
+		t.Errorf("even median = %g, want 2.5", m)
+	}
+	if m := (Scenario{}).MedianNs(); m != 0 {
+		t.Errorf("empty median = %g, want 0", m)
+	}
+}

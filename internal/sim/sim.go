@@ -22,6 +22,7 @@ import (
 	"math"
 	"sort"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/circuit"
 	"repro/internal/obs"
@@ -237,6 +238,10 @@ func Baseline(c *circuit.Circuit, trials []*trial.Trial, opt Options) (*Result, 
 	st := statevec.NewState(c.NumQubits())
 	layers := c.Layers()
 	ops := c.Ops()
+	var trialMark time.Time
+	if rec != nil {
+		trialMark = time.Now()
+	}
 	for _, t := range trials {
 		st.Reset()
 		next := 0 // cursor into the trial's sorted injection list
@@ -259,6 +264,11 @@ func Baseline(c *circuit.Circuit, trials []*trial.Trial, opt Options) (*Result, 
 		res.Outcomes = append(res.Outcomes, Outcome{TrialID: t.ID, Bits: sampleOutcome(st, c, t)})
 		if opt.KeepStates {
 			res.FinalStates[t.ID] = st.Clone()
+		}
+		if rec != nil {
+			now := time.Now()
+			rec.Observe(obs.HistTrialLatency, int64(now.Sub(trialMark)))
+			trialMark = now
 		}
 	}
 	if rec != nil {
@@ -313,6 +323,16 @@ func executePlan(c *circuit.Circuit, plan *reorder.Plan, opt Options, tr *msvTra
 	if prog == nil {
 		prog = opt.compileProgram(c)
 	}
+	// Distribution instrumentation (recorder-only): trials in a plan share
+	// prefix work, so per-trial latency is the wall time since the previous
+	// emit amortized equally over the emit batch — the histogram's count
+	// then always equals the trials emitted. pushTimes shadows the snapshot
+	// stack to measure each snapshot's push→drop lifetime.
+	var emitMark time.Time
+	var pushTimes []time.Time
+	if rec != nil {
+		emitMark = time.Now()
+	}
 	for _, s := range plan.Steps {
 		switch s.Kind {
 		case reorder.StepAdvance:
@@ -339,6 +359,7 @@ func executePlan(c *circuit.Circuit, plan *reorder.Plan, opt Options, tr *msvTra
 			if rec != nil {
 				rec.Add(obs.SnapshotPushes, 1)
 				rec.Event(obs.EvPush, wid, len(stack))
+				pushTimes = append(pushTimes, time.Now())
 			}
 		case reorder.StepInject:
 			work.ApplyPauli(s.Op, s.Qubit)
@@ -354,6 +375,14 @@ func executePlan(c *circuit.Circuit, plan *reorder.Plan, opt Options, tr *msvTra
 			if rec != nil {
 				rec.Add(obs.TrialsEmitted, int64(len(s.Trials)))
 				rec.Event(obs.EvEmit, wid, len(stack))
+				now := time.Now()
+				if n := len(s.Trials); n > 0 {
+					per := int64(now.Sub(emitMark)) / int64(n)
+					for i := 0; i < n; i++ {
+						rec.Observe(obs.HistTrialLatency, per)
+					}
+				}
+				emitMark = now
 			}
 		case reorder.StepPop:
 			if len(stack) == 0 {
@@ -366,6 +395,8 @@ func executePlan(c *circuit.Circuit, plan *reorder.Plan, opt Options, tr *msvTra
 			if rec != nil {
 				rec.Add(obs.SnapshotDrops, 1)
 				rec.Event(obs.EvDrop, wid, len(stack))
+				rec.Observe(obs.HistSnapshotLifetime, int64(time.Since(pushTimes[len(pushTimes)-1])))
+				pushTimes = pushTimes[:len(pushTimes)-1]
 			}
 		case reorder.StepRestore:
 			// Budgeted plans: resume from a copy of the top snapshot
@@ -380,6 +411,7 @@ func executePlan(c *circuit.Circuit, plan *reorder.Plan, opt Options, tr *msvTra
 			if rec != nil {
 				rec.Add(obs.SnapshotRestores, 1)
 				rec.Event(obs.EvRestore, wid, len(stack))
+				rec.Observe(obs.HistRestoreDepth, int64(len(stack)))
 			}
 		default:
 			return nil, fmt.Errorf("sim: unknown plan step %v", s.Kind)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"repro/internal/circuit"
 	"repro/internal/obs"
@@ -286,6 +287,7 @@ func runTrunk(c *circuit.Circuit, sp *reorder.SplitPlan, prog *statevec.Program,
 	pool := newStatePool(c.NumQubits())
 	work := statevec.NewState(c.NumQubits())
 	var stack []*statevec.State
+	var pushTimes []time.Time // shadows stack for snapshot-lifetime observation
 	layers := c.Layers()
 	ops := c.Ops()
 	for _, s := range sp.Trunk {
@@ -311,6 +313,7 @@ func runTrunk(c *circuit.Circuit, sp *reorder.SplitPlan, prog *statevec.Program,
 			if rec != nil {
 				rec.Add(obs.SnapshotPushes, 1)
 				rec.Event(obs.EvPush, -1, len(stack))
+				pushTimes = append(pushTimes, time.Now())
 			}
 		case reorder.StepInject:
 			work.ApplyPauli(s.Op, s.Qubit)
@@ -326,6 +329,8 @@ func runTrunk(c *circuit.Circuit, sp *reorder.SplitPlan, prog *statevec.Program,
 			if rec != nil {
 				rec.Add(obs.SnapshotDrops, 1)
 				rec.Event(obs.EvDrop, -1, len(stack))
+				rec.Observe(obs.HistSnapshotLifetime, int64(time.Since(pushTimes[len(pushTimes)-1])))
+				pushTimes = pushTimes[:len(pushTimes)-1]
 			}
 		case reorder.StepRestore:
 			if len(stack) == 0 {
@@ -337,6 +342,7 @@ func runTrunk(c *circuit.Circuit, sp *reorder.SplitPlan, prog *statevec.Program,
 			if rec != nil {
 				rec.Add(obs.SnapshotRestores, 1)
 				rec.Event(obs.EvRestore, -1, len(stack))
+				rec.Observe(obs.HistRestoreDepth, int64(len(stack)))
 			}
 		case reorder.StepSpawn:
 			sem <- struct{}{}
@@ -385,6 +391,14 @@ func runSubtree(c *circuit.Circuit, sp *reorder.SplitPlan, prog *statevec.Progra
 		tr.add(-1) // adopted as the working register
 	}
 	emitted := 0
+	// Trial latency is task-local: the wall time since the task started
+	// (or since its previous emit), amortized over each emit batch. Trunk
+	// prefix time is shared by construction and not attributed to trials.
+	var emitMark time.Time
+	var pushTimes []time.Time // shadows stack above the entry floor
+	if rec != nil {
+		emitMark = time.Now()
+	}
 	for _, s := range st.Steps {
 		switch s.Kind {
 		case reorder.StepAdvance:
@@ -410,6 +424,7 @@ func runSubtree(c *circuit.Circuit, sp *reorder.SplitPlan, prog *statevec.Progra
 			if rec != nil {
 				rec.Add(obs.SnapshotPushes, 1)
 				rec.Event(obs.EvPush, wid, len(stack))
+				pushTimes = append(pushTimes, time.Now())
 			}
 		case reorder.StepInject:
 			work.ApplyPauli(s.Op, s.Qubit)
@@ -426,6 +441,14 @@ func runSubtree(c *circuit.Circuit, sp *reorder.SplitPlan, prog *statevec.Progra
 			if rec != nil {
 				rec.Add(obs.TrialsEmitted, int64(len(s.Trials)))
 				rec.Event(obs.EvEmit, wid, len(stack))
+				now := time.Now()
+				if n := len(s.Trials); n > 0 {
+					per := int64(now.Sub(emitMark)) / int64(n)
+					for i := 0; i < n; i++ {
+						rec.Observe(obs.HistTrialLatency, per)
+					}
+				}
+				emitMark = now
 			}
 		case reorder.StepPop:
 			if len(stack) <= floor {
@@ -438,6 +461,11 @@ func runSubtree(c *circuit.Circuit, sp *reorder.SplitPlan, prog *statevec.Progra
 			if rec != nil {
 				rec.Add(obs.SnapshotDrops, 1)
 				rec.Event(obs.EvDrop, wid, len(stack))
+				// pushTimes holds only StepPush snapshots (never the entry
+				// floor), and pops below the floor error out above, so the
+				// shadow stack is non-empty here.
+				rec.Observe(obs.HistSnapshotLifetime, int64(time.Since(pushTimes[len(pushTimes)-1])))
+				pushTimes = pushTimes[:len(pushTimes)-1]
 			}
 		case reorder.StepRestore:
 			if len(stack) == 0 {
@@ -449,6 +477,7 @@ func runSubtree(c *circuit.Circuit, sp *reorder.SplitPlan, prog *statevec.Progra
 			if rec != nil {
 				rec.Add(obs.SnapshotRestores, 1)
 				rec.Event(obs.EvRestore, wid, len(stack))
+				rec.Observe(obs.HistRestoreDepth, int64(len(stack)))
 			}
 		default:
 			return fmt.Errorf("sim: invalid subtree step %v", s.Kind)

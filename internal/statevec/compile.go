@@ -3,6 +3,7 @@ package statevec
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/circuit"
 	"repro/internal/gate"
@@ -191,22 +192,38 @@ func (p *Program) Run(s *State, from, to int) int {
 	amp := s.amp
 	if p.opt.Stripes > 1 && len(amp) >= p.opt.stripeMin() {
 		barriers := 0
+		if rec := p.opt.Recorder; rec != nil {
+			// Recorder path times every sweep individually; the nil path
+			// below stays untimed so benchmarks see zero overhead.
+			for _, k := range seg.kernels {
+				t0 := time.Now()
+				if p.runStriped(k, amp) {
+					barriers++
+				}
+				rec.Observe(obs.HistKernelSweep, int64(time.Since(t0)))
+			}
+			rec.Add(obs.KernelSweeps, int64(len(seg.kernels)))
+			rec.Add(obs.StripeBarriers, int64(barriers))
+			return seg.ops
+		}
 		for _, k := range seg.kernels {
 			if p.runStriped(k, amp) {
 				barriers++
 			}
 		}
-		if rec := p.opt.Recorder; rec != nil {
-			rec.Add(obs.KernelSweeps, int64(len(seg.kernels)))
-			rec.Add(obs.StripeBarriers, int64(barriers))
+		return seg.ops
+	}
+	if rec := p.opt.Recorder; rec != nil {
+		for _, k := range seg.kernels {
+			t0 := time.Now()
+			k.run(amp, 0, k.units(len(amp)))
+			rec.Observe(obs.HistKernelSweep, int64(time.Since(t0)))
 		}
+		rec.Add(obs.KernelSweeps, int64(len(seg.kernels)))
 		return seg.ops
 	}
 	for _, k := range seg.kernels {
 		k.run(amp, 0, k.units(len(amp)))
-	}
-	if rec := p.opt.Recorder; rec != nil {
-		rec.Add(obs.KernelSweeps, int64(len(seg.kernels)))
 	}
 	return seg.ops
 }
@@ -217,11 +234,17 @@ func (p *Program) RunSerial(s *State, from, to int) int {
 	p.checkState(s)
 	seg := p.segment(from, to)
 	amp := s.amp
+	if rec := p.opt.Recorder; rec != nil {
+		for _, k := range seg.kernels {
+			t0 := time.Now()
+			k.run(amp, 0, k.units(len(amp)))
+			rec.Observe(obs.HistKernelSweep, int64(time.Since(t0)))
+		}
+		rec.Add(obs.KernelSweeps, int64(len(seg.kernels)))
+		return seg.ops
+	}
 	for _, k := range seg.kernels {
 		k.run(amp, 0, k.units(len(amp)))
-	}
-	if rec := p.opt.Recorder; rec != nil {
-		rec.Add(obs.KernelSweeps, int64(len(seg.kernels)))
 	}
 	return seg.ops
 }

@@ -1,0 +1,151 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file implements the Mann–Whitney U test (Wilcoxon rank-sum), the
+// nonparametric two-sample test the perf-regression harness uses to
+// compare benchmark latency samples: no normality assumption, robust to
+// the long right tails benchmark timings have. For small tie-free
+// samples the exact null distribution of U is computed by dynamic
+// programming; otherwise the normal approximation with tie correction
+// and continuity correction applies.
+
+// MannWhitneyResult reports a two-sided Mann–Whitney U test.
+type MannWhitneyResult struct {
+	// U1 is the U statistic of the first sample, U2 = n1*n2 - U1.
+	U1, U2 float64
+	// P is the two-sided p-value under the null hypothesis that both
+	// samples come from the same distribution.
+	P float64
+	// Exact reports whether P came from the exact permutation
+	// distribution (small tie-free samples) rather than the normal
+	// approximation.
+	Exact bool
+}
+
+// exactMaxN bounds exact-distribution computation: the DP table is
+// (n1+1)(n2+1)(n1*n2+1) entries, and binomial totals stay far below
+// 2^53 (C(40,20) ≈ 1.4e11), so float64 counting is lossless.
+const exactMaxN = 20
+
+// MannWhitneyU runs a two-sided Mann–Whitney U test on two samples.
+// Ties receive mid-ranks; exact p-values are used for tie-free samples
+// with both sizes at most 20.
+func MannWhitneyU(x, y []float64) (MannWhitneyResult, error) {
+	n1, n2 := len(x), len(y)
+	if n1 == 0 || n2 == 0 {
+		return MannWhitneyResult{}, fmt.Errorf("stats: MannWhitneyU needs non-empty samples (got %d, %d)", n1, n2)
+	}
+	type obs struct {
+		v     float64
+		first bool
+	}
+	all := make([]obs, 0, n1+n2)
+	for _, v := range x {
+		all = append(all, obs{v, true})
+	}
+	for _, v := range y {
+		all = append(all, obs{v, false})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+
+	// Mid-ranks over tie groups; accumulate the rank sum of x and the
+	// tie-correction term sum(t^3 - t).
+	var r1, tieSum float64
+	ties := false
+	for i := 0; i < len(all); {
+		j := i
+		for j < len(all) && all[j].v == all[i].v {
+			j++
+		}
+		t := j - i
+		if t > 1 {
+			ties = true
+			tieSum += float64(t*t*t - t)
+		}
+		midRank := float64(i+j+1) / 2 // ranks are 1-based
+		for k := i; k < j; k++ {
+			if all[k].first {
+				r1 += midRank
+			}
+		}
+		i = j
+	}
+	u1 := r1 - float64(n1*(n1+1))/2
+	u2 := float64(n1*n2) - u1
+	res := MannWhitneyResult{U1: u1, U2: u2}
+
+	uMin := math.Min(u1, u2)
+	if !ties && n1 <= exactMaxN && n2 <= exactMaxN {
+		res.Exact = true
+		res.P = math.Min(1, 2*exactCDF(n1, n2, int(math.Round(uMin))))
+		return res, nil
+	}
+
+	mu := float64(n1*n2) / 2
+	nTot := float64(n1 + n2)
+	variance := float64(n1*n2) / 12 * (nTot + 1 - tieSum/(nTot*(nTot-1)))
+	if variance <= 0 {
+		// Every observation tied: the samples are indistinguishable.
+		res.P = 1
+		return res, nil
+	}
+	// Continuity correction: U is discrete on a unit lattice.
+	z := (math.Abs(uMin-mu) - 0.5) / math.Sqrt(variance)
+	if z < 0 {
+		z = 0
+	}
+	res.P = math.Min(1, math.Erfc(z/math.Sqrt2)) // 2 * (1 - Phi(z))
+	return res, nil
+}
+
+// exactCDF returns P(U <= u) under the exact null distribution for
+// sample sizes m, n without ties: the number of rank arrangements with
+// statistic at most u, divided by C(m+n, m). Uses the classic recurrence
+// N(u; m, n) = N(u-n; m-1, n) + N(u; m, n-1).
+func exactCDF(m, n, u int) float64 {
+	if u < 0 {
+		return 0
+	}
+	maxU := m * n
+	if u >= maxU {
+		return 1
+	}
+	// counts[i][j][k]: arrangements of i first-sample and j second-sample
+	// observations with U = k. Rolled over i to keep two layers.
+	prev := make([][]float64, n+1)
+	cur := make([][]float64, n+1)
+	for j := 0; j <= n; j++ {
+		prev[j] = make([]float64, maxU+1)
+		cur[j] = make([]float64, maxU+1)
+		prev[j][0] = 1 // zero first-sample observations: U = 0 always
+	}
+	for i := 1; i <= m; i++ {
+		for j := 0; j <= n; j++ {
+			for k := 0; k <= maxU; k++ {
+				var c float64
+				if k >= j {
+					c += prev[j][k-j]
+				}
+				if j > 0 {
+					c += cur[j-1][k]
+				}
+				cur[j][k] = c
+			}
+		}
+		prev, cur = cur, prev
+	}
+	dist := prev[n]
+	var below, total float64
+	for k := 0; k <= maxU; k++ {
+		total += dist[k]
+		if k <= u {
+			below += dist[k]
+		}
+	}
+	return below / total
+}

@@ -1,0 +1,163 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMannWhitneyExactKnownValues(t *testing.T) {
+	// Fully separated n1=n2=3: U1 = 0, exact two-sided p = 2 * 1/C(6,3)
+	// = 2/20 = 0.1 (classic table value).
+	res, err := MannWhitneyU([]float64{1, 2, 3}, []float64{4, 5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact {
+		t.Error("small tie-free samples should use the exact distribution")
+	}
+	if res.U1 != 0 || res.U2 != 9 {
+		t.Errorf("U1, U2 = %g, %g, want 0, 9", res.U1, res.U2)
+	}
+	if math.Abs(res.P-0.1) > 1e-12 {
+		t.Errorf("p = %g, want 0.1", res.P)
+	}
+
+	// Fully separated n1=n2=4: p = 2/C(8,4) = 2/70.
+	res, err = MannWhitneyU([]float64{1, 2, 3, 4}, []float64{5, 6, 7, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.P-2.0/70.0) > 1e-12 {
+		t.Errorf("n=4 separated p = %g, want %g", res.P, 2.0/70.0)
+	}
+
+	// Direction symmetry: swapping the samples flips U1/U2, same p.
+	rev, err := MannWhitneyU([]float64{5, 6, 7, 8}, []float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rev.U1 != res.U2 || rev.U2 != res.U1 || rev.P != res.P {
+		t.Errorf("swap asymmetry: %+v vs %+v", res, rev)
+	}
+
+	// Interleaved samples carry no evidence: U1 near n1*n2/2, p large.
+	res, err = MannWhitneyU([]float64{1, 3, 5, 7}, []float64{2, 4, 6, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P < 0.5 {
+		t.Errorf("interleaved samples p = %g, want >= 0.5", res.P)
+	}
+}
+
+func TestMannWhitneyExactTableCriticalRegion(t *testing.T) {
+	// Standard critical-value table: for n1 = n2 = 5 at alpha = 0.05
+	// (two-sided), the critical U is 2 — U <= 2 rejects, U = 3 does not.
+	// Check the p-values straddle 0.05 accordingly.
+	// U1 = 2: x = {1,2,3,4,7}, y = {5,6,8,9,10} (7 beats 5 and 6).
+	res, err := MannWhitneyU([]float64{1, 2, 3, 4, 7}, []float64{5, 6, 8, 9, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.U1 != 2 {
+		t.Fatalf("constructed U1 = %g, want 2", res.U1)
+	}
+	if res.P > 0.05 {
+		t.Errorf("U=2, n=5: p = %g, want <= 0.05 (critical region)", res.P)
+	}
+	// U1 = 3: x = {1,2,3,5,7}, y = {4,6,8,9,10} (5 beats 4; 7 beats 4,6).
+	res, err = MannWhitneyU([]float64{1, 2, 3, 5, 7}, []float64{4, 6, 8, 9, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.U1 != 3 {
+		t.Fatalf("constructed U1 = %g, want 3", res.U1)
+	}
+	if res.P <= 0.05 {
+		t.Errorf("U=3, n=5: p = %g, want > 0.05 (outside critical region)", res.P)
+	}
+}
+
+func TestMannWhitneyTies(t *testing.T) {
+	// Worked mid-rank example: x = {1,2,2}, y = {2,3,4}. The three 2s
+	// share mid-rank 3, so R1 = 1 + 3 + 3 = 7, U1 = 1; tie-corrected
+	// sigma^2 = (9/12)(7 - 24/30) = 4.65, z = (3.5-0.5)/sqrt(4.65),
+	// two-sided p ~ 0.164.
+	res, err := MannWhitneyU([]float64{1, 2, 2}, []float64{2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exact {
+		t.Error("tied samples must use the normal approximation")
+	}
+	if res.U1 != 1 {
+		t.Errorf("U1 = %g, want 1 (mid-rank handling)", res.U1)
+	}
+	if math.Abs(res.P-0.164) > 0.005 {
+		t.Errorf("tied p = %g, want ~0.164", res.P)
+	}
+
+	// All observations identical: zero variance, p must be 1.
+	res, err = MannWhitneyU([]float64{5, 5, 5}, []float64{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 1 {
+		t.Errorf("identical samples p = %g, want 1", res.P)
+	}
+}
+
+func TestMannWhitneyNormalApproxMatchesExact(t *testing.T) {
+	// At moderate sizes the approximation should land near the exact
+	// value; compare on a tie-free n1 = n2 = 15 sample by computing both.
+	rng := rand.New(rand.NewSource(5))
+	x := make([]float64, 15)
+	y := make([]float64, 15)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = rng.NormFloat64() + 0.8
+	}
+	res, err := MannWhitneyU(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact {
+		t.Fatal("15/15 tie-free should be exact")
+	}
+	// Recompute the approximate p the large-sample branch would give.
+	mu := 15.0 * 15.0 / 2
+	sigma := math.Sqrt(15 * 15 * 31.0 / 12)
+	z := (math.Abs(math.Min(res.U1, res.U2)-mu) - 0.5) / sigma
+	approx := math.Min(1, math.Erfc(z/math.Sqrt2))
+	if math.Abs(res.P-approx) > 0.01 {
+		t.Errorf("exact p %g vs normal approx %g differ by more than 0.01", res.P, approx)
+	}
+}
+
+func TestMannWhitneyErrorsAndLargeSamples(t *testing.T) {
+	if _, err := MannWhitneyU(nil, []float64{1}); err == nil {
+		t.Error("empty first sample must error")
+	}
+	if _, err := MannWhitneyU([]float64{1}, nil); err == nil {
+		t.Error("empty second sample must error")
+	}
+	// Above the exact threshold: tie-free but large, must use the
+	// approximation and detect an obvious shift.
+	x := make([]float64, 30)
+	y := make([]float64, 30)
+	for i := range x {
+		x[i] = float64(i)
+		y[i] = float64(i) + 100.5
+	}
+	res, err := MannWhitneyU(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exact {
+		t.Error("n=30 should use the normal approximation")
+	}
+	if res.P > 1e-6 {
+		t.Errorf("fully shifted n=30 p = %g, want tiny", res.P)
+	}
+}
