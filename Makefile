@@ -30,10 +30,11 @@ bench:
 bench-json:
 	$(GO) run ./cmd/kernbench -out BENCH_kernels.json
 
-# Statistical perf-regression gate: run the quick qbench suite and compare
-# against the committed trajectory (Mann-Whitney U, alpha 0.05) without
-# appending, so the working tree stays clean. Exits nonzero on a
-# significant regression. Append a real trajectory point with:
+# Statistical perf-regression gate: run the quick qbench suite — which
+# includes the cross-circuit batch scenarios (shared trie vs per-variant
+# plans) — and compare against the committed trajectory (Mann-Whitney U,
+# alpha 0.05) without appending, so the working tree stays clean. Exits
+# nonzero on a significant regression. Append a real trajectory point with:
 #   go run ./cmd/qbench
 bench-regress: build
 	$(GO) run ./cmd/qbench -quick -append=false -suite quick
@@ -66,9 +67,12 @@ fuzz-smoke:
 
 # The deep correctness gate: everything verify runs, plus vet, the race
 # detector over the whole tree (includes the -short-gated deep
-# differential sweep), fuzz smoke, and the CLI self-test.
+# differential sweep and the batch bit-identity sweep at 1/2/4/8
+# workers), fuzz smoke, the CLI self-test, and the cross-circuit batch
+# experiment end to end.
 verify-deep: build
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(MAKE) fuzz-smoke
 	$(MAKE) selftest
+	$(GO) run ./cmd/repro -exp batch

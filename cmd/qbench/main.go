@@ -40,6 +40,8 @@ func main() {
 		trialN   = flag.Int("trials", 1024, "Monte Carlo trials per repetition")
 		seed     = flag.Int64("seed", 20200720, "workload seed (circuit and trials)")
 		workers  = flag.Int("workers", 0, "subtree-parallel workers (0 = NumCPU, capped at 8)")
+		batchN   = flag.Int("batch-variants", 16, "variant count for the batch scenarios (0 = skip)")
+		batchT   = flag.Int("batch-trials", 32, "Monte Carlo trials per variant in the batch scenarios")
 		out      = flag.String("out", "BENCH_trajectory.json", "trajectory file")
 		alpha    = flag.Float64("alpha", 0.05, "significance level for the Mann-Whitney test")
 		appendTo = flag.Bool("append", true, "append this run to the trajectory file")
@@ -58,6 +60,12 @@ func main() {
 		if *reps > 5 {
 			*reps = 5
 		}
+		if *batchN > 12 {
+			*batchN = 12
+		}
+		if *batchT > 16 {
+			*batchT = 16
+		}
 	}
 	if *workers <= 0 {
 		*workers = runtime.NumCPU()
@@ -68,6 +76,7 @@ func main() {
 	code, err := run(logger, config{
 		suite: *suite, reps: *reps, qubits: *qubits, depth: *depth,
 		trials: *trialN, seed: *seed, workers: *workers,
+		batchVars: *batchN, batchTrials: *batchT,
 		out: *out, alpha: *alpha, appendTo: *appendTo,
 	})
 	if err != nil {
@@ -82,6 +91,7 @@ type config struct {
 	reps, qubits, depth, trials int
 	seed                        int64
 	workers                     int
+	batchVars, batchTrials      int
 	out                         string
 	alpha                       float64
 	appendTo                    bool
@@ -91,9 +101,10 @@ type config struct {
 // once and returns the logical op count.
 type scenario struct {
 	name string
-	// sharing demands ops == plan.OptimizedOps() on every repetition.
-	sharing bool
-	run     func() (int64, error)
+	// static, when nonzero, demands ops == static on every repetition
+	// (the sharing invariant against the scenario's own plan).
+	static int64
+	run    func() (int64, error)
 }
 
 func run(logger *slog.Logger, cfg config) (int, error) {
@@ -113,9 +124,14 @@ func run(logger *slog.Logger, cfg config) (int, error) {
 		"depth", cfg.depth, "trials", len(trials), "planOps", static, "reps", cfg.reps)
 
 	scenarios := buildScenarios(c, plan, trials, cfg.workers)
+	batchScens, err := buildBatchScenarios(c, gen, cfg)
+	if err != nil {
+		return 0, err
+	}
+	scenarios = append(scenarios, batchScens...)
 	entry := perf.Entry{Suite: cfg.suite, Env: obs.CaptureEnv()}
 	for _, sc := range scenarios {
-		mea, err := measure(logger, sc, cfg.reps, static, len(trials))
+		mea, err := measure(logger, sc, cfg.reps, len(trials))
 		if err != nil {
 			return 0, err
 		}
@@ -149,24 +165,75 @@ func run(logger *slog.Logger, cfg config) (int, error) {
 }
 
 func buildScenarios(c *circuit.Circuit, plan *reorder.Plan, trials []*trial.Trial, workers int) []scenario {
+	static := plan.OptimizedOps()
 	return []scenario{
-		{"baseline", false, func() (int64, error) {
+		{"baseline", 0, func() (int64, error) {
 			res, err := sim.Baseline(c, trials, sim.Options{})
 			return opsOf(res), err
 		}},
-		{"plan", true, func() (int64, error) {
+		{"plan", static, func() (int64, error) {
 			res, err := sim.ExecutePlan(c, plan, sim.Options{})
 			return opsOf(res), err
 		}},
-		{"fused-numeric", true, func() (int64, error) {
+		{"fused-numeric", static, func() (int64, error) {
 			res, err := sim.ExecutePlan(c, plan, sim.Options{Fuse: statevec.FuseNumeric})
 			return opsOf(res), err
 		}},
-		{fmt.Sprintf("subtree-parallel-%dw", workers), true, func() (int64, error) {
+		{fmt.Sprintf("subtree-parallel-%dw", workers), static, func() (int64, error) {
 			res, err := sim.ParallelSubtree(c, trials, workers, sim.Options{})
 			return opsOf(res), err
 		}},
 	}
+}
+
+// buildBatchScenarios benchmarks the cross-circuit batch path: a
+// PEC-style variant batch over the same QV circuit, executed through one
+// shared trie (sequential and subtree-parallel) against independent
+// per-variant plans. The shared scenarios carry their own sharing
+// invariant (ops == the batch plan's statics); per-variant execution must
+// realize the sum-of-parts statics exactly.
+func buildBatchScenarios(c *circuit.Circuit, gen *trial.Generator, cfg config) ([]scenario, error) {
+	if cfg.batchVars <= 0 {
+		return nil, nil
+	}
+	rng := rand.New(rand.NewSource(cfg.seed + 1))
+	vars := circuit.SampleVariants(c, rng, cfg.batchVars, 0.8)
+	sets := make([][]*trial.Trial, len(vars))
+	for vi := range vars {
+		sets[vi] = gen.Generate(rng, cfg.batchTrials)
+	}
+	bp, err := reorder.BuildBatchPlan(c, vars, sets)
+	if err != nil {
+		return nil, err
+	}
+	a := bp.Analysis()
+	return []scenario{
+		{"batch-shared", a.BatchOps, func() (int64, error) {
+			br, err := sim.ExecuteBatchPlan(c, bp, sim.Options{})
+			if err != nil {
+				return 0, err
+			}
+			return br.Combined.Ops, nil
+		}},
+		{fmt.Sprintf("batch-subtree-%dw", cfg.workers), a.BatchOps, func() (int64, error) {
+			br, err := sim.ExecuteBatchSubtree(c, bp, cfg.workers, sim.Options{})
+			if err != nil {
+				return 0, err
+			}
+			return br.Combined.Ops, nil
+		}},
+		{"batch-pervariant", a.SumPartsOps, func() (int64, error) {
+			var ops int64
+			for vi := 0; vi < bp.NumVariants(); vi++ {
+				res, err := sim.Reordered(c, bp.VariantTrials(vi), sim.Options{})
+				if err != nil {
+					return 0, err
+				}
+				ops += res.Ops
+			}
+			return ops, nil
+		}},
+	}, nil
 }
 
 func opsOf(res *sim.Result) int64 {
@@ -178,14 +245,14 @@ func opsOf(res *sim.Result) int64 {
 
 // measure runs one warmup plus reps timed repetitions of a scenario,
 // checking the sharing invariant on every repetition.
-func measure(logger *slog.Logger, sc scenario, reps int, static int64, trials int) (perf.Scenario, error) {
+func measure(logger *slog.Logger, sc scenario, reps int, trials int) (perf.Scenario, error) {
 	out := perf.Scenario{Name: sc.name, Trials: trials}
 	check := func(ops int64, err error) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", sc.name, err)
 		}
-		if sc.sharing && ops != static {
-			return fmt.Errorf("%s: ops %d != plan %d — sharing invariant broken", sc.name, ops, static)
+		if sc.static != 0 && ops != sc.static {
+			return fmt.Errorf("%s: ops %d != plan %d — sharing invariant broken", sc.name, ops, sc.static)
 		}
 		out.Ops = ops
 		return nil

@@ -53,6 +53,15 @@
 //	                ephemeral port, scrape /metrics in-process, and
 //	                validate the exposition format; exits nonzero on a
 //	                malformed exposition
+//	-batch n        simulate a PEC-style batch of n circuit variants
+//	                (sampled Pauli insertions over the base circuit) through
+//	                one shared cross-circuit trie instead of a single
+//	                circuit; reports the ops saved versus independent
+//	                per-variant plans. Honors -budget, -workers, -fuse,
+//	                -stripes and -seed.
+//	-batch-trials n Monte Carlo trials per variant in -batch mode (default 8)
+//	-batch-ins f    mean Pauli insertions per variant in -batch mode
+//	                (default 0.8)
 //	-log-level l    debug, info, warn, or error (default info)
 //	-log-json       emit structured logs as JSON lines
 //	-selftest       run the seeded differential self-test (internal/difftest)
@@ -67,6 +76,8 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math"
+	"math/rand"
 	"net/http"
 	"os"
 	"sort"
@@ -79,6 +90,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/difftest"
 	"repro/internal/obs"
+	"repro/internal/reorder"
 	"repro/internal/sim"
 	"repro/internal/statevec"
 	"repro/internal/stats"
@@ -109,6 +121,9 @@ func run() error {
 	parMode := flag.String("par", "subtree", "parallel decomposition with -workers > 1: subtree (shares all prefixes) or chunked (legacy)")
 	fuseName := flag.String("fuse", "off", "kernel compilation for reordered execution: off, exact, or numeric")
 	stripes := flag.Int("stripes", 0, "amplitude stripes per kernel sweep on large states (0/1 = serial)")
+	batchVars := flag.Int("batch", 0, "simulate a batch of n circuit variants through one shared trie (0 = off)")
+	batchTrials := flag.Int("batch-trials", 8, "Monte Carlo trials per variant in -batch mode")
+	batchIns := flag.Float64("batch-ins", 0.8, "mean Pauli insertions per variant in -batch mode")
 	draw := flag.Bool("draw", false, "print the circuit as ASCII art before simulating")
 	selftest := flag.Bool("selftest", false, "run the seeded differential self-test and exit")
 	selftestRuns := flag.Int("selftest-runs", 25, "number of random workloads for -selftest")
@@ -226,6 +241,14 @@ func run() error {
 		logger.Info("pprof listening", "addr", bound, "expvar", "/debug/vars", "prometheus", "/metrics")
 	}
 
+	if *batchVars > 0 {
+		if *doTranspile {
+			return fmt.Errorf("-batch does not support -transpile")
+		}
+		return runBatch(circ, dev, em, *batchVars, *batchTrials, *batchIns,
+			*seed, *budget, *workers, fuse, *stripes, obs.Multi(recorders...), *top)
+	}
+
 	start := time.Now()
 	rep, err := core.Run(core.Config{
 		Circuit:         circ,
@@ -306,6 +329,55 @@ func run() error {
 			return fmt.Errorf("-prom-smoke: %v", err)
 		}
 	}
+	return nil
+}
+
+// runBatch simulates a PEC-style batch: n variants of the base circuit
+// (sampled Pauli insertions), each with its own Monte Carlo trial set,
+// executed through one shared cross-circuit trie. It prints the static
+// savings of the shared plan against independent per-variant plans and
+// the naive baseline, then the executed totals and the aggregate outcome
+// distribution.
+func runBatch(circ *circuit.Circuit, dev *device.Device, em trial.ErrorMode,
+	vars, trialsPer int, meanIns float64, seed int64, budget, workers int,
+	fuse statevec.FuseMode, stripes int, rec obs.Recorder, top int) error {
+	g, err := trial.NewGeneratorMode(circ, dev.Model(), em)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	variants := circuit.SampleVariants(circ, rng, vars, meanIns)
+	sets := make([][]*trial.Trial, len(variants))
+	for vi := range variants {
+		sets[vi] = g.Generate(rng, trialsPer)
+	}
+	planBudget := math.MaxInt
+	if budget > 0 {
+		planBudget = budget
+	}
+	bp, err := reorder.BuildBatchPlanBudget(circ, variants, sets, planBudget)
+	if err != nil {
+		return err
+	}
+	a := bp.Analysis()
+	fmt.Printf("circuit %q: %d qubits, %d gates, %d layers\n",
+		circ.Name(), circ.NumQubits(), circ.NumOps(), circ.NumLayers())
+	fmt.Printf("batch: %d variants (%.2g mean insertions) x %d trials = %d merged trials\n",
+		a.Variants, meanIns, trialsPer, a.Trials)
+	fmt.Printf("static analysis: baseline %d ops, per-variant plans %d ops, batch plan %d ops\n",
+		a.BaselineOps, a.SumPartsOps, a.BatchOps)
+	fmt.Printf("cross-circuit sharing: saved %d ops vs per-variant plans (%.2fx), MSV %d (worst part %d)\n",
+		a.SavedOps, a.SpeedupVsParts, a.BatchMSV, a.MaxPartMSV)
+	opt := sim.Options{SnapshotBudget: budget, Fuse: fuse, Stripes: stripes, Recorder: rec}
+	start := time.Now()
+	br, err := sim.ExecuteBatchSubtree(circ, bp, workers, opt)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("executed (batch, %d workers) in %v: %d ops, %d state copies, peak %d stored vectors\n",
+		workers, elapsed.Round(time.Millisecond), br.Combined.Ops, br.Combined.Copies, br.Combined.MSV)
+	printTop(br.Combined, circ, top)
 	return nil
 }
 

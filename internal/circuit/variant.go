@@ -1,0 +1,150 @@
+package circuit
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/gate"
+)
+
+// This file models circuit *variants*: derived circuits that differ from a
+// shared base circuit only by extra Pauli operators inserted at layer
+// boundaries. That shape is exactly what error-mitigation pipelines
+// produce — probabilistic error cancellation (PEC) samples a Pauli
+// insertion after noisy gates per quasi-probability draw, and zero-noise
+// extrapolation's noise-amplified copies can be expressed the same way —
+// and it is deliberately identical to the slots the Monte Carlo trial
+// machinery injects errors into (trial.Injection). A batch of variants
+// over one base circuit therefore reduces to one big reordered trial set
+// whose shared trie dedupes the common prefix across every variant and
+// every trial (reorder.BuildBatchPlan).
+
+// Insertion is one extra Pauli a variant applies at the end of gate layer
+// Layer on Qubit, before any Monte Carlo error injected at the same
+// position. It mirrors trial.Injection; the two meet when a variant's
+// insertions are merged into a trial's injection list.
+type Insertion struct {
+	Layer int
+	Qubit int
+	Op    gate.Pauli
+}
+
+// String renders the insertion as e.g. "X@L3.q1".
+func (in Insertion) String() string {
+	return fmt.Sprintf("%s@L%d.q%d", in.Op, in.Layer, in.Qubit)
+}
+
+// less orders insertions by (layer, qubit, operator) — the canonical order
+// the trial planner groups by.
+func (in Insertion) less(o Insertion) bool {
+	if in.Layer != o.Layer {
+		return in.Layer < o.Layer
+	}
+	if in.Qubit != o.Qubit {
+		return in.Qubit < o.Qubit
+	}
+	return in.Op < o.Op
+}
+
+// Variant is one derived circuit of a batch: the shared base circuit plus
+// the listed Pauli insertions. The zero-insertion variant is the base
+// circuit itself.
+type Variant struct {
+	// ID is the variant's index in the batch, preserved through planning
+	// so outcomes can be attributed per variant.
+	ID int
+	// Ins lists the insertions, sorted by (layer, qubit, operator).
+	Ins []Insertion
+}
+
+// String renders the variant compactly, e.g. "v3[X@L1.q0 Z@L4.q2]".
+func (v Variant) String() string {
+	parts := make([]string, len(v.Ins))
+	for i, in := range v.Ins {
+		parts[i] = in.String()
+	}
+	return fmt.Sprintf("v%d[%s]", v.ID, strings.Join(parts, " "))
+}
+
+// Normalize sorts the insertion list into canonical order in place.
+func (v *Variant) Normalize() {
+	sort.Slice(v.Ins, func(i, j int) bool { return v.Ins[i].less(v.Ins[j]) })
+}
+
+// Validate checks the variant against its base circuit: every insertion
+// must name an existing layer, an in-range qubit, and a non-identity
+// Pauli, and the list must be in canonical order.
+func (v Variant) Validate(base *Circuit) error {
+	for i, in := range v.Ins {
+		if in.Layer < 0 || in.Layer >= base.NumLayers() {
+			return fmt.Errorf("circuit: variant %d insertion %d at layer %d, base has %d layers", v.ID, i, in.Layer, base.NumLayers())
+		}
+		if in.Qubit < 0 || in.Qubit >= base.NumQubits() {
+			return fmt.Errorf("circuit: variant %d insertion %d on qubit %d, base has %d qubits", v.ID, i, in.Qubit, base.NumQubits())
+		}
+		if in.Op > gate.PauliZ {
+			return fmt.Errorf("circuit: variant %d insertion %d has invalid Pauli %d", v.ID, i, int(in.Op))
+		}
+		if i > 0 && in.less(v.Ins[i-1]) {
+			return fmt.Errorf("circuit: variant %d insertions out of canonical order at %d (call Normalize)", v.ID, i)
+		}
+	}
+	return nil
+}
+
+// Realize materializes the variant as a standalone circuit: a deep copy of
+// the base with the insertions appended as explicit Pauli gates. The
+// realized circuit is the ground truth a batch execution must match; note
+// that appending gates re-layers the copy, so it is for reference
+// execution (sim.Baseline), not for plan sharing.
+func (v Variant) Realize(base *Circuit) *Circuit {
+	cp := base.Clone()
+	cp.SetName(fmt.Sprintf("%s+v%d", base.Name(), v.ID))
+	for _, in := range v.Ins {
+		cp.Append(in.Op.Gate(), in.Qubit)
+	}
+	return cp
+}
+
+// SampleVariants draws n PEC-shaped variants for the base circuit: for
+// each variant, every gate op independently receives (with probability
+// meanIns / NumOps) one uniform non-identity Pauli insertion on one of
+// its qubits, at the op's own layer — the position PEC's quasi-probability
+// representation inserts corrections. meanIns is therefore the expected
+// number of insertions per variant; a fraction exp(-meanIns) of variants
+// come out insertion-free and collapse onto the shared trunk entirely.
+// Variant IDs are 0..n-1. It panics if the base circuit has no ops or
+// meanIns is negative.
+func SampleVariants(base *Circuit, rng *rand.Rand, n int, meanIns float64) []Variant {
+	if base.NumOps() == 0 {
+		panic("circuit: SampleVariants on an empty circuit")
+	}
+	if meanIns < 0 {
+		panic(fmt.Sprintf("circuit: negative mean insertion count %g", meanIns))
+	}
+	p := meanIns / float64(base.NumOps())
+	if p > 1 {
+		p = 1
+	}
+	out := make([]Variant, n)
+	for vi := range out {
+		v := Variant{ID: vi}
+		for oi := 0; oi < base.NumOps(); oi++ {
+			if rng.Float64() >= p {
+				continue
+			}
+			op := base.Op(oi)
+			q := op.Qubits[rng.Intn(len(op.Qubits))]
+			v.Ins = append(v.Ins, Insertion{
+				Layer: base.OpLayer(oi),
+				Qubit: q,
+				Op:    gate.Pauli(rng.Intn(3)),
+			})
+		}
+		v.Normalize()
+		out[vi] = v
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package difftest
+
+import (
+	"testing"
+)
+
+// TestBatchDifferentialQuick is the always-on batch sweep: seeded random
+// variant batches, each proving the shared batch plan bit-identical to
+// independent per-variant plans and the naive baseline at 1/2/4/8
+// workers. A failure prints the seed; replay it with
+// difftest.CheckBatch(seed, difftest.QuickParams()).
+func TestBatchDifferentialQuick(t *testing.T) {
+	n := int64(30)
+	if testing.Short() {
+		n = 10
+	}
+	for seed := int64(1); seed <= n; seed++ {
+		if _, err := CheckBatch(seed, QuickParams()); err != nil {
+			t.Fatalf("%v\nreplay: difftest.CheckBatch(%d, difftest.QuickParams())", err, seed)
+		}
+	}
+}
+
+// TestBatchDeterminism: the batch generator is a pure function of the
+// seed, so printed failure seeds replay exactly.
+func TestBatchDeterminism(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		a, b := GenerateBatch(seed, QuickParams()), GenerateBatch(seed, QuickParams())
+		if a.String() != b.String() {
+			t.Fatalf("seed %d: descriptors differ:\n%s\n%s", seed, a, b)
+		}
+		for vi := range a.Variants {
+			if a.Variants[vi].String() != b.Variants[vi].String() {
+				t.Fatalf("seed %d variant %d: %s vs %s", seed, vi, a.Variants[vi], b.Variants[vi])
+			}
+		}
+	}
+}
+
+// TestBatchBudgetEdges pins the snapshot-budget boundary cases on the
+// batch path with fixed replayable seeds: budget 1 (every branch point —
+// including every variant fork — forced onto the restore-replay path)
+// and budget 2 (the fork point is exactly where the budget runs out for
+// batches whose trunk holds one snapshot). Seed 7's workload forks
+// between variants at the trie root, which is where PR 4's class of
+// off-by-one would bite.
+func TestBatchBudgetEdges(t *testing.T) {
+	for _, seed := range []int64{3, 7, 19} {
+		for _, budget := range []int{1, 2} {
+			bw := GenerateBatch(seed, QuickParams())
+			bw.Budget = budget
+			if _, err := CheckBatchWorkload(bw); err != nil {
+				t.Fatalf("seed %d budget %d: %v", seed, budget, err)
+			}
+		}
+		// Budget 0 is the public "unlimited" convention; it must behave as
+		// MaxInt, not as "no snapshots".
+		bw := GenerateBatch(seed, QuickParams())
+		bw.Budget = 0
+		rep, err := CheckBatchWorkload(bw)
+		if err != nil {
+			t.Fatalf("seed %d unbudgeted: %v", seed, err)
+		}
+		if rep.Analysis.SavedOps < 0 {
+			t.Fatalf("seed %d: unbudgeted batch saved %d ops (negative)", seed, rep.Analysis.SavedOps)
+		}
+	}
+}
+
+// TestBatchSingleVariantDegenerate: a batch of one clean variant must be
+// exactly the per-circuit path.
+func TestBatchSingleVariantDegenerate(t *testing.T) {
+	bw := GenerateBatch(11, QuickParams())
+	bw.Variants = bw.Variants[:1]
+	bw.Variants[0].Ins = nil
+	if _, err := CheckBatchWorkload(bw); err != nil {
+		t.Fatal(err)
+	}
+}

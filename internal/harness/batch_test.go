@@ -1,0 +1,113 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// TestBatchSavingsAcceptance is the batch experiment's headline claim at
+// the default PEC-style scale (>= 100 variants per benchmark): the shared
+// trie saves ops over independent per-variant plans on every benchmark,
+// and beats them by more than 1.5x on average across the suite. (Deep
+// circuits like qft5 are dominated by per-trial Monte Carlo injections
+// rather than variant insertions, so the average — not a per-benchmark
+// minimum — is the calibrated acceptance bar.)
+func TestBatchSavingsAcceptance(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.BatchVariants < 100 {
+		t.Fatalf("default batch scale is %d variants, acceptance requires >= 100", cfg.BatchVariants)
+	}
+	data, err := BatchData(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != len(bench.TableI) {
+		t.Fatalf("batch rows = %d, want one per Table I benchmark (%d)", len(data), len(bench.TableI))
+	}
+	var sum float64
+	for _, r := range data {
+		if r.Variants != cfg.BatchVariants {
+			t.Errorf("%s: %d variants, want %d", r.Benchmark, r.Variants, cfg.BatchVariants)
+		}
+		if r.SavedOps <= 0 {
+			t.Errorf("%s: shared trie saved %d ops over per-variant plans, want > 0", r.Benchmark, r.SavedOps)
+		}
+		if r.SavedOps != r.SumParts-r.BatchOps {
+			t.Errorf("%s: SavedOps %d != SumParts %d - BatchOps %d", r.Benchmark, r.SavedOps, r.SumParts, r.BatchOps)
+		}
+		if r.BatchOps > r.SumParts || r.SumParts > r.BaselineOps {
+			t.Errorf("%s: cost ordering violated: batch %d, parts %d, baseline %d",
+				r.Benchmark, r.BatchOps, r.SumParts, r.BaselineOps)
+		}
+		if r.Speedup <= 1 {
+			t.Errorf("%s: speedup %.2fx not above 1", r.Benchmark, r.Speedup)
+		}
+		sum += r.Speedup
+	}
+	if avg := sum / float64(len(data)); avg <= 1.5 {
+		t.Errorf("average batch speedup %.2fx over per-variant plans, acceptance requires > 1.5x", avg)
+	}
+}
+
+// TestBatchDeterministic: the experiment is a pure function of the
+// config (seeded variant and trial streams).
+func TestBatchDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BatchVariants = 16
+	cfg.BatchTrials = 4
+	a, err := BatchData(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BatchData(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d differs across runs:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestBatchTableRenders: the rendered experiment carries every benchmark
+// and the savings columns.
+func TestBatchTableRenders(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BatchVariants = 8
+	cfg.BatchTrials = 2
+	tab, err := Batch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"benchmark", "batch plan", "saved", "speedup"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("batch table missing %q", want)
+		}
+	}
+	for _, ref := range bench.TableI {
+		if !strings.Contains(buf.String(), ref.Name) {
+			t.Errorf("batch table missing benchmark %q", ref.Name)
+		}
+	}
+}
+
+// TestBatchDefaultsBackfill: configs predating the batch knobs (zero
+// values) run at the default scale instead of failing.
+func TestBatchDefaultsBackfill(t *testing.T) {
+	var cfg Config
+	cfg.Seed = DefaultConfig().Seed
+	cfg = batchDefaults(cfg)
+	d := DefaultConfig()
+	if cfg.BatchVariants != d.BatchVariants || cfg.BatchTrials != d.BatchTrials || cfg.BatchMeanIns != d.BatchMeanIns {
+		t.Fatalf("zero config backfilled to %+v, want defaults %d/%d/%g",
+			cfg, d.BatchVariants, d.BatchTrials, d.BatchMeanIns)
+	}
+}

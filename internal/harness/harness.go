@@ -109,6 +109,15 @@ type Config struct {
 	// 7-8. The paper uses 1e6; DefaultConfig uses a quicker setting and
 	// cmd/repro -full restores the paper's.
 	ScalabilityTrials int
+	// BatchVariants is the variant count of the batch experiment's
+	// PEC-shaped workload (one shared trie across all variants).
+	BatchVariants int
+	// BatchTrials is the Monte Carlo trial count per variant in the
+	// batch experiment.
+	BatchTrials int
+	// BatchMeanIns is the expected number of Pauli insertions per
+	// sampled variant (circuit.SampleVariants).
+	BatchMeanIns float64
 	// Metrics, when non-nil, collects per-scenario metrics (phase timings
 	// and static plan analyses) as the experiments run; cmd/repro's
 	// -metrics flag serializes the suite into the run-metrics JSON.
@@ -145,6 +154,9 @@ func DefaultConfig() Config {
 		Fig5Trials:        []int{1024, 2048, 4096, 8192},
 		Fig6Trials:        1024,
 		ScalabilityTrials: 20000,
+		BatchVariants:     128,
+		BatchTrials:       8,
+		BatchMeanIns:      0.8,
 	}
 }
 
@@ -465,11 +477,12 @@ func Experiments(cfg Config) map[string]func() (*Table, error) {
 		"ablation": func() (*Table, error) { return Ablation(cfg) },
 		"parallel": func() (*Table, error) { return ParallelSharing(cfg) },
 		"latency":  func() (*Table, error) { return Latency(cfg) },
+		"batch":    func() (*Table, error) { return Batch(cfg) },
 	}
 }
 
 // ExperimentOrder lists experiment names in report order.
-var ExperimentOrder = []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "ablation", "parallel", "latency"}
+var ExperimentOrder = []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "ablation", "parallel", "latency", "batch"}
 
 // AblationDepths lists the shared-prefix caps the ablation experiment
 // sweeps (1<<30 = unbounded, the paper's full Algorithm 1).

@@ -29,7 +29,22 @@ const (
 	saltAblation    = 0x81fe_b32a_5c47_d909
 	saltParallel    = 0xc752_18d6_3e9f_a471
 	saltLatency     = 0x2e8b_f693_1a5d_c037
+	saltBatch       = 0x9b14_ce72_06ad_5f83
 )
+
+// experimentSalts names every per-experiment salt for the pairwise
+// distinctness regression (seed_test.go). Adding an experiment salt
+// without registering it here fails the test that audits this list
+// against the experiment registry.
+var experimentSalts = map[string]uint64{
+	"fig5":        saltFig5,
+	"fig6":        saltFig6,
+	"scalability": saltScalability,
+	"ablation":    saltAblation,
+	"parallel":    saltParallel,
+	"latency":     saltLatency,
+	"batch":       saltBatch,
+}
 
 // mix64 is the splitmix64 finalizer: a bijective avalanche so that
 // consecutive or otherwise structured inputs map to well-separated seeds.
@@ -84,4 +99,13 @@ func ParallelSeed(cfg Config) int64 {
 // experiment.
 func LatencySeed(cfg Config) int64 {
 	return seedFor(cfg.Seed, saltLatency, cfg.Fig6Trials)
+}
+
+// BatchSeed returns an RNG seed for the batch experiment, keyed by the
+// benchmark index and a sub-stream index: -1 draws the variant batch
+// itself, 0..variants-1 draw each variant's Monte Carlo trials. Distinct
+// sub-streams keep a variant's trial set independent of every other
+// variant's and of the batch's insertion pattern.
+func BatchSeed(cfg Config, bench, stream int) int64 {
+	return seedFor(cfg.Seed, saltBatch, bench, stream)
 }

@@ -57,6 +57,7 @@ func TestExperimentSeedsDistinct(t *testing.T) {
 		"fig6":     Fig6Seed(cfg),
 		"ablation": AblationSeed(cfg),
 		"parallel": ParallelSeed(cfg),
+		"latency":  LatencySeed(cfg),
 	}
 	for _, n := range cfg.Fig5Trials {
 		seeds[fmt.Sprintf("fig5/%d", n)] = Fig5Seed(cfg, n)
@@ -66,12 +67,64 @@ func TestExperimentSeedsDistinct(t *testing.T) {
 			seeds[fmt.Sprintf("scal/%d_%d", si, ri)] = ScalabilitySeed(cfg, si, ri)
 		}
 	}
+	for bi := 0; bi < 12; bi++ {
+		seeds[fmt.Sprintf("batch/%d/vars", bi)] = BatchSeed(cfg, bi, -1)
+		for vi := 0; vi < cfg.BatchVariants; vi++ {
+			seeds[fmt.Sprintf("batch/%d/%d", bi, vi)] = BatchSeed(cfg, bi, vi)
+		}
+	}
 	byseed := make(map[int64]string)
 	for name, s := range seeds {
 		if prev, dup := byseed[s]; dup {
 			t.Errorf("experiments %s and %s share seed %d", prev, name, s)
 		}
 		byseed[s] = name
+	}
+}
+
+// TestSaltsPairwiseDistinct audits the salt constants themselves: every
+// experiment salt must differ from every other, and the audit list must
+// cover every experiment the registry exposes (the PR 4 collision class —
+// two experiments silently sharing a trial stream — must not recur when
+// an experiment is added without a fresh salt). table1 and fig4 are
+// deterministic tables that draw no trial stream.
+func TestSaltsPairwiseDistinct(t *testing.T) {
+	bySalt := make(map[uint64]string, len(experimentSalts))
+	for name, s := range experimentSalts {
+		if prev, dup := bySalt[s]; dup {
+			t.Errorf("experiments %s and %s share salt %#x", prev, name, s)
+		}
+		bySalt[s] = name
+	}
+	noTrialStream := map[string]bool{"table1": true, "fig4": true}
+	reg := Experiments(DefaultConfig())
+	for name := range reg {
+		if noTrialStream[name] {
+			continue
+		}
+		key := name
+		switch name {
+		case "fig7", "fig8":
+			key = "scalability"
+		}
+		if _, ok := experimentSalts[key]; !ok {
+			t.Errorf("experiment %q has no registered salt (add one to experimentSalts)", name)
+		}
+	}
+	for name := range experimentSalts {
+		found := false
+		for exp := range reg {
+			key := exp
+			if exp == "fig7" || exp == "fig8" {
+				key = "scalability"
+			}
+			if key == name {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("salt %q registered for no experiment", name)
+		}
 	}
 }
 

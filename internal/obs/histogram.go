@@ -41,6 +41,11 @@ const (
 	// HistRestoreDepth is the snapshot-stack depth at each budget-forced
 	// restore (dimensionless): 0 means the plan replayed from |0...0>.
 	HistRestoreDepth
+	// HistBatchVariantOps is the distribution of independent per-variant
+	// plan op counts across an executed batch (dimensionless) — the
+	// sum-of-parts side of the batch savings accounting, one observation
+	// per variant.
+	HistBatchVariantOps
 
 	numHists
 )
@@ -50,6 +55,7 @@ var histNames = [numHists]string{
 	HistKernelSweep:      "kernel_sweep_ns",
 	HistSnapshotLifetime: "snapshot_lifetime_ns",
 	HistRestoreDepth:     "restore_depth",
+	HistBatchVariantOps:  "batch_variant_ops",
 }
 
 // String returns the histogram's canonical (JSON/Prometheus) name.

@@ -54,6 +54,19 @@ const (
 	// StripeBarriers counts kernel sweeps that ran striped (each striped
 	// sweep is one WaitGroup barrier).
 	StripeBarriers
+	// BatchVariants counts circuit variants executed through shared
+	// batch plans (reorder.BatchPlan).
+	BatchVariants
+	// BatchOpsSaved counts basic operations the shared batch trie
+	// eliminated versus independent per-variant plans (the batch
+	// analysis' SavedOps, accumulated per executed batch).
+	BatchOpsSaved
+	// SegCacheHits counts compiled-segment reuses served by the
+	// content-addressed cross-program cache (statevec).
+	SegCacheHits
+	// SegCacheMisses counts segment lowerings the content-addressed
+	// cache could not serve.
+	SegCacheMisses
 
 	numCounters
 )
@@ -68,6 +81,10 @@ var counterNames = [numCounters]string{
 	TasksSpawned:     "tasks_spawned",
 	KernelSweeps:     "kernel_sweeps",
 	StripeBarriers:   "stripe_barriers",
+	BatchVariants:    "batch_variants",
+	BatchOpsSaved:    "batch_ops_saved",
+	SegCacheHits:     "segcache_hits",
+	SegCacheMisses:   "segcache_misses",
 }
 
 // String returns the counter's canonical (JSON) name.

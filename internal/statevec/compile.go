@@ -134,9 +134,10 @@ type segKey struct{ from, to int }
 // safe for concurrent use by any number of goroutines: plan executors
 // share one Program across all trials and workers.
 type Program struct {
-	n      int
-	layers [][]loweredOp
-	opt    CompileOptions
+	n         int
+	layers    [][]loweredOp
+	layerHash []uint64 // per-layer content digests for the cross-program segment cache
+	opt       CompileOptions
 
 	mu   sync.RWMutex
 	segs map[segKey]*segment
@@ -170,6 +171,10 @@ func CompileWith(c *circuit.Circuit, opt CompileOptions) *Program {
 			lops[i] = loweredOp{g: op.Gate, qubits: append([]int(nil), op.Qubits...)}
 		}
 		p.layers[l] = lops
+	}
+	p.layerHash = make([]uint64, len(p.layers))
+	for l, lops := range p.layers {
+		p.layerHash[l] = hashLayer(lops)
 	}
 	return p
 }
@@ -302,13 +307,29 @@ func (p *Program) segment(from, to int) *segment {
 	if seg != nil {
 		return seg
 	}
-	ks, ops := lowerSegment(p.layers, from, to, p.opt.Fuse)
+	// Cross-program content lookup: any program whose [from, to) range
+	// lowers to identical kernels (same gates, same floats, same fusion
+	// mode) shares the one compiled segment.
+	ck := p.contentKey(from, to)
+	seg = sharedSegment(ck)
+	if seg != nil {
+		segHits.Add(1)
+		if rec := p.opt.Recorder; rec != nil {
+			rec.Add(obs.SegCacheHits, 1)
+		}
+	} else {
+		segMisses.Add(1)
+		if rec := p.opt.Recorder; rec != nil {
+			rec.Add(obs.SegCacheMisses, 1)
+		}
+		ks, ops := lowerSegment(p.layers, from, to, p.opt.Fuse)
+		seg = publishSegment(ck, &segment{kernels: ks, ops: ops})
+	}
 	p.mu.Lock()
 	if prior := p.segs[key]; prior != nil {
 		p.mu.Unlock()
 		return prior
 	}
-	seg = &segment{kernels: ks, ops: ops}
 	p.segs[key] = seg
 	p.mu.Unlock()
 	return seg

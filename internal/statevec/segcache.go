@@ -1,0 +1,156 @@
+package statevec
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Content-addressed segment sharing. The per-Program segment cache keys
+// compiled kernels by plan identity — the (from, to) layer range within
+// one Program — so two Programs lowered from identical circuits each pay
+// the full lowering cost. That redundancy dominates batch workloads: a
+// PEC/ZNE batch's per-variant reference plans, every difftest executor,
+// and every repeated harness scenario compile the same circuit again.
+//
+// This cache keys segments by *content* instead: a 64-bit FNV-1a digest
+// of the lowered ops in the range (gate name, params, qubit list, and the
+// matrix entries bit-by-bit — everything that determines the kernels and
+// their exact floating-point behavior), together with the fusion mode and
+// register width. Any Program whose [from, to) range lowers to the same
+// content reuses the one compiled segment. Segments are immutable and
+// kernels are stateless over the amplitude slice they are run on, so
+// sharing is safe across programs, goroutines, and striping
+// configurations (striping is a Program-level run concern, not a segment
+// property).
+//
+// The cache is process-global and unbounded — segments are small (a few
+// fused kernels each) and the working set is the distinct circuit
+// content of the run. ResetSegmentCache exists for tests and for
+// long-lived processes that switch workloads.
+
+// segContentKey identifies a compiled segment by what it computes, not
+// where it came from.
+type segContentKey struct {
+	fuse FuseMode
+	n    int // register width, out of caution (kernels are width-agnostic by construction)
+	hash uint64
+}
+
+var (
+	segShareMu sync.RWMutex
+	segShare   = make(map[segContentKey]*segment)
+	segHits    atomic.Int64
+	segMisses  atomic.Int64
+)
+
+// SegmentCacheStats returns the cumulative hit and miss counts of the
+// content-addressed segment cache since process start (or the last
+// ResetSegmentCache).
+func SegmentCacheStats() (hits, misses int64) {
+	return segHits.Load(), segMisses.Load()
+}
+
+// ResetSegmentCache empties the content-addressed segment cache and
+// zeroes its statistics. Intended for tests.
+func ResetSegmentCache() {
+	segShareMu.Lock()
+	segShare = make(map[segContentKey]*segment)
+	segShareMu.Unlock()
+	segHits.Store(0)
+	segMisses.Store(0)
+}
+
+// segmentCacheLen returns the number of cached segments (test hook).
+func segmentCacheLen() int {
+	segShareMu.RLock()
+	defer segShareMu.RUnlock()
+	return len(segShare)
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// hashBytes folds a byte slice into an FNV-1a digest.
+func hashBytes(h uint64, b []byte) uint64 {
+	for _, c := range b {
+		h = (h ^ uint64(c)) * fnvPrime64
+	}
+	return h
+}
+
+// hashU64 folds one 64-bit word, byte by byte, into an FNV-1a digest.
+func hashU64(h, v uint64) uint64 {
+	for s := 0; s < 64; s += 8 {
+		h = (h ^ (v >> s & 0xff)) * fnvPrime64
+	}
+	return h
+}
+
+// hashLayer digests one lowered layer: every op's gate identity (name and
+// parameters), qubit list, and full matrix, in order. Matrix entries are
+// hashed by their exact float bit patterns because FuseExact's guarantee
+// is bit-identity: two gates are interchangeable only if every float they
+// contribute is identical.
+func hashLayer(ops []loweredOp) uint64 {
+	h := uint64(fnvOffset64)
+	h = hashU64(h, uint64(len(ops)))
+	for _, op := range ops {
+		h = hashBytes(h, []byte(op.g.Name()))
+		ps := op.g.Params()
+		h = hashU64(h, uint64(len(ps)))
+		for _, p := range ps {
+			h = hashU64(h, math.Float64bits(p))
+		}
+		h = hashU64(h, uint64(len(op.qubits)))
+		for _, q := range op.qubits {
+			h = hashU64(h, uint64(q))
+		}
+		m := op.g.Matrix()
+		d := m.Dim()
+		h = hashU64(h, uint64(d))
+		for i := 0; i < d; i++ {
+			for j := 0; j < d; j++ {
+				e := m.At(i, j)
+				h = hashU64(h, math.Float64bits(real(e)))
+				h = hashU64(h, math.Float64bits(imag(e)))
+			}
+		}
+	}
+	return h
+}
+
+// contentKey digests layers [from, to) of the program by chaining the
+// precomputed per-layer hashes (layer boundaries matter to fusion, so the
+// chain is over whole layers, not a flat op stream).
+func (p *Program) contentKey(from, to int) segContentKey {
+	h := uint64(fnvOffset64)
+	for l := from; l < to; l++ {
+		h = hashU64(h, p.layerHash[l])
+	}
+	return segContentKey{fuse: p.opt.Fuse, n: p.n, hash: h}
+}
+
+// sharedSegment looks up a content key in the global cache, returning nil
+// on miss.
+func sharedSegment(ck segContentKey) *segment {
+	segShareMu.RLock()
+	seg := segShare[ck]
+	segShareMu.RUnlock()
+	return seg
+}
+
+// publishSegment stores a freshly lowered segment under its content key,
+// returning the winner if another goroutine published the same content
+// first (both lowered identical kernels; keeping one maximizes sharing).
+func publishSegment(ck segContentKey, seg *segment) *segment {
+	segShareMu.Lock()
+	defer segShareMu.Unlock()
+	if prior := segShare[ck]; prior != nil {
+		return prior
+	}
+	segShare[ck] = seg
+	return seg
+}

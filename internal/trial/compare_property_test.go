@@ -1,0 +1,161 @@
+package trial
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/gate"
+)
+
+// Property tests for the trial comparator and the shared-layer measure.
+// The batch planner (reorder.BuildBatchPlan) merges variant insertions
+// into trial injection lists, which multiplies the number of trial pairs
+// that are equal through the shorter list — exactly the tie-break case —
+// so these invariants are load-bearing for cross-variant tries, not just
+// within one circuit's trial set.
+
+// randomTrial draws a sorted injection list over small (layer, qubit)
+// ranges so that prefix ties and exact duplicates are common.
+func randomTrial(rng *rand.Rand, id int) *Trial {
+	n := rng.Intn(5)
+	t := &Trial{ID: id}
+	for i := 0; i < n; i++ {
+		t.Inj = append(t.Inj, Pack(rng.Intn(4), rng.Intn(3), gate.Pauli(rng.Intn(3))))
+	}
+	sort.Slice(t.Inj, func(a, b int) bool { return t.Inj[a] < t.Inj[b] })
+	return t
+}
+
+// refCompare is the specification Compare must match: lexicographic
+// comparison of injection sequences padded with +infinity (an exhausted
+// list is treated as an endless run of "no further error" sentinels,
+// which sort after every real key). This is the order Algorithm 1's
+// recursion induces.
+func refCompare(a, b *Trial) int {
+	n := len(a.Inj)
+	if len(b.Inj) > n {
+		n = len(b.Inj)
+	}
+	for i := 0; i < n; i++ {
+		ka, kb := uint64(math.MaxUint64), uint64(math.MaxUint64)
+		if i < len(a.Inj) {
+			ka = uint64(a.Inj[i])
+		}
+		if i < len(b.Inj) {
+			kb = uint64(b.Inj[i])
+		}
+		if ka < kb {
+			return -1
+		}
+		if ka > kb {
+			return 1
+		}
+	}
+	return 0
+}
+
+func TestCompareMatchesPaddedLexicographicSpec(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for i := 0; i < 20000; i++ {
+		a, b := randomTrial(rng, 0), randomTrial(rng, 1)
+		if got, want := Compare(a, b), refCompare(a, b); got != want {
+			t.Fatalf("Compare(%v, %v) = %d, spec says %d", a, b, got, want)
+		}
+	}
+}
+
+func TestCompareIsTotalOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	trials := make([]*Trial, 60)
+	for i := range trials {
+		trials[i] = randomTrial(rng, i)
+	}
+	for _, a := range trials {
+		if Compare(a, a) != 0 {
+			t.Fatalf("Compare(%v, %v) != 0", a, a)
+		}
+		for _, b := range trials {
+			if Compare(a, b) != -Compare(b, a) {
+				t.Fatalf("antisymmetry violated for %v, %v", a, b)
+			}
+			for _, c := range trials {
+				if Compare(a, b) <= 0 && Compare(b, c) <= 0 && Compare(a, c) > 0 {
+					t.Fatalf("transitivity violated: %v <= %v <= %v but a > c", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+// TestCompareShorterPrefixSortsLast pins the tie-break convention: a
+// trial equal to another through its (shorter) injection list orders
+// strictly after it, deterministically, in both argument orders.
+func TestCompareShorterPrefixSortsLast(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	for i := 0; i < 5000; i++ {
+		b := randomTrial(rng, 1)
+		if len(b.Inj) == 0 {
+			continue
+		}
+		a := &Trial{ID: 0, Inj: append([]Key(nil), b.Inj[:rng.Intn(len(b.Inj))]...)}
+		if Compare(a, b) != 1 || Compare(b, a) != -1 {
+			t.Fatalf("strict prefix %v must sort after %v (got %d, %d)", a, b, Compare(a, b), Compare(b, a))
+		}
+		layers, identical := SharedLayers(a, b)
+		if identical {
+			t.Fatalf("SharedLayers(%v, %v) claims identical across different lengths", a, b)
+		}
+		if want := b.Inj[len(a.Inj)].Layer(); layers != want {
+			t.Fatalf("SharedLayers(%v, %v) = %d, want the longer trial's next layer %d", a, b, layers, want)
+		}
+	}
+}
+
+// TestCompareAgreesWithSharedLayersIdentical is the satellite's core
+// consistency property: Compare reports 0 exactly when SharedLayers
+// reports identical, and SharedLayers is symmetric in every case.
+func TestCompareAgreesWithSharedLayersIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	for i := 0; i < 20000; i++ {
+		a, b := randomTrial(rng, 0), randomTrial(rng, 1)
+		cmp := Compare(a, b)
+		layers, identical := SharedLayers(a, b)
+		layersBA, identicalBA := SharedLayers(b, a)
+		if layers != layersBA || identical != identicalBA {
+			t.Fatalf("SharedLayers not symmetric for %v, %v: (%d,%v) vs (%d,%v)", a, b, layers, identical, layersBA, identicalBA)
+		}
+		if (cmp == 0) != identical {
+			t.Fatalf("Compare(%v, %v)=%d but SharedLayers identical=%v", a, b, cmp, identical)
+		}
+		if identical && layers != math.MaxInt {
+			t.Fatalf("identical trials %v, %v report finite shared layers %d", a, b, layers)
+		}
+	}
+}
+
+// TestSortOrderIndependentOfInputPermutation: the optimized execution
+// order of a trial multiset must not depend on generation order — shuffle
+// the set, sort, and the injection sequences must line up pairwise. (IDs
+// of exactly-equal trials may swap; equal sequences share a final state,
+// so the plan is unaffected.)
+func TestSortOrderIndependentOfInputPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(65))
+	trials := make([]*Trial, 300)
+	for i := range trials {
+		trials[i] = randomTrial(rng, i)
+	}
+	sorted := append([]*Trial(nil), trials...)
+	sort.SliceStable(sorted, func(i, j int) bool { return Compare(sorted[i], sorted[j]) < 0 })
+	for round := 0; round < 10; round++ {
+		shuf := append([]*Trial(nil), trials...)
+		rng.Shuffle(len(shuf), func(i, j int) { shuf[i], shuf[j] = shuf[j], shuf[i] })
+		sort.SliceStable(shuf, func(i, j int) bool { return Compare(shuf[i], shuf[j]) < 0 })
+		for i := range sorted {
+			if Compare(sorted[i], shuf[i]) != 0 {
+				t.Fatalf("round %d: position %d differs: %v vs %v", round, i, sorted[i], shuf[i])
+			}
+		}
+	}
+}

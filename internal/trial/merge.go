@@ -1,0 +1,77 @@
+package trial
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+)
+
+// This file bridges circuit variants (circuit.Variant: a base circuit plus
+// Pauli insertions at layer boundaries) into the trial machinery. A
+// variant's insertions occupy exactly the slots Monte Carlo injections do,
+// so "variant v, trial t" is itself a trial over the base circuit whose
+// injection list is the sorted merge of v's insertions and t's injections.
+// The batch planner (reorder.BuildBatchPlan) builds one shared trie over
+// all such merged trials; because plan execution replays each trial's
+// exact injection sequence, the merged execution is bit-identical to
+// running each variant's circuit independently.
+
+// VariantKeys packs a variant's insertions as a sorted Key list. It
+// returns an error if any insertion is outside the packable range.
+func VariantKeys(v circuit.Variant) ([]Key, error) {
+	out := make([]Key, 0, len(v.Ins))
+	for i, in := range v.Ins {
+		if in.Layer < 0 || in.Layer > keyLayerMax || in.Qubit < 0 || in.Qubit > keyQubitMax {
+			return nil, fmt.Errorf("trial: variant %d insertion %d (%s) out of packable range", v.ID, i, in)
+		}
+		out = append(out, Pack(in.Layer, in.Qubit, in.Op))
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i] < out[i-1] {
+			return nil, fmt.Errorf("trial: variant %d insertions not in canonical order at %d", v.ID, i)
+		}
+	}
+	return out, nil
+}
+
+// MergeKeys returns the sorted multiset union of two sorted key lists.
+// Duplicates are kept: an insertion and an injection at the same
+// (layer, qubit) with the same operator compose to identity physically,
+// and keeping both preserves exact replay of either source list.
+func MergeKeys(a, b []Key) []Key {
+	if len(a) == 0 {
+		return append([]Key(nil), b...)
+	}
+	if len(b) == 0 {
+		return append([]Key(nil), a...)
+	}
+	out := make([]Key, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// MergedWith returns a copy of the trial carrying the given ID whose
+// injection list is the sorted merge of ins and the trial's own
+// injections. The measurement randomness (readout flips and the sampling
+// uniform) is preserved, so the merged trial's classical outcome over the
+// base circuit equals the original trial's outcome over the variant
+// circuit.
+func (t *Trial) MergedWith(ins []Key, id int) *Trial {
+	return &Trial{
+		ID:        id,
+		Inj:       MergeKeys(ins, t.Inj),
+		MeasFlips: t.MeasFlips,
+		SampleU:   t.SampleU,
+	}
+}
