@@ -22,6 +22,8 @@ race-verify:
 	$(GO) test -race ./internal/statevec/... ./internal/sim/... ./internal/reorder/... ./internal/difftest/... ./internal/obs/...
 	$(GO) run -race ./cmd/qsim -bench qft5 -mode both -fuse exact -stripes 4 -trials 256
 	$(GO) run -race ./cmd/qsim -bench qv_n5d5 -mode both -fuse numeric -stripes 4 -trials 256
+	$(GO) run -race ./cmd/qsim -bench qv_n5d5 -mode both -restore adaptive -budget 2 -workers 4 -trials 256
+	$(GO) run -race ./cmd/qsim -bench qft5 -mode both -restore uncompute -fuse exact -trials 256
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run ^$$ .
@@ -64,15 +66,17 @@ fuzz-smoke:
 	$(GO) test -run ^$$ -fuzz FuzzTrialSerializeRoundTrip -fuzztime 10s ./internal/trial
 	$(GO) test -run ^$$ -fuzz FuzzParseQASM -fuzztime 10s ./internal/circuit
 	$(GO) test -run ^$$ -fuzz FuzzCompileParity -fuzztime 10s ./internal/statevec
+	$(GO) test -run ^$$ -fuzz FuzzDaggerRoundTrip -fuzztime 10s ./internal/statevec
 
 # The deep correctness gate: everything verify runs, plus vet, the race
 # detector over the whole tree (includes the -short-gated deep
-# differential sweep and the batch bit-identity sweep at 1/2/4/8
-# workers), fuzz smoke, the CLI self-test, and the cross-circuit batch
-# experiment end to end.
+# differential sweep, the batch bit-identity sweep at 1/2/4/8 workers,
+# and the restore-policy matrix), fuzz smoke, the CLI self-test, and the
+# cross-circuit batch and restore-policy experiments end to end.
 verify-deep: build
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(MAKE) fuzz-smoke
 	$(MAKE) selftest
 	$(GO) run ./cmd/repro -exp batch
+	$(GO) run ./cmd/repro -exp uncompute

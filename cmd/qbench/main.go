@@ -129,6 +129,11 @@ func run(logger *slog.Logger, cfg config) (int, error) {
 		return 0, err
 	}
 	scenarios = append(scenarios, batchScens...)
+	uncScens, err := buildUncomputeScenarios(c, plan, trials, cfg)
+	if err != nil {
+		return 0, err
+	}
+	scenarios = append(scenarios, uncScens...)
 	entry := perf.Entry{Suite: cfg.suite, Env: obs.CaptureEnv()}
 	for _, sc := range scenarios {
 		mea, err := measure(logger, sc, cfg.reps, len(trials))
@@ -234,6 +239,45 @@ func buildBatchScenarios(c *circuit.Circuit, gen *trial.Generator, cfg config) (
 			return ops, nil
 		}},
 	}, nil
+}
+
+// buildUncomputeScenarios benchmarks the restore-policy executors. Both
+// scenarios run under numeric fusion (QV gates are random SU(4) blocks,
+// reversible only through folded daggered kernels) where forward ops
+// realize the unbudgeted plan exactly — reverse work is accounted
+// separately — so the sharing invariant doubles as the accounting check.
+//
+// uncompute-tight-budget runs the main workload with zero stored
+// snapshots; adaptive-qv12 runs a wider Quantum Volume workload with the
+// adaptive policy under a tight budget, the configuration the harness's
+// `repro -exp uncompute` experiment studies.
+func buildUncomputeScenarios(c *circuit.Circuit, plan *reorder.Plan, trials []*trial.Trial, cfg config) ([]scenario, error) {
+	scens := []scenario{
+		{"uncompute-tight-budget", plan.OptimizedOps(), func() (int64, error) {
+			res, err := sim.Reordered(c, trials, sim.Options{
+				Policy: sim.PolicyUncompute, Fuse: statevec.FuseNumeric, SnapshotBudget: 1,
+			})
+			return opsOf(res), err
+		}},
+	}
+	qc := bench.QV(12, 4, rand.New(rand.NewSource(cfg.seed+2)))
+	qm := noise.Uniform("qbench-qv12", 12, 1e-3, 1e-2, 1e-2)
+	qgen, err := trial.NewGenerator(qc, qm)
+	if err != nil {
+		return nil, err
+	}
+	qtrials := qgen.Generate(rand.New(rand.NewSource(cfg.seed+3)), cfg.trials)
+	qplan, err := reorder.BuildPlan(qc, qtrials)
+	if err != nil {
+		return nil, err
+	}
+	scens = append(scens, scenario{"adaptive-qv12", qplan.OptimizedOps(), func() (int64, error) {
+		res, err := sim.Reordered(qc, qtrials, sim.Options{
+			Policy: sim.PolicyAdaptive, Fuse: statevec.FuseNumeric, SnapshotBudget: 2,
+		})
+		return opsOf(res), err
+	}})
+	return scens, nil
 }
 
 func opsOf(res *sim.Result) int64 {

@@ -25,6 +25,12 @@
 //	-transpile      map the circuit onto the device coupling graph
 //	-top k          show the k most likely outcomes (default 8)
 //	-budget n       cap on stored state vectors (0 = unlimited)
+//	-restore p      branch-point restore policy: snapshot (default; the
+//	                paper's stack, budget enforced by plan replay),
+//	                uncompute (reverse execution, zero stored snapshots),
+//	                or adaptive (snapshot up to -budget, reverse beyond)
+//	-mem-limit n    heap bytes above which the adaptive policy stops
+//	                snapshotting (0 = off; needs -sample-interval)
 //	-workers n      parallel execution workers for reordered mode
 //	-par m          parallel decomposition: subtree (default; preserves all
 //	                prefix sharing) or chunked (legacy comparison baseline)
@@ -117,6 +123,8 @@ func run() error {
 	top := flag.Int("top", 8, "show the k most likely outcomes")
 	errMode := flag.String("errmode", "per-gate", "error injection model: per-gate (paper) or per-qubit")
 	budget := flag.Int("budget", 0, "cap on stored state vectors (0 = unlimited)")
+	restoreName := flag.String("restore", "snapshot", "branch-point restore policy: snapshot, uncompute, or adaptive")
+	memLimit := flag.Uint64("mem-limit", 0, "heap bytes above which the adaptive policy stops snapshotting (0 = off; needs -sample-interval)")
 	workers := flag.Int("workers", 1, "parallel execution workers for reordered mode")
 	parMode := flag.String("par", "subtree", "parallel decomposition with -workers > 1: subtree (shares all prefixes) or chunked (legacy)")
 	fuseName := flag.String("fuse", "off", "kernel compilation for reordered execution: off, exact, or numeric")
@@ -197,6 +205,11 @@ func run() error {
 		return err
 	}
 
+	policy, err := sim.ParseRestorePolicy(*restoreName)
+	if err != nil {
+		return err
+	}
+
 	var em trial.ErrorMode
 	switch *errMode {
 	case "per-gate":
@@ -223,13 +236,21 @@ func run() error {
 		exporter = obs.NewExporter()
 		exporter.Register("qsim", metrics)
 	}
+	var memProbe func() bool
 	if *sampleInterval > 0 {
 		sampler := obs.StartSampler(*sampleInterval, obs.DefaultSamplerCapacity)
 		defer sampler.Stop()
 		if exporter != nil {
 			exporter.AttachSampler(sampler)
 		}
+		if *memLimit > 0 {
+			// Live memory pressure steers the adaptive policy: above the
+			// heap limit, branch points fall back to reverse execution.
+			memProbe = sim.SamplerMemProbe(sampler, *memLimit)
+		}
 		logger.Debug("runtime sampler started", "interval", *sampleInterval)
+	} else if *memLimit > 0 {
+		return fmt.Errorf("-mem-limit requires -sample-interval to run the MemStats sampler")
 	}
 	if *pprofAddr != "" {
 		bound, closeSrv, err := obs.StartPprof(*pprofAddr, exporter)
@@ -246,7 +267,8 @@ func run() error {
 			return fmt.Errorf("-batch does not support -transpile")
 		}
 		return runBatch(circ, dev, em, *batchVars, *batchTrials, *batchIns,
-			*seed, *budget, *workers, fuse, *stripes, obs.Multi(recorders...), *top)
+			*seed, *budget, *workers, fuse, *stripes, policy, memProbe,
+			obs.Multi(recorders...), *top)
 	}
 
 	start := time.Now()
@@ -263,6 +285,8 @@ func run() error {
 		ChunkedParallel: chunked,
 		Fuse:            fuse,
 		Stripes:         *stripes,
+		Policy:          policy,
+		MemProbe:        memProbe,
 		Recorder:        obs.Multi(recorders...),
 	})
 	if err != nil {
@@ -299,7 +323,7 @@ func run() error {
 	}
 
 	if metrics != nil && *metricsPath != "" {
-		rm := buildRunMetrics(rep, metrics, *trials, *seed, runModeLabel(mode, *budget, chunked, *workers))
+		rm := buildRunMetrics(rep, metrics, *trials, *seed, runModeLabel(mode, *budget, chunked, *workers, policy))
 		if err := obs.WriteRunMetrics(*metricsPath, rm); err != nil {
 			return fmt.Errorf("-metrics: %v", err)
 		}
@@ -340,7 +364,8 @@ func run() error {
 // distribution.
 func runBatch(circ *circuit.Circuit, dev *device.Device, em trial.ErrorMode,
 	vars, trialsPer int, meanIns float64, seed int64, budget, workers int,
-	fuse statevec.FuseMode, stripes int, rec obs.Recorder, top int) error {
+	fuse statevec.FuseMode, stripes int, policy sim.RestorePolicy,
+	memProbe func() bool, rec obs.Recorder, top int) error {
 	g, err := trial.NewGeneratorMode(circ, dev.Model(), em)
 	if err != nil {
 		return err
@@ -352,7 +377,9 @@ func runBatch(circ *circuit.Circuit, dev *device.Device, em trial.ErrorMode,
 		sets[vi] = g.Generate(rng, trialsPer)
 	}
 	planBudget := math.MaxInt
-	if budget > 0 {
+	if budget > 0 && policy == sim.PolicySnapshot {
+		// Non-snapshot policies enforce the budget at run time; the batch
+		// plan stays unbudgeted (no restore/replay steps).
 		planBudget = budget
 	}
 	bp, err := reorder.BuildBatchPlanBudget(circ, variants, sets, planBudget)
@@ -368,7 +395,8 @@ func runBatch(circ *circuit.Circuit, dev *device.Device, em trial.ErrorMode,
 		a.BaselineOps, a.SumPartsOps, a.BatchOps)
 	fmt.Printf("cross-circuit sharing: saved %d ops vs per-variant plans (%.2fx), MSV %d (worst part %d)\n",
 		a.SavedOps, a.SpeedupVsParts, a.BatchMSV, a.MaxPartMSV)
-	opt := sim.Options{SnapshotBudget: budget, Fuse: fuse, Stripes: stripes, Recorder: rec}
+	opt := sim.Options{SnapshotBudget: budget, Fuse: fuse, Stripes: stripes,
+		Policy: policy, MemProbe: memProbe, Recorder: rec}
 	start := time.Now()
 	br, err := sim.ExecuteBatchSubtree(circ, bp, workers, opt)
 	if err != nil {
@@ -419,15 +447,18 @@ func promSmokeTest(logger *slog.Logger, exporter *obs.Exporter) error {
 // runModeLabel names the executed configuration in the metrics envelope.
 // Suffixes mark configurations whose executed op count legitimately
 // departs from the static plan count (budget replay, chunk-boundary
-// recomputation); -verify-metrics only enforces plan equality on
-// unsuffixed modes.
-func runModeLabel(mode core.Mode, budget int, chunked bool, workers int) string {
+// recomputation, restore-policy replays); -verify-metrics only enforces
+// plan equality on unsuffixed modes.
+func runModeLabel(mode core.Mode, budget int, chunked bool, workers int, policy sim.RestorePolicy) string {
 	label := mode.String()
 	if budget > 0 {
 		label += "+budget"
 	}
 	if chunked && workers > 1 {
 		label += "+chunked"
+	}
+	if policy != sim.PolicySnapshot {
+		label += "+" + policy.String()
 	}
 	return label
 }

@@ -116,6 +116,15 @@ type Config struct {
 	Stripes int
 	// KeepStates retains per-trial final states (tests only; memory!).
 	KeepStates bool
+	// Policy selects how executors return to branch points (see
+	// sim.RestorePolicy): snapshot (default, the paper's scheme),
+	// uncompute (reverse execution, near-zero stored vectors), or
+	// adaptive (per-branch-point choice). Non-snapshot policies run an
+	// unbudgeted plan and enforce SnapshotBudget at run time.
+	Policy sim.RestorePolicy
+	// MemProbe feeds live memory pressure into the adaptive policy (see
+	// sim.Options.MemProbe); nil means no pressure.
+	MemProbe func() bool
 	// Recorder, when non-nil, receives run metrics: per-phase wall-clock
 	// timings (trial generation, reorder sort, plan build, execution) and
 	// the executors' counters and trace events (see internal/obs). nil
@@ -190,7 +199,9 @@ func Run(cfg Config) (*Report, error) {
 	ordered := reorder.Sort(rep.Trials)
 	sortDone()
 	budget := math.MaxInt
-	if cfg.SnapshotBudget > 0 {
+	if cfg.SnapshotBudget > 0 && cfg.Policy == sim.PolicySnapshot {
+		// Non-snapshot policies enforce the budget themselves; the plan
+		// stays unbudgeted (no restore/replay steps).
 		budget = cfg.SnapshotBudget
 	}
 	planDone := obs.StartPhase(cfg.Recorder, obs.PhasePlanBuild)
@@ -207,6 +218,8 @@ func Run(cfg Config) (*Report, error) {
 		Fuse:           cfg.Fuse,
 		Stripes:        cfg.Stripes,
 		Recorder:       cfg.Recorder,
+		Policy:         cfg.Policy,
+		MemProbe:       cfg.MemProbe,
 	}
 	runReordered := func() (*sim.Result, error) {
 		if cfg.Workers > 1 {

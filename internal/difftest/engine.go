@@ -208,6 +208,20 @@ func checkResourceInvariants(w *Workload, ex Executor, naive, res *sim.Result, f
 		if w.Budget == 0 && res.Ops > naive.Ops {
 			return fmt.Errorf("%s: %d ops exceed naive %d", ex.Name, res.Ops, naive.Ops)
 		}
+	case KindPlanUncompute:
+		// Pure uncomputation stores nothing: every branch point is a
+		// journal mark, every return is reverse execution (or, where the
+		// suffix is not exactly invertible, a replay from the initial
+		// state — still copy-free on the sequential path).
+		if res.MSV != 0 {
+			return fmt.Errorf("%s: stored %d vectors under PolicyUncompute", ex.Name, res.MSV)
+		}
+		if res.Copies != 0 {
+			return fmt.Errorf("%s: made %d copies under PolicyUncompute", ex.Name, res.Copies)
+		}
+	case KindPlanAdaptive, KindSubtreePolicy:
+		// Bit-identity and the global op floor (checked above) are the
+		// contract; the budget bound below caps stored vectors.
 	}
 	if w.Budget > 0 {
 		if bound := msvBound(ex, w.Budget); res.MSV > bound {
@@ -221,10 +235,14 @@ func checkResourceInvariants(w *Workload, ex Executor, naive, res *sim.Result, f
 // snapshot budget b: the sequential executor keeps at most b; each
 // chunked worker keeps at most b; the subtree executor additionally
 // stores the trunk's stack and up to 2*workers queued entry states.
+// PolicyUncompute stores nothing; PolicyAdaptive respects b like the
+// budgeted sequential executor.
 func msvBound(ex Executor, b int) int {
 	switch ex.Kind {
-	case KindPlan:
+	case KindPlan, KindPlanAdaptive:
 		return b
+	case KindPlanUncompute:
+		return 0
 	case KindChunked:
 		return ex.Workers * b
 	default:
@@ -243,7 +261,7 @@ func msvBound(ex Executor, b int) int {
 //   - sorting is idempotent at the plan level.
 func checkMetamorphic(w *Workload, naive *sim.Result, trials []*trial.Trial, freePlan *reorder.Plan) error {
 	shuffled := append([]*trial.Trial(nil), trials...)
-	rand.New(rand.NewSource(w.Seed ^ 0x7065726d)).Shuffle(len(shuffled), func(i, j int) {
+	rand.New(rand.NewSource(w.Seed^0x7065726d)).Shuffle(len(shuffled), func(i, j int) {
 		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
 	})
 	res, err := sim.Reordered(w.Circuit, shuffled, sim.Options{KeepStates: true, SnapshotBudget: w.Budget})

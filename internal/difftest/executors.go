@@ -26,6 +26,21 @@ const (
 	// sharing is lost, so unbudgeted ops equal the sequential plan's at
 	// every worker count.
 	KindSubtree
+	// KindPlanUncompute is sequential plan execution under
+	// sim.PolicyUncompute: every branch point is a journal mark instead
+	// of a snapshot, so the executor must store zero state vectors and
+	// perform zero copies while staying bit-identical to naive execution.
+	KindPlanUncompute
+	// KindPlanAdaptive is sequential plan execution under
+	// sim.PolicyAdaptive: branch points choose between snapshot and
+	// uncompute at run time, but the stored-vector peak must stay within
+	// the snapshot budget and outcomes stay bit-identical.
+	KindPlanAdaptive
+	// KindSubtreePolicy is subtree parallelism under a non-snapshot
+	// restore policy: bit-identity and the unbudgeted op floor hold; the
+	// stored-vector peak is bounded like KindSubtree (entry states
+	// dominate — per-branch snapshots are virtual or budget-capped).
+	KindSubtreePolicy
 )
 
 // Executor is one registered execution path under differential test.
@@ -118,6 +133,61 @@ func Executors() []Executor {
 				opt.Stripes = 2
 				opt.StripeMin = 1
 				return sim.ParallelSubtree(c, trials, 2, opt)
+			},
+		},
+	)
+	// Restore-policy variants (see sim.RestorePolicy): reverse execution
+	// instead of — or adaptively mixed with — snapshots. The engine passes
+	// the workload's snapshot budget through Options; the policy executors
+	// enforce it at run time over an unbudgeted plan, so bit-identity must
+	// survive a completely different restore mechanism. plan-uncompute
+	// additionally proves the zero-snapshot claim (MSV == 0, copies == 0),
+	// in both dispatch and exact-fused compilation.
+	execs = append(execs,
+		Executor{
+			Name:    "plan-uncompute",
+			Kind:    KindPlanUncompute,
+			Workers: 1,
+			Run: func(c *circuit.Circuit, trials []*trial.Trial, opt sim.Options) (*sim.Result, error) {
+				opt.Policy = sim.PolicyUncompute
+				return sim.Reordered(c, trials, opt)
+			},
+		},
+		Executor{
+			Name:    "plan-uncompute-fused",
+			Kind:    KindPlanUncompute,
+			Workers: 1,
+			Run: func(c *circuit.Circuit, trials []*trial.Trial, opt sim.Options) (*sim.Result, error) {
+				opt.Policy = sim.PolicyUncompute
+				opt.Fuse = statevec.FuseExact
+				return sim.Reordered(c, trials, opt)
+			},
+		},
+		Executor{
+			Name:    "adaptive",
+			Kind:    KindPlanAdaptive,
+			Workers: 1,
+			Run: func(c *circuit.Circuit, trials []*trial.Trial, opt sim.Options) (*sim.Result, error) {
+				opt.Policy = sim.PolicyAdaptive
+				return sim.Reordered(c, trials, opt)
+			},
+		},
+		Executor{
+			Name:    "subtree-uncompute-2",
+			Kind:    KindSubtreePolicy,
+			Workers: 2,
+			Run: func(c *circuit.Circuit, trials []*trial.Trial, opt sim.Options) (*sim.Result, error) {
+				opt.Policy = sim.PolicyUncompute
+				return sim.ParallelSubtree(c, trials, 2, opt)
+			},
+		},
+		Executor{
+			Name:    "subtree-adaptive-4",
+			Kind:    KindSubtreePolicy,
+			Workers: 4,
+			Run: func(c *circuit.Circuit, trials []*trial.Trial, opt sim.Options) (*sim.Result, error) {
+				opt.Policy = sim.PolicyAdaptive
+				return sim.ParallelSubtree(c, trials, 4, opt)
 			},
 		},
 	)

@@ -468,21 +468,22 @@ func scalTable(cfg Config, data []ScalResult, title string, cell func(ScalResult
 // Experiments maps experiment names to their runners, for cmd/repro.
 func Experiments(cfg Config) map[string]func() (*Table, error) {
 	return map[string]func() (*Table, error){
-		"table1":   func() (*Table, error) { return TableI(cfg) },
-		"fig4":     func() (*Table, error) { return Fig4(), nil },
-		"fig5":     func() (*Table, error) { return Fig5(cfg) },
-		"fig6":     func() (*Table, error) { return Fig6(cfg) },
-		"fig7":     func() (*Table, error) { return Fig7(cfg) },
-		"fig8":     func() (*Table, error) { return Fig8(cfg) },
-		"ablation": func() (*Table, error) { return Ablation(cfg) },
-		"parallel": func() (*Table, error) { return ParallelSharing(cfg) },
-		"latency":  func() (*Table, error) { return Latency(cfg) },
-		"batch":    func() (*Table, error) { return Batch(cfg) },
+		"table1":    func() (*Table, error) { return TableI(cfg) },
+		"fig4":      func() (*Table, error) { return Fig4(), nil },
+		"fig5":      func() (*Table, error) { return Fig5(cfg) },
+		"fig6":      func() (*Table, error) { return Fig6(cfg) },
+		"fig7":      func() (*Table, error) { return Fig7(cfg) },
+		"fig8":      func() (*Table, error) { return Fig8(cfg) },
+		"ablation":  func() (*Table, error) { return Ablation(cfg) },
+		"parallel":  func() (*Table, error) { return ParallelSharing(cfg) },
+		"latency":   func() (*Table, error) { return Latency(cfg) },
+		"batch":     func() (*Table, error) { return Batch(cfg) },
+		"uncompute": func() (*Table, error) { return Uncompute(cfg) },
 	}
 }
 
 // ExperimentOrder lists experiment names in report order.
-var ExperimentOrder = []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "ablation", "parallel", "latency", "batch"}
+var ExperimentOrder = []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "ablation", "parallel", "latency", "batch", "uncompute"}
 
 // AblationDepths lists the shared-prefix caps the ablation experiment
 // sweeps (1<<30 = unbounded, the paper's full Algorithm 1).

@@ -30,6 +30,7 @@ const (
 	saltParallel    = 0xc752_18d6_3e9f_a471
 	saltLatency     = 0x2e8b_f693_1a5d_c037
 	saltBatch       = 0x9b14_ce72_06ad_5f83
+	saltUncompute   = 0x4fa7_61c9_8e30_b2d5
 )
 
 // experimentSalts names every per-experiment salt for the pairwise
@@ -44,6 +45,7 @@ var experimentSalts = map[string]uint64{
 	"parallel":    saltParallel,
 	"latency":     saltLatency,
 	"batch":       saltBatch,
+	"uncompute":   saltUncompute,
 }
 
 // mix64 is the splitmix64 finalizer: a bijective avalanche so that
@@ -99,6 +101,13 @@ func ParallelSeed(cfg Config) int64 {
 // experiment.
 func LatencySeed(cfg Config) int64 {
 	return seedFor(cfg.Seed, saltLatency, cfg.Fig6Trials)
+}
+
+// UncomputeSeed returns the trial seed of the restore-policy experiment,
+// keyed by the workload shape so changing the QV circuit draws a fresh
+// stream.
+func UncomputeSeed(cfg Config, qubits, depth int) int64 {
+	return seedFor(cfg.Seed, saltUncompute, qubits, depth)
 }
 
 // BatchSeed returns an RNG seed for the batch experiment, keyed by the

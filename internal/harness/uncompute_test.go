@@ -1,0 +1,73 @@
+package harness
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestUncomputeAcceptance runs the restore-policy experiment and checks
+// the table against the claims its title makes. The hard invariants
+// (uncompute MSV <= snapshot MSV, reverse ops <= forward ops, adaptive
+// <= pure uncompute, unbudgeted adaptive == snapshot plan) are enforced
+// inside Uncompute itself — an error return is an acceptance failure —
+// so this test focuses on the report: one row per (policy, budget) cell,
+// the zero-memory claim visible in the uncompute rows, and adaptive's
+// total work non-increasing as the budget loosens.
+func TestUncomputeAcceptance(t *testing.T) {
+	tab, err := Uncompute(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := len(uncomputePolicies) * len(UncomputeBudgets)
+	if len(tab.Rows) != wantRows {
+		t.Fatalf("got %d rows, want %d (policies x budgets)", len(tab.Rows), wantRows)
+	}
+	cell := func(row []string, col string) string {
+		for i, h := range tab.Header {
+			if h == col {
+				return row[i]
+			}
+		}
+		t.Fatalf("no column %q in %v", col, tab.Header)
+		return ""
+	}
+	num := func(row []string, col string) int64 {
+		v, err := strconv.ParseInt(cell(row, col), 10, 64)
+		if err != nil {
+			t.Fatalf("column %q: %v", col, err)
+		}
+		return v
+	}
+	var adaptiveTotals []int64
+	for _, row := range tab.Rows {
+		switch cell(row, "policy") {
+		case sim.PolicyUncompute.String():
+			if num(row, "msv") != 0 || num(row, "copies") != 0 {
+				t.Errorf("uncompute row stores memory: %v", row)
+			}
+			if num(row, "uncompute ops") == 0 {
+				t.Errorf("uncompute row did no reverse execution (vacuous): %v", row)
+			}
+		case sim.PolicyAdaptive.String():
+			// UncomputeBudgets is ordered tightest first, so totals must
+			// be non-increasing down the adaptive rows.
+			adaptiveTotals = append(adaptiveTotals, num(row, "total ops"))
+		}
+	}
+	for i := 1; i < len(adaptiveTotals); i++ {
+		if adaptiveTotals[i] > adaptiveTotals[i-1] {
+			t.Errorf("adaptive total ops increased as the budget loosened: %v", adaptiveTotals)
+		}
+	}
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "unlimited") {
+		t.Errorf("table missing the unlimited-budget rows:\n%s", buf.String())
+	}
+}

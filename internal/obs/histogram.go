@@ -46,6 +46,11 @@ const (
 	// sum-of-parts side of the batch savings accounting, one observation
 	// per variant.
 	HistBatchVariantOps
+	// HistUncomputeDepth is the distribution of rollback sizes: the
+	// number of logical ops (gates plus injections) each uncompute
+	// segment ran backwards (dimensionless), one observation per
+	// rollback.
+	HistUncomputeDepth
 
 	numHists
 )
@@ -56,6 +61,7 @@ var histNames = [numHists]string{
 	HistSnapshotLifetime: "snapshot_lifetime_ns",
 	HistRestoreDepth:     "restore_depth",
 	HistBatchVariantOps:  "batch_variant_ops",
+	HistUncomputeDepth:   "uncompute_depth",
 }
 
 // String returns the histogram's canonical (JSON/Prometheus) name.

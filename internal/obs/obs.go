@@ -67,6 +67,22 @@ const (
 	// SegCacheMisses counts segment lowerings the content-addressed
 	// cache could not serve.
 	SegCacheMisses
+	// UncomputeSegments counts reverse-executed rollback segments (each
+	// rollback of one branch suffix is one segment, however many layer
+	// ranges and injections it undoes).
+	UncomputeSegments
+	// UncomputeOps counts basic operations spent running gates backwards
+	// (dagger applications and reverse Pauli injections). Kept separate
+	// from Ops so the forward count still equals the plan's
+	// OptimizedOps invariant.
+	UncomputeOps
+	// PolicySnapshotDecisions counts branch points where the restore
+	// policy chose to store a real snapshot.
+	PolicySnapshotDecisions
+	// PolicyUncomputeDecisions counts branch points where the restore
+	// policy chose a virtual (uncompute) branch point instead of a
+	// snapshot.
+	PolicyUncomputeDecisions
 
 	numCounters
 )
@@ -85,6 +101,11 @@ var counterNames = [numCounters]string{
 	BatchOpsSaved:    "batch_ops_saved",
 	SegCacheHits:     "segcache_hits",
 	SegCacheMisses:   "segcache_misses",
+
+	UncomputeSegments:        "uncompute_segments",
+	UncomputeOps:             "uncompute_ops",
+	PolicySnapshotDecisions:  "policy_snapshot",
+	PolicyUncomputeDecisions: "policy_uncompute",
 }
 
 // String returns the counter's canonical (JSON) name.
@@ -154,16 +175,20 @@ const (
 	EvSpawn
 	// EvEmit: one or more trial outcomes were emitted.
 	EvEmit
+	// EvUncompute: a branch suffix was rolled back by reverse execution
+	// instead of a snapshot pop/restore.
+	EvUncompute
 
 	numEventKinds
 )
 
 var eventNames = [numEventKinds]string{
-	EvPush:    "push",
-	EvDrop:    "drop",
-	EvRestore: "restore",
-	EvSpawn:   "spawn",
-	EvEmit:    "emit",
+	EvPush:      "push",
+	EvDrop:      "drop",
+	EvRestore:   "restore",
+	EvSpawn:     "spawn",
+	EvEmit:      "emit",
+	EvUncompute: "uncompute",
 }
 
 // String returns the event kind's canonical (JSON) name.

@@ -211,6 +211,54 @@ func (p *Plan) MSV() int { return p.msv }
 // Copies returns how many state-vector copies (Push steps) the plan makes.
 func (p *Plan) Copies() int64 { return p.pushCount }
 
+// BranchRollbackOps returns, for each StepPush in step order, the number
+// of logical ops (advance gates plus injections) the plan executes
+// between that push and its matching pop *at the push's own nesting
+// level* — ops inside nested push..pop pairs are excluded, because an
+// inner return already unwound them. This is exactly the segment an
+// uncompute executor (sim.PolicyUncompute) reverse-executes when it
+// returns to the branch point instead of adopting a snapshot, so the
+// values predict per-branch rollback cost statically; the difftest suite
+// checks them against the executor's measured uncompute_depth
+// observations. On budgeted plans a StepRestore re-enters the innermost
+// open branch point, resetting its accumulator (the restore unwound the
+// outstanding ops); the reported value is what remains at the final pop.
+func (p *Plan) BranchRollbackOps() []int64 {
+	out := make([]int64, 0, p.pushCount)
+	type openBranch struct {
+		idx int
+		acc int64
+	}
+	var stack []openBranch
+	for _, s := range p.Steps {
+		switch s.Kind {
+		case StepAdvance:
+			if n := len(stack); n > 0 {
+				stack[n-1].acc += int64(p.GatesInLayers(s.From, s.To))
+			}
+		case StepInject:
+			if n := len(stack); n > 0 {
+				stack[n-1].acc++
+			}
+		case StepPush:
+			out = append(out, 0)
+			stack = append(stack, openBranch{idx: len(out) - 1})
+		case StepPop:
+			n := len(stack)
+			if n == 0 {
+				return nil // invalid plan; Validate reports the real error
+			}
+			out[stack[n-1].idx] = stack[n-1].acc
+			stack = stack[:n-1]
+		case StepRestore:
+			if n := len(stack); n > 0 {
+				stack[n-1].acc = 0
+			}
+		}
+	}
+	return out
+}
+
 // BuildPlan sorts the trials with Sort and constructs the execution plan:
 // a depth-first walk of the injection-prefix trie in which each trie
 // branch point stores one snapshot that is dropped after its last child,

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/circuit"
 	"repro/internal/obs"
@@ -55,7 +56,13 @@ func ExecuteBatchSubtree(c *circuit.Circuit, bp *reorder.BatchPlan, workers int,
 	}
 	ordered := bp.Plan.Order
 	cut := chooseCut(ordered, workers)
-	sp, err := reorder.SplitPlanOrderedCut(c, ordered, cut, bp.Budget())
+	budget := bp.Budget()
+	if opt.Policy != PolicySnapshot {
+		// Non-snapshot policies enforce the budget at run time; the
+		// split plan stays unbudgeted (no restore/replay steps).
+		budget = math.MaxInt
+	}
+	sp, err := reorder.SplitPlanOrderedCut(c, ordered, cut, budget)
 	if err != nil {
 		return nil, err
 	}

@@ -43,6 +43,11 @@ func Parallel(c *circuit.Circuit, trials []*trial.Trial, workers int, opt Option
 	// One compiled circuit shared by every chunk (Programs are
 	// goroutine-safe); each chunk plan carries it into executePlan.
 	prog := opt.compileProgram(c)
+	if opt.Policy != PolicySnapshot && prog == nil {
+		// The policy executor reverse-executes through the compiled
+		// program; compile one (dispatch-identical) for all chunks.
+		prog = opt.policyProgram(c)
+	}
 
 	type chunkResult struct {
 		res *Result
@@ -87,6 +92,7 @@ func Parallel(c *circuit.Circuit, trials []*trial.Trial, workers int, opt Option
 			continue
 		}
 		merged.Ops += cr.res.Ops
+		merged.UncomputeOps += cr.res.UncomputeOps
 		merged.Copies += cr.res.Copies
 		merged.Outcomes = append(merged.Outcomes, cr.res.Outcomes...)
 		if opt.KeepStates {

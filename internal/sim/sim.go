@@ -45,8 +45,16 @@ type Result struct {
 	// Outcomes lists per-trial results in trial-ID order.
 	Outcomes []Outcome
 	// Ops is the number of basic operations executed (gate applications
-	// plus injected Pauli applications).
+	// plus injected Pauli applications). Reverse-executed ops are NOT
+	// included — see UncomputeOps — so the snapshot executors' invariant
+	// ops == plan.OptimizedOps() holds for the forward count under every
+	// restore policy that does not replay.
 	Ops int64
+	// UncomputeOps is the number of basic operations spent running gates
+	// backwards (dagger applications and reverse Pauli injections) under
+	// PolicyUncompute/PolicyAdaptive. Always 0 for PolicySnapshot and
+	// the baseline.
+	UncomputeOps int64
 	// Copies is the number of whole-state copies performed (0 for the
 	// baseline).
 	Copies int64
@@ -99,6 +107,20 @@ type Options struct {
 	// instrumented site. Recording never perturbs the Result: executors
 	// report ops == plan.OptimizedOps() with or without a recorder.
 	Recorder obs.Recorder
+	// Policy selects how executors return to branch points:
+	// PolicySnapshot (default) stores prefix states as the plan dictates;
+	// PolicyUncompute reverse-executes back to branch points instead of
+	// storing anything; PolicyAdaptive chooses per branch point. Under a
+	// non-snapshot policy the plan-building entry points construct
+	// unbudgeted plans — the budget is enforced by the policy itself
+	// (PolicyAdaptive snapshots at most SnapshotBudget frames and
+	// uncomputes beyond), not by plan-level restore steps.
+	Policy RestorePolicy
+	// MemProbe, when non-nil and Policy is PolicyAdaptive, reports live
+	// memory pressure; while it returns true the adaptive policy keeps
+	// only the shallowest branch frames as real snapshots. See
+	// SamplerMemProbe. nil means no pressure.
+	MemProbe func() bool
 }
 
 // compileProgram returns the compiled program the options imply for the
@@ -116,8 +138,14 @@ func (o Options) compileProgram(c *circuit.Circuit) *statevec.Program {
 }
 
 // planBudget maps the public budget convention (0 = unlimited) onto the
-// reorder package's (math.MaxInt = unlimited).
+// reorder package's (math.MaxInt = unlimited). Non-snapshot policies
+// always build unbudgeted plans: the policy enforces the budget at run
+// time (uncomputing instead of dropping), so plan-level restore/replay
+// steps would only duplicate work the policy already avoids.
 func (o Options) planBudget() int {
+	if o.Policy != PolicySnapshot {
+		return math.MaxInt
+	}
 	if o.SnapshotBudget <= 0 {
 		return math.MaxInt
 	}
@@ -306,6 +334,9 @@ func ExecutePlan(c *circuit.Circuit, plan *reorder.Plan, opt Options) (*Result, 
 // plan-trace events (0 for a sequential run, the chunk index under
 // Parallel).
 func executePlan(c *circuit.Circuit, plan *reorder.Plan, opt Options, tr *msvTracker, wid int) (*Result, error) {
+	if opt.Policy != PolicySnapshot {
+		return executePlanPolicy(c, plan, opt, tr, wid)
+	}
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}

@@ -203,6 +203,11 @@ func ExecuteSplitPlan(c *circuit.Circuit, sp *reorder.SplitPlan, workers int, op
 	if prog == nil {
 		prog = opt.compileProgram(c)
 	}
+	if opt.Policy != PolicySnapshot && prog == nil {
+		// Reverse execution needs a compiled program; FuseOff compiles
+		// one dispatch-identical kernel per op.
+		prog = opt.policyProgram(c)
+	}
 
 	partials := make([]*Result, workers)
 	errs := make([]error, workers)
@@ -249,6 +254,7 @@ func ExecuteSplitPlan(c *circuit.Circuit, sp *reorder.SplitPlan, workers int, op
 	merged := trunkRes
 	for _, p := range partials {
 		merged.Ops += p.Ops
+		merged.UncomputeOps += p.UncomputeOps
 		merged.Copies += p.Copies
 		merged.Outcomes = append(merged.Outcomes, p.Outcomes...)
 		if opt.KeepStates {
@@ -279,6 +285,9 @@ func ExecuteSplitPlan(c *circuit.Circuit, sp *reorder.SplitPlan, workers int, op
 // program, trunk advances use the striped Run so the otherwise
 // single-threaded serialization point can borrow idle CPUs.
 func runTrunk(c *circuit.Circuit, sp *reorder.SplitPlan, prog *statevec.Program, opt Options, queue *taskQueue, sem chan struct{}, tr *msvTracker) (*Result, error) {
+	if opt.Policy != PolicySnapshot {
+		return runTrunkPolicy(c, sp, prog, opt, queue, sem, tr)
+	}
 	res := &Result{Counts: make(map[uint64]int)}
 	if opt.KeepStates {
 		res.FinalStates = make(map[int]*statevec.State)
@@ -373,6 +382,9 @@ func runTrunk(c *circuit.Circuit, sp *reorder.SplitPlan, prog *statevec.Program,
 // floor for StepRestore — and works on a copy; with budget 0 nothing is
 // preserved and restores replay from |0...0>.
 func runSubtree(c *circuit.Circuit, sp *reorder.SplitPlan, prog *statevec.Program, st *reorder.Subtree, entry *statevec.State, opt Options, res *Result, tr *msvTracker, pool *statePool, wid int) error {
+	if opt.Policy != PolicySnapshot {
+		return runSubtreePolicy(c, sp, prog, st, entry, opt, res, tr, pool, wid)
+	}
 	layers := c.Layers()
 	ops := c.Ops()
 	rec := opt.Recorder // task events carry the pool worker's id

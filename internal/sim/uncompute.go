@@ -1,0 +1,579 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/gate"
+	"repro/internal/obs"
+	"repro/internal/reorder"
+	"repro/internal/statevec"
+)
+
+// Uncomputation as an alternative to snapshots. The paper's executor
+// returns to a branch point by storing a prefix state (snapshot) and
+// restoring it; this file adds the dual strategy: roll the working state
+// *backwards* to the branch point by applying the dagger of every op
+// since the branch, in reverse order (statevec.RunReverse), at near-zero
+// memory cost. A per-branch-point restore policy chooses between the two.
+//
+// Mechanics: a policy execution journals every mutation of the working
+// register (layer advances and Pauli injections) along the current path.
+// A branch point becomes either a *real* frame — an ordinary snapshot —
+// or a *virtual* frame that records only the journal position. Returning
+// to a real frame adopts the stored vector; returning to a virtual frame
+// reverse-executes the journal suffix. The invariant throughout: the
+// working register always equals the journal applied to the execution's
+// base state (|0...0> for plans and trunks, the entry state for subtree
+// tasks).
+//
+// Bit-exactness: in non-numeric fusion modes the executors promise
+// Float64bits-identical outcomes, so a virtual frame may only be
+// reverse-executed when its whole journal suffix is exactly invertible
+// (signed-permutation gates and X/Z injections — see
+// statevec.ExactlyInvertible). A non-invertible suffix is instead
+// replayed forward from the nearest real frame below (or from the base),
+// which is the same drop-and-recompute a budgeted plan performs and is
+// bit-identical by construction. Under FuseNumeric the bit-exact promise
+// is already waived, so every rollback reverse-executes.
+//
+// Accounting: reverse ops are reported in Result.UncomputeOps and the
+// uncompute_ops counter, never in Result.Ops, so the forward count keeps
+// satisfying the ops == plan.OptimizedOps() invariants of the snapshot
+// executors. Forward replays of non-invertible suffixes do count in
+// Result.Ops, exactly like budgeted-plan replays.
+
+// RestorePolicy selects how a policy-aware executor returns to branch
+// points.
+type RestorePolicy int
+
+const (
+	// PolicySnapshot is the paper's strategy and the default: every
+	// branch point stores a prefix state, returns adopt or copy it.
+	PolicySnapshot RestorePolicy = iota
+	// PolicyUncompute stores nothing: every branch point is virtual and
+	// every return rolls the working state back through reverse
+	// execution (or a forward replay where exactness forbids reversing).
+	PolicyUncompute
+	// PolicyAdaptive decides per branch point: snapshot while the budget
+	// and memory pressure allow, uncompute otherwise — in particular it
+	// goes virtual exactly where a budgeted snapshot plan would be
+	// forced into drop-and-recompute restores.
+	PolicyAdaptive
+)
+
+// String names the policy as the CLI spells it.
+func (p RestorePolicy) String() string {
+	switch p {
+	case PolicySnapshot:
+		return "snapshot"
+	case PolicyUncompute:
+		return "uncompute"
+	case PolicyAdaptive:
+		return "adaptive"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// ParseRestorePolicy parses the CLI spelling of a restore policy.
+func ParseRestorePolicy(s string) (RestorePolicy, error) {
+	switch s {
+	case "snapshot":
+		return PolicySnapshot, nil
+	case "uncompute":
+		return PolicyUncompute, nil
+	case "adaptive":
+		return PolicyAdaptive, nil
+	}
+	return PolicySnapshot, fmt.Errorf("unknown restore policy %q (snapshot, uncompute, adaptive)", s)
+}
+
+// SamplerMemProbe builds a MemProbe from the runtime sampler: it reports
+// pressure while the most recent sample's live heap exceeds limitBytes.
+// The probe reads only already-collected samples, so probing is cheap
+// enough for every branch point.
+func SamplerMemProbe(s *obs.Sampler, limitBytes uint64) func() bool {
+	return func() bool {
+		if s == nil {
+			return false
+		}
+		last, ok := s.Last()
+		if !ok {
+			return false
+		}
+		return last.HeapAllocBytes > limitBytes
+	}
+}
+
+// policyProgram returns the compiled program a policy execution requires.
+// Reverse execution exists only on compiled programs, so the policy path
+// compiles even when the options would otherwise choose gate-by-gate
+// dispatch; a FuseOff program is bit-identical to dispatch, keeping the
+// executors' exactness promise intact.
+func (o Options) policyProgram(c *circuit.Circuit) *statevec.Program {
+	if p := o.compileProgram(c); p != nil {
+		return p
+	}
+	return statevec.CompileWith(c, statevec.CompileOptions{
+		Fuse:      o.Fuse,
+		Stripes:   o.Stripes,
+		StripeMin: o.StripeMin,
+		Recorder:  o.Recorder,
+	})
+}
+
+// jentry is one journaled mutation of the working register: a compiled
+// layer advance or a Pauli injection.
+type jentry struct {
+	adv      bool
+	from, to int        // advance: layer range
+	op       gate.Pauli // injection: operator
+	qubit    int        // injection: target
+}
+
+// pframe is one branch point on the policy stack. Real frames hold a
+// snapshot; virtual frames hold only the journal position to unwind to.
+type pframe struct {
+	real  bool
+	st    *statevec.State
+	pos   int // journal length when the frame was created
+	pushT time.Time
+}
+
+// branchState is the working state of one policy-aware execution (one
+// goroutine): the journal, the frame stack, and the counters it feeds.
+type branchState struct {
+	c       *circuit.Circuit
+	opt     Options
+	rec     obs.Recorder
+	tr      *msvTracker
+	pool    *statePool
+	prog    *statevec.Program
+	res     *Result
+	wid     int
+	striped bool // trunk/sequential paths stripe their sweeps, task bodies do not
+
+	work    *statevec.State
+	journal []jentry
+	frames  []pframe
+	floor   int  // frames below this belong to the caller (a subtree's entry)
+	realCnt int  // real frames currently stored (entry floor included)
+	exact   bool // non-numeric mode: reverse only exactly invertible suffixes
+}
+
+func newBranchState(c *circuit.Circuit, opt Options, prog *statevec.Program, res *Result, tr *msvTracker, pool *statePool, wid int, striped bool) *branchState {
+	return &branchState{
+		c: c, opt: opt, rec: opt.Recorder, tr: tr, pool: pool,
+		prog: prog, res: res, wid: wid, striped: striped,
+		exact: opt.Fuse != statevec.FuseNumeric,
+	}
+}
+
+func (bs *branchState) runFwd(from, to int) int {
+	if bs.striped {
+		return bs.prog.Run(bs.work, from, to)
+	}
+	return bs.prog.RunSerial(bs.work, from, to)
+}
+
+func (bs *branchState) runRev(from, to int) int {
+	if bs.striped {
+		return bs.prog.RunReverse(bs.work, from, to)
+	}
+	return bs.prog.RunReverseSerial(bs.work, from, to)
+}
+
+func (bs *branchState) advance(from, to int) {
+	bs.res.Ops += int64(bs.runFwd(from, to))
+	bs.journal = append(bs.journal, jentry{adv: true, from: from, to: to})
+}
+
+func (bs *branchState) inject(op gate.Pauli, qubit int) {
+	bs.work.ApplyPauli(op, qubit)
+	bs.res.Ops++
+	bs.journal = append(bs.journal, jentry{op: op, qubit: qubit})
+}
+
+// decideReal is the per-branch-point policy decision. The adaptive
+// heuristic snapshots while the budget allows and goes virtual beyond it
+// (where the snapshot policy would degrade to drop-and-recompute
+// restores). Under live memory pressure it additionally keeps only the
+// two shallowest frames real: the PR 5 lifetime/restore-depth histograms
+// show shallow snapshots live longest and serve the most returns, while
+// deep branch points have short suffixes that are cheap to uncompute.
+// Wall-clock histogram values deliberately do not feed the decision —
+// decisions must be exactly reproducible for a fixed seed.
+func (bs *branchState) decideReal() bool {
+	switch bs.opt.Policy {
+	case PolicyUncompute:
+		return false
+	case PolicyAdaptive:
+		budget := bs.opt.SnapshotBudget
+		if budget <= 0 {
+			budget = math.MaxInt
+		}
+		if bs.realCnt >= budget {
+			return false
+		}
+		if bs.opt.MemProbe != nil && bs.opt.MemProbe() && len(bs.frames)-bs.floor >= 2 {
+			return false
+		}
+		return true
+	default:
+		return true
+	}
+}
+
+func (bs *branchState) push() {
+	if bs.decideReal() {
+		snap := bs.pool.get()
+		snap.CopyFrom(bs.work)
+		f := pframe{real: true, st: snap, pos: len(bs.journal)}
+		bs.res.Copies++
+		bs.realCnt++
+		if bs.realCnt > bs.res.MSV {
+			bs.res.MSV = bs.realCnt
+		}
+		bs.tr.add(1)
+		if bs.rec != nil {
+			bs.rec.Add(obs.SnapshotPushes, 1)
+			bs.rec.Add(obs.PolicySnapshotDecisions, 1)
+			bs.rec.Event(obs.EvPush, bs.wid, len(bs.frames)+1)
+			f.pushT = time.Now()
+		}
+		bs.frames = append(bs.frames, f)
+		return
+	}
+	bs.frames = append(bs.frames, pframe{pos: len(bs.journal)})
+	if bs.rec != nil {
+		bs.rec.Add(obs.PolicyUncomputeDecisions, 1)
+	}
+}
+
+// pop returns to the innermost branch point and removes it: adopt the
+// snapshot of a real frame, unwind the journal suffix of a virtual one.
+func (bs *branchState) pop() error {
+	if len(bs.frames) <= bs.floor {
+		return fmt.Errorf("sim: plan pops below the branch floor")
+	}
+	f := bs.frames[len(bs.frames)-1]
+	bs.frames = bs.frames[:len(bs.frames)-1]
+	if f.real {
+		bs.pool.put(bs.work)
+		bs.work = f.st
+		bs.journal = bs.journal[:f.pos]
+		bs.realCnt--
+		bs.tr.add(-1)
+		if bs.rec != nil {
+			bs.rec.Add(obs.SnapshotDrops, 1)
+			bs.rec.Event(obs.EvDrop, bs.wid, len(bs.frames))
+			bs.rec.Observe(obs.HistSnapshotLifetime, int64(time.Since(f.pushT)))
+		}
+		return nil
+	}
+	bs.rollbackTo(f.pos)
+	bs.journal = bs.journal[:f.pos]
+	return nil
+}
+
+// restore re-enters the innermost branch point without removing it — the
+// policy analogue of StepRestore in prebuilt budgeted plans. A real top
+// frame is copied (kept for its later consumers); a virtual top frame is
+// reverse-executed to (and stays on the stack); an empty stack resets to
+// the base.
+func (bs *branchState) restore() {
+	if len(bs.frames) == 0 {
+		bs.work.Reset()
+		bs.journal = bs.journal[:0]
+	} else {
+		f := bs.frames[len(bs.frames)-1]
+		if f.real {
+			bs.work.CopyFrom(f.st)
+			bs.res.Copies++
+		} else {
+			bs.rollbackTo(f.pos)
+		}
+		bs.journal = bs.journal[:f.pos]
+	}
+	if bs.rec != nil {
+		bs.rec.Add(obs.SnapshotRestores, 1)
+		bs.rec.Event(obs.EvRestore, bs.wid, len(bs.frames))
+		bs.rec.Observe(obs.HistRestoreDepth, int64(bs.realCnt))
+	}
+}
+
+// suffixInvertible reports whether journal[pos:] can be reverse-executed
+// bit-exactly: every advance range contains only signed-permutation
+// gates and every injection is an X or Z.
+func (bs *branchState) suffixInvertible(pos int) bool {
+	for _, e := range bs.journal[pos:] {
+		if e.adv {
+			if !bs.prog.SegmentExactlyInvertible(e.from, e.to) {
+				return false
+			}
+		} else if !statevec.ExactlyInvertiblePauli(e.op) {
+			return false
+		}
+	}
+	return true
+}
+
+// rollbackTo returns the working register to its state at journal
+// position pos, either by reverse execution (counted separately in
+// UncomputeOps) or — when exactness forbids reversing the suffix — by a
+// forward replay from the nearest real frame at or below pos (counted in
+// Ops, like any budgeted-plan recompute). The caller truncates the
+// journal.
+func (bs *branchState) rollbackTo(pos int) {
+	if pos == len(bs.journal) {
+		return
+	}
+	if !bs.exact || bs.suffixInvertible(pos) {
+		var segOps int64
+		for i := len(bs.journal) - 1; i >= pos; i-- {
+			e := bs.journal[i]
+			if e.adv {
+				segOps += int64(bs.runRev(e.from, e.to))
+			} else {
+				// Paulis are self-inverse; X and Z reverse bit-exactly.
+				bs.work.ApplyPauli(e.op, e.qubit)
+				segOps++
+			}
+		}
+		bs.res.UncomputeOps += segOps
+		if bs.rec != nil {
+			bs.rec.Add(obs.UncomputeSegments, 1)
+			bs.rec.Add(obs.UncomputeOps, segOps)
+			bs.rec.Observe(obs.HistUncomputeDepth, segOps)
+			bs.rec.Event(obs.EvUncompute, bs.wid, len(bs.frames))
+		}
+		return
+	}
+	base := -1
+	for i := len(bs.frames) - 1; i >= 0; i-- {
+		if bs.frames[i].real && bs.frames[i].pos <= pos {
+			base = i
+			break
+		}
+	}
+	from := 0
+	if base >= 0 {
+		bs.work.CopyFrom(bs.frames[base].st)
+		bs.res.Copies++
+		from = bs.frames[base].pos
+	} else {
+		bs.work.Reset()
+	}
+	for _, e := range bs.journal[from:pos] {
+		if e.adv {
+			bs.res.Ops += int64(bs.runFwd(e.from, e.to))
+		} else {
+			bs.work.ApplyPauli(e.op, e.qubit)
+			bs.res.Ops++
+		}
+	}
+}
+
+// finishCheck verifies the execution unwound to its floor.
+func (bs *branchState) finishCheck() error {
+	if len(bs.frames) != bs.floor {
+		return fmt.Errorf("sim: policy execution leaves %d branch frames", len(bs.frames)-bs.floor)
+	}
+	return nil
+}
+
+// executePlanPolicy is executePlan for Options.Policy != PolicySnapshot:
+// the same step semantics, with branch points managed by the restore
+// policy instead of an unconditional snapshot stack.
+func executePlanPolicy(c *circuit.Circuit, plan *reorder.Plan, opt Options, tr *msvTracker, wid int) (*Result, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{Counts: make(map[uint64]int)}
+	if opt.KeepStates {
+		res.FinalStates = make(map[int]*statevec.State)
+	}
+	rec := opt.Recorder
+	prog := plan.Prog
+	if prog == nil {
+		prog = opt.policyProgram(c)
+	}
+	pool := newStatePool(c.NumQubits())
+	bs := newBranchState(c, opt, prog, res, tr, pool, wid, true)
+	bs.work = statevec.NewState(c.NumQubits())
+	var emitMark time.Time
+	if rec != nil {
+		emitMark = time.Now()
+	}
+	for _, s := range plan.Steps {
+		switch s.Kind {
+		case reorder.StepAdvance:
+			bs.advance(s.From, s.To)
+		case reorder.StepPush:
+			bs.push()
+		case reorder.StepInject:
+			bs.inject(s.Op, s.Qubit)
+		case reorder.StepEmit:
+			for _, idx := range s.Trials {
+				t := plan.Order[idx]
+				res.Outcomes = append(res.Outcomes, Outcome{TrialID: t.ID, Bits: sampleOutcome(bs.work, c, t)})
+				if opt.KeepStates {
+					res.FinalStates[t.ID] = bs.work.Clone()
+				}
+			}
+			if rec != nil {
+				rec.Add(obs.TrialsEmitted, int64(len(s.Trials)))
+				rec.Event(obs.EvEmit, wid, len(bs.frames))
+				now := time.Now()
+				if n := len(s.Trials); n > 0 {
+					per := int64(now.Sub(emitMark)) / int64(n)
+					for i := 0; i < n; i++ {
+						rec.Observe(obs.HistTrialLatency, per)
+					}
+				}
+				emitMark = now
+			}
+		case reorder.StepPop:
+			if err := bs.pop(); err != nil {
+				return nil, err
+			}
+		case reorder.StepRestore:
+			bs.restore()
+		default:
+			return nil, fmt.Errorf("sim: unknown plan step %v", s.Kind)
+		}
+	}
+	if len(res.Outcomes) != len(plan.Order) {
+		return nil, fmt.Errorf("sim: plan emitted %d of %d trials", len(res.Outcomes), len(plan.Order))
+	}
+	if err := bs.finishCheck(); err != nil {
+		return nil, err
+	}
+	if rec != nil {
+		rec.Add(obs.Ops, res.Ops)
+		rec.Add(obs.Copies, res.Copies)
+		rec.SetMax(obs.MSVHighWater, int64(res.MSV))
+	}
+	finish(res)
+	return res, nil
+}
+
+// runTrunkPolicy is runTrunk under a restore policy: trunk branch points
+// go through the policy, spawns clone the working register as before.
+func runTrunkPolicy(c *circuit.Circuit, sp *reorder.SplitPlan, prog *statevec.Program, opt Options, queue *taskQueue, sem chan struct{}, tr *msvTracker) (*Result, error) {
+	res := &Result{Counts: make(map[uint64]int)}
+	if opt.KeepStates {
+		res.FinalStates = make(map[int]*statevec.State)
+	}
+	rec := opt.Recorder // trunk events carry worker id -1
+	pool := newStatePool(c.NumQubits())
+	bs := newBranchState(c, opt, prog, res, tr, pool, -1, true)
+	bs.work = statevec.NewState(c.NumQubits())
+	for _, s := range sp.Trunk {
+		switch s.Kind {
+		case reorder.StepAdvance:
+			bs.advance(s.From, s.To)
+		case reorder.StepPush:
+			bs.push()
+		case reorder.StepInject:
+			bs.inject(s.Op, s.Qubit)
+		case reorder.StepPop:
+			if err := bs.pop(); err != nil {
+				return nil, err
+			}
+		case reorder.StepRestore:
+			bs.restore()
+		case reorder.StepSpawn:
+			sem <- struct{}{}
+			entry := bs.work.Clone()
+			res.Copies++
+			tr.add(1) // the queued entry state is a stored vector
+			if rec != nil {
+				rec.Add(obs.TasksSpawned, 1)
+				rec.Event(obs.EvSpawn, -1, len(bs.frames))
+			}
+			queue.push(queuedTask{st: sp.Subtrees[s.Task], entry: entry})
+		default:
+			return nil, fmt.Errorf("sim: invalid trunk step %v", s.Kind)
+		}
+	}
+	if err := bs.finishCheck(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// runSubtreePolicy is runSubtree under a restore policy. The entry state
+// is always kept as a real frame at the stack floor: a subtree's journal
+// covers only its own steps (not the trunk prefix), so the base every
+// replay and restore bottoms out at must be the entry, never |0...0>.
+// The entry is a spawn clone, already counted by the tracker at spawn
+// and never reported as a snapshot push — PolicyUncompute still executes
+// with snapshot_pushes == 0.
+func runSubtreePolicy(c *circuit.Circuit, sp *reorder.SplitPlan, prog *statevec.Program, st *reorder.Subtree, entry *statevec.State, opt Options, res *Result, tr *msvTracker, pool *statePool, wid int) error {
+	rec := opt.Recorder // task events carry the pool worker's id
+	bs := newBranchState(c, opt, prog, res, tr, pool, wid, false)
+	bs.work = pool.get()
+	bs.work.CopyFrom(entry)
+	res.Copies++
+	bs.frames = []pframe{{real: true, st: entry, pos: 0}}
+	bs.floor = 1
+	bs.realCnt = 1
+	emitted := 0
+	var emitMark time.Time
+	if rec != nil {
+		emitMark = time.Now()
+	}
+	for _, s := range st.Steps {
+		switch s.Kind {
+		case reorder.StepAdvance:
+			bs.advance(s.From, s.To)
+		case reorder.StepPush:
+			bs.push()
+		case reorder.StepInject:
+			bs.inject(s.Op, s.Qubit)
+		case reorder.StepEmit:
+			for _, idx := range s.Trials {
+				t := sp.Order[idx]
+				res.Outcomes = append(res.Outcomes, Outcome{TrialID: t.ID, Bits: sampleOutcome(bs.work, c, t)})
+				emitted++
+				if opt.KeepStates {
+					res.FinalStates[t.ID] = bs.work.Clone()
+				}
+			}
+			if rec != nil {
+				rec.Add(obs.TrialsEmitted, int64(len(s.Trials)))
+				rec.Event(obs.EvEmit, wid, len(bs.frames))
+				now := time.Now()
+				if n := len(s.Trials); n > 0 {
+					per := int64(now.Sub(emitMark)) / int64(n)
+					for i := 0; i < n; i++ {
+						rec.Observe(obs.HistTrialLatency, per)
+					}
+				}
+				emitMark = now
+			}
+		case reorder.StepPop:
+			if err := bs.pop(); err != nil {
+				return fmt.Errorf("sim: task %d pops below its entry floor", st.ID)
+			}
+		case reorder.StepRestore:
+			bs.restore()
+		default:
+			return fmt.Errorf("sim: invalid subtree step %v", s.Kind)
+		}
+	}
+	if err := bs.finishCheck(); err != nil {
+		return fmt.Errorf("sim: task %d: %v", st.ID, err)
+	}
+	if emitted != st.Trials {
+		return fmt.Errorf("sim: task %d emitted %d of %d trials", st.ID, emitted, st.Trials)
+	}
+	pool.put(bs.work)
+	tr.add(-1) // the preserved entry state is dropped with the task
+	pool.put(entry)
+	return nil
+}

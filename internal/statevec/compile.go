@@ -134,13 +134,15 @@ type segKey struct{ from, to int }
 // safe for concurrent use by any number of goroutines: plan executors
 // share one Program across all trials and workers.
 type Program struct {
-	n         int
-	layers    [][]loweredOp
-	layerHash []uint64 // per-layer content digests for the cross-program segment cache
-	opt       CompileOptions
+	n          int
+	layers     [][]loweredOp
+	layerHash  []uint64 // per-layer content digests for the cross-program segment cache
+	layerExact []bool   // per-layer: every op is exactly invertible (see ExactlyInvertible)
+	opt        CompileOptions
 
-	mu   sync.RWMutex
-	segs map[segKey]*segment
+	mu      sync.RWMutex
+	segs    map[segKey]*segment
+	revSegs map[segKey]*segment // reverse lowerings, cached like forward segments
 }
 
 // Compile lowers the circuit with exact (bit-identical) fusion and no
@@ -159,10 +161,11 @@ func CompileWith(c *circuit.Circuit, opt CompileOptions) *Program {
 	layers := c.Layers()
 	ops := c.Ops()
 	p := &Program{
-		n:      c.NumQubits(),
-		layers: make([][]loweredOp, len(layers)),
-		opt:    opt,
-		segs:   make(map[segKey]*segment),
+		n:       c.NumQubits(),
+		layers:  make([][]loweredOp, len(layers)),
+		opt:     opt,
+		segs:    make(map[segKey]*segment),
+		revSegs: make(map[segKey]*segment),
 	}
 	for l, idxs := range layers {
 		lops := make([]loweredOp, len(idxs))
@@ -173,8 +176,17 @@ func CompileWith(c *circuit.Circuit, opt CompileOptions) *Program {
 		p.layers[l] = lops
 	}
 	p.layerHash = make([]uint64, len(p.layers))
+	p.layerExact = make([]bool, len(p.layers))
 	for l, lops := range p.layers {
 		p.layerHash[l] = hashLayer(lops)
+		exact := true
+		for _, op := range lops {
+			if !ExactlyInvertible(op.g) {
+				exact = false
+				break
+			}
+		}
+		p.layerExact[l] = exact
 	}
 	return p
 }
@@ -193,7 +205,12 @@ func (p *Program) Options() CompileOptions { return p.opt }
 // goroutines when the options ask for it and the state is large enough.
 func (p *Program) Run(s *State, from, to int) int {
 	p.checkState(s)
-	seg := p.segment(from, to)
+	return p.execSeg(p.segment(from, to), s)
+}
+
+// execSeg applies one compiled segment to the state, striping when the
+// options ask for it, and returns the segment's logical-op count.
+func (p *Program) execSeg(seg *segment, s *State) int {
 	amp := s.amp
 	if p.opt.Stripes > 1 && len(amp) >= p.opt.stripeMin() {
 		barriers := 0
@@ -237,7 +254,11 @@ func (p *Program) Run(s *State, from, to int) int {
 // a worker pool (the subtree executor's task bodies).
 func (p *Program) RunSerial(s *State, from, to int) int {
 	p.checkState(s)
-	seg := p.segment(from, to)
+	return p.execSegSerial(p.segment(from, to), s)
+}
+
+// execSegSerial applies one compiled segment without striping.
+func (p *Program) execSegSerial(seg *segment, s *State) int {
 	amp := s.amp
 	if rec := p.opt.Recorder; rec != nil {
 		for _, k := range seg.kernels {

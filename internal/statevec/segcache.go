@@ -30,10 +30,15 @@ import (
 // long-lived processes that switch workloads.
 
 // segContentKey identifies a compiled segment by what it computes, not
-// where it came from.
+// where it came from. The rev bit distinguishes the reverse lowering of a
+// range (layer order reversed, ops reversed within each layer, every gate
+// replaced by its dagger) from the forward one: the reverse content is
+// fully determined by the forward content, so the same forward digest
+// serves both directions.
 type segContentKey struct {
 	fuse FuseMode
 	n    int // register width, out of caution (kernels are width-agnostic by construction)
+	rev  bool
 	hash uint64
 }
 
@@ -131,6 +136,15 @@ func (p *Program) contentKey(from, to int) segContentKey {
 		h = hashU64(h, p.layerHash[l])
 	}
 	return segContentKey{fuse: p.opt.Fuse, n: p.n, hash: h}
+}
+
+// contentKeyRev is contentKey for the reverse lowering of the same range.
+// The reverse content is a pure function of the forward content, so the
+// forward digest plus the direction bit addresses it.
+func (p *Program) contentKeyRev(from, to int) segContentKey {
+	ck := p.contentKey(from, to)
+	ck.rev = true
+	return ck
 }
 
 // sharedSegment looks up a content key in the global cache, returning nil
