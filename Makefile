@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race race-verify bench bench-json bench-regress verify verify-deep selftest fuzz-smoke metrics-smoke
+.PHONY: build vet test race race-verify bench bench-json bench-regress alloc-gate verify verify-deep selftest fuzz-smoke metrics-smoke
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,7 @@ race-verify:
 	$(GO) run -race ./cmd/qsim -bench qv_n5d5 -mode both -fuse numeric -stripes 4 -trials 256
 	$(GO) run -race ./cmd/qsim -bench qv_n5d5 -mode both -restore adaptive -budget 2 -workers 4 -trials 256
 	$(GO) run -race ./cmd/qsim -bench qft5 -mode both -restore uncompute -fuse exact -trials 256
+	$(GO) run -race ./cmd/qsim -bench qv_n5d5 -mode both -par subtree-batched -lanes 4 -workers 4 -fuse exact -trials 256
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run ^$$ .
@@ -40,6 +41,14 @@ bench-json:
 #   go run ./cmd/qbench
 bench-regress: build
 	$(GO) run ./cmd/qbench -quick -append=false -suite quick
+
+# Zero-alloc steady-state gate: run the batched subtree executor at
+# worker counts 1/2/4/8 over one warm buffer arena and fail if the
+# steady-state allocs/trial (minimum Mallocs delta across repetitions)
+# grows with the worker count — the pooled-arena contract of the batched
+# engine.
+alloc-gate: build
+	$(GO) run ./cmd/qbench -quick -append=false -alloc-gate
 
 verify: build vet test race
 
@@ -67,16 +76,20 @@ fuzz-smoke:
 	$(GO) test -run ^$$ -fuzz FuzzParseQASM -fuzztime 10s ./internal/circuit
 	$(GO) test -run ^$$ -fuzz FuzzCompileParity -fuzztime 10s ./internal/statevec
 	$(GO) test -run ^$$ -fuzz FuzzDaggerRoundTrip -fuzztime 10s ./internal/statevec
+	$(GO) test -run ^$$ -fuzz FuzzBatchedSweepParity -fuzztime 10s ./internal/statevec
 
 # The deep correctness gate: everything verify runs, plus vet, the race
 # detector over the whole tree (includes the -short-gated deep
 # differential sweep, the batch bit-identity sweep at 1/2/4/8 workers,
-# and the restore-policy matrix), fuzz smoke, the CLI self-test, and the
-# cross-circuit batch and restore-policy experiments end to end.
+# and the restore-policy matrix), fuzz smoke, the CLI self-test, the
+# zero-alloc steady-state gate, and the cross-circuit batch and
+# restore-policy experiments end to end.
 verify-deep: build
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(MAKE) fuzz-smoke
 	$(MAKE) selftest
+	$(MAKE) alloc-gate
 	$(GO) run ./cmd/repro -exp batch
 	$(GO) run ./cmd/repro -exp uncompute
+	$(GO) run ./cmd/repro -exp soabatch

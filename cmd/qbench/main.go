@@ -33,21 +33,22 @@ import (
 
 func main() {
 	var (
-		suite    = flag.String("suite", "core", "suite name recorded in the trajectory")
-		reps     = flag.Int("reps", 8, "timed repetitions per scenario")
-		qubits   = flag.Int("qubits", 10, "QV circuit width")
-		depth    = flag.Int("depth", 4, "QV circuit depth")
-		trialN   = flag.Int("trials", 1024, "Monte Carlo trials per repetition")
-		seed     = flag.Int64("seed", 20200720, "workload seed (circuit and trials)")
-		workers  = flag.Int("workers", 0, "subtree-parallel workers (0 = NumCPU, capped at 8)")
-		batchN   = flag.Int("batch-variants", 16, "variant count for the batch scenarios (0 = skip)")
-		batchT   = flag.Int("batch-trials", 32, "Monte Carlo trials per variant in the batch scenarios")
-		out      = flag.String("out", "BENCH_trajectory.json", "trajectory file")
-		alpha    = flag.Float64("alpha", 0.05, "significance level for the Mann-Whitney test")
-		appendTo = flag.Bool("append", true, "append this run to the trajectory file")
-		quick    = flag.Bool("quick", false, "reduced workload for CI (8 qubits, depth 3, 256 trials, 5 reps)")
-		logLevel = flag.String("log-level", "info", "log level: debug, info, warn, error")
-		logJSON  = flag.Bool("log-json", false, "emit logs as JSON")
+		suite     = flag.String("suite", "core", "suite name recorded in the trajectory")
+		reps      = flag.Int("reps", 8, "timed repetitions per scenario")
+		qubits    = flag.Int("qubits", 10, "QV circuit width")
+		depth     = flag.Int("depth", 4, "QV circuit depth")
+		trialN    = flag.Int("trials", 1024, "Monte Carlo trials per repetition")
+		seed      = flag.Int64("seed", 20200720, "workload seed (circuit and trials)")
+		workers   = flag.Int("workers", 0, "subtree-parallel workers (0 = NumCPU, capped at 8)")
+		batchN    = flag.Int("batch-variants", 16, "variant count for the batch scenarios (0 = skip)")
+		batchT    = flag.Int("batch-trials", 32, "Monte Carlo trials per variant in the batch scenarios")
+		out       = flag.String("out", "BENCH_trajectory.json", "trajectory file")
+		alpha     = flag.Float64("alpha", 0.05, "significance level for the Mann-Whitney test")
+		appendTo  = flag.Bool("append", true, "append this run to the trajectory file")
+		quick     = flag.Bool("quick", false, "reduced workload for CI (8 qubits, depth 3, 256 trials, 5 reps)")
+		allocGate = flag.Bool("alloc-gate", false, "run the steady-state allocation gate instead of the timing suite: fail if allocs/trial grows with worker count")
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		logJSON   = flag.Bool("log-json", false, "emit logs as JSON")
 	)
 	flag.Parse()
 	logger, err := obs.SetupLogger(*logLevel, *logJSON, os.Stderr)
@@ -73,12 +74,18 @@ func main() {
 			*workers = 8
 		}
 	}
-	code, err := run(logger, config{
+	cfg := config{
 		suite: *suite, reps: *reps, qubits: *qubits, depth: *depth,
 		trials: *trialN, seed: *seed, workers: *workers,
 		batchVars: *batchN, batchTrials: *batchT,
 		out: *out, alpha: *alpha, appendTo: *appendTo,
-	})
+	}
+	var code int
+	if *allocGate {
+		code, err = runAllocGate(logger, cfg)
+	} else {
+		code, err = run(logger, cfg)
+	}
 	if err != nil {
 		logger.Error("qbench failed", "err", err)
 		os.Exit(1)
@@ -169,8 +176,92 @@ func run(logger *slog.Logger, cfg config) (int, error) {
 	return 0, nil
 }
 
+// allocGateLanes is the SoA lane count of the batched scenarios and the
+// allocation gate.
+const allocGateLanes = 4
+
+// runAllocGate is the zero-alloc steady-state gate (`make alloc-gate`):
+// it runs the batched subtree executor over the suite workload at worker
+// counts 1/2/4/8, all sharing one warm buffer arena, and measures each
+// count's steady-state allocations per trial (minimum Mallocs delta
+// across repetitions, after warm-up). The gate fails when allocs/trial
+// grows with worker count beyond a fixed slack — per-run bookkeeping is
+// allowed O(workers) small allocations (goroutines, partial results),
+// but nothing in the per-trial hot loop may allocate, so amortized over
+// the trial set the curve must stay flat.
+func runAllocGate(logger *slog.Logger, cfg config) (int, error) {
+	c := bench.QV(cfg.qubits, cfg.depth, rand.New(rand.NewSource(cfg.seed)))
+	m := noise.Uniform("qbench", cfg.qubits, 1e-3, 1e-2, 1e-2)
+	gen, err := trial.NewGenerator(c, m)
+	if err != nil {
+		return 0, err
+	}
+	trials := gen.Generate(rand.New(rand.NewSource(cfg.seed)), cfg.trials)
+	plan, err := reorder.BuildPlan(c, trials)
+	if err != nil {
+		return 0, err
+	}
+	static := plan.OptimizedOps()
+	logger.Info("alloc gate workload ready", "qubits", cfg.qubits, "depth", cfg.depth,
+		"trials", len(trials), "planOps", static)
+
+	// One arena across every worker count: the gate measures the shared
+	// steady state, exactly how a long-lived caller would run.
+	arena := statevec.NewBufferPool()
+	workerCounts := []int{1, 2, 4, 8}
+	perTrial := make([]float64, len(workerCounts))
+	reps := cfg.reps
+	if reps > 5 {
+		reps = 5 // the minimum is stable; extra reps only add wall time
+	}
+	for i, w := range workerCounts {
+		sc := scenario{
+			name:   fmt.Sprintf("subtree-batched-%dw-%dl", w, allocGateLanes),
+			static: static,
+			run: func() (int64, error) {
+				res, err := sim.ExecuteBatchedSubtree(c, trials, w, allocGateLanes,
+					sim.Options{Fuse: statevec.FuseNumeric, Pool: arena})
+				return opsOf(res), err
+			},
+		}
+		mea, err := measure(logger, sc, reps, len(trials))
+		if err != nil {
+			return 0, err
+		}
+		perTrial[i] = mea.AllocsPerTrial()
+	}
+
+	// Flatness: each worker count may exceed the single-worker figure only
+	// by the per-run bookkeeping slack. The absolute term dominates for
+	// near-zero baselines; the relative term absorbs measurement jitter.
+	const relSlack, absSlack = 1.25, 2.0
+	bound := perTrial[0]*relSlack + absSlack
+	fmt.Printf("%-10s %14s %14s\n", "workers", "allocs/trial", "bound")
+	failed := false
+	for i, w := range workerCounts {
+		verdict := "ok"
+		if perTrial[i] > bound {
+			verdict = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%-10d %14.3f %14.3f  %s\n", w, perTrial[i], bound, verdict)
+	}
+	if failed {
+		fmt.Printf("alloc gate FAILED: steady-state allocs/trial grows with worker count\n")
+		return 2, nil
+	}
+	fmt.Printf("alloc gate OK: steady-state allocs/trial flat across 1..%d workers\n",
+		workerCounts[len(workerCounts)-1])
+	return 0, nil
+}
+
 func buildScenarios(c *circuit.Circuit, plan *reorder.Plan, trials []*trial.Trial, workers int) []scenario {
 	static := plan.OptimizedOps()
+	// The parallel scenarios share one buffer arena across repetitions, so
+	// the recorded allocs/rep is the warm steady state the pooling work
+	// targets, not first-run buffer growth.
+	subArena := statevec.NewBufferPool()
+	batchArena := statevec.NewBufferPool()
 	return []scenario{
 		{"baseline", 0, func() (int64, error) {
 			res, err := sim.Baseline(c, trials, sim.Options{})
@@ -185,7 +276,12 @@ func buildScenarios(c *circuit.Circuit, plan *reorder.Plan, trials []*trial.Tria
 			return opsOf(res), err
 		}},
 		{fmt.Sprintf("subtree-parallel-%dw", workers), static, func() (int64, error) {
-			res, err := sim.ParallelSubtree(c, trials, workers, sim.Options{})
+			res, err := sim.ParallelSubtree(c, trials, workers, sim.Options{Pool: subArena})
+			return opsOf(res), err
+		}},
+		{fmt.Sprintf("subtree-batched-%dw-%dl", workers, allocGateLanes), static, func() (int64, error) {
+			res, err := sim.ExecuteBatchedSubtree(c, trials, workers, allocGateLanes,
+				sim.Options{Fuse: statevec.FuseNumeric, Pool: batchArena})
 			return opsOf(res), err
 		}},
 	}
@@ -288,7 +384,12 @@ func opsOf(res *sim.Result) int64 {
 }
 
 // measure runs one warmup plus reps timed repetitions of a scenario,
-// checking the sharing invariant on every repetition.
+// checking the sharing invariant on every repetition. Each repetition
+// also records its heap-allocation count (runtime.MemStats.Mallocs
+// delta, read outside the timed window); the per-scenario figure is the
+// minimum across repetitions — the steady state once every pooled
+// buffer is warm — since GC assists and background runtime work only
+// ever add allocations.
 func measure(logger *slog.Logger, sc scenario, reps int, trials int) (perf.Scenario, error) {
 	out := perf.Scenario{Name: sc.name, Trials: trials}
 	check := func(ops int64, err error) error {
@@ -304,17 +405,25 @@ func measure(logger *slog.Logger, sc scenario, reps int, trials int) (perf.Scena
 	if err := check(sc.run()); err != nil { // warmup
 		return out, err
 	}
+	var ms0, ms1 runtime.MemStats
 	for r := 0; r < reps; r++ {
+		runtime.ReadMemStats(&ms0)
 		t0 := time.Now()
 		ops, err := sc.run()
 		d := time.Since(t0)
+		runtime.ReadMemStats(&ms1)
 		if err := check(ops, err); err != nil {
 			return out, err
 		}
+		allocs := int64(ms1.Mallocs - ms0.Mallocs)
+		if r == 0 || allocs < out.AllocsPerRep {
+			out.AllocsPerRep = allocs
+		}
 		out.RepsNs = append(out.RepsNs, int64(d))
-		logger.Debug("rep", "scenario", sc.name, "rep", r, "ns", int64(d))
+		logger.Debug("rep", "scenario", sc.name, "rep", r, "ns", int64(d), "allocs", allocs)
 	}
 	logger.Info("scenario measured", "scenario", sc.name,
-		"medianNs", int64(out.MedianNs()), "reps", len(out.RepsNs), "ops", out.Ops)
+		"medianNs", int64(out.MedianNs()), "reps", len(out.RepsNs),
+		"ops", out.Ops, "allocsPerRep", out.AllocsPerRep)
 	return out, nil
 }

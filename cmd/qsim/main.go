@@ -33,7 +33,12 @@
 //	                snapshotting (0 = off; needs -sample-interval)
 //	-workers n      parallel execution workers for reordered mode
 //	-par m          parallel decomposition: subtree (default; preserves all
-//	                prefix sharing) or chunked (legacy comparison baseline)
+//	                prefix sharing), subtree-batched (subtree plus the
+//	                batched SoA engine: sibling tasks advance shared layer
+//	                ranges in one cache-blocked sweep across -lanes packed
+//	                states), or chunked (legacy comparison baseline)
+//	-lanes n        SoA lane count for -par subtree-batched (default 4):
+//	                up to n sibling subtree tasks execute in lockstep
 //	-fuse m         kernel compilation for reordered execution: off
 //	                (default; per-gate dispatch), exact (fused kernels,
 //	                bit-identical to dispatch), or numeric (additionally
@@ -126,7 +131,8 @@ func run() error {
 	restoreName := flag.String("restore", "snapshot", "branch-point restore policy: snapshot, uncompute, or adaptive")
 	memLimit := flag.Uint64("mem-limit", 0, "heap bytes above which the adaptive policy stops snapshotting (0 = off; needs -sample-interval)")
 	workers := flag.Int("workers", 1, "parallel execution workers for reordered mode")
-	parMode := flag.String("par", "subtree", "parallel decomposition with -workers > 1: subtree (shares all prefixes) or chunked (legacy)")
+	parMode := flag.String("par", "subtree", "parallel decomposition with -workers > 1: subtree (shares all prefixes), subtree-batched (batched SoA lanes), or chunked (legacy)")
+	lanes := flag.Int("lanes", 4, "SoA lane count for -par subtree-batched")
 	fuseName := flag.String("fuse", "off", "kernel compilation for reordered execution: off, exact, or numeric")
 	stripes := flag.Int("stripes", 0, "amplitude stripes per kernel sweep on large states (0/1 = serial)")
 	batchVars := flag.Int("batch", 0, "simulate a batch of n circuit variants through one shared trie (0 = off)")
@@ -192,12 +198,18 @@ func run() error {
 	}
 
 	var chunked bool
+	batchLanes := 0
 	switch *parMode {
 	case "subtree":
+	case "subtree-batched":
+		if *lanes < 1 {
+			return fmt.Errorf("-lanes must be >= 1, got %d", *lanes)
+		}
+		batchLanes = *lanes
 	case "chunked":
 		chunked = true
 	default:
-		return fmt.Errorf("unknown parallel mode %q (subtree, chunked)", *parMode)
+		return fmt.Errorf("unknown parallel mode %q (subtree, subtree-batched, chunked)", *parMode)
 	}
 
 	fuse, err := statevec.ParseFuseMode(*fuseName)
@@ -267,7 +279,7 @@ func run() error {
 			return fmt.Errorf("-batch does not support -transpile")
 		}
 		return runBatch(circ, dev, em, *batchVars, *batchTrials, *batchIns,
-			*seed, *budget, *workers, fuse, *stripes, policy, memProbe,
+			*seed, *budget, *workers, batchLanes, fuse, *stripes, policy, memProbe,
 			obs.Multi(recorders...), *top)
 	}
 
@@ -283,6 +295,7 @@ func run() error {
 		SnapshotBudget:  *budget,
 		Workers:         *workers,
 		ChunkedParallel: chunked,
+		BatchLanes:      batchLanes,
 		Fuse:            fuse,
 		Stripes:         *stripes,
 		Policy:          policy,
@@ -363,7 +376,7 @@ func run() error {
 // the naive baseline, then the executed totals and the aggregate outcome
 // distribution.
 func runBatch(circ *circuit.Circuit, dev *device.Device, em trial.ErrorMode,
-	vars, trialsPer int, meanIns float64, seed int64, budget, workers int,
+	vars, trialsPer int, meanIns float64, seed int64, budget, workers, lanes int,
 	fuse statevec.FuseMode, stripes int, policy sim.RestorePolicy,
 	memProbe func() bool, rec obs.Recorder, top int) error {
 	g, err := trial.NewGeneratorMode(circ, dev.Model(), em)
@@ -396,7 +409,7 @@ func runBatch(circ *circuit.Circuit, dev *device.Device, em trial.ErrorMode,
 	fmt.Printf("cross-circuit sharing: saved %d ops vs per-variant plans (%.2fx), MSV %d (worst part %d)\n",
 		a.SavedOps, a.SpeedupVsParts, a.BatchMSV, a.MaxPartMSV)
 	opt := sim.Options{SnapshotBudget: budget, Fuse: fuse, Stripes: stripes,
-		Policy: policy, MemProbe: memProbe, Recorder: rec}
+		Lanes: lanes, Policy: policy, MemProbe: memProbe, Recorder: rec}
 	start := time.Now()
 	br, err := sim.ExecuteBatchSubtree(circ, bp, workers, opt)
 	if err != nil {

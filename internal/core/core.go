@@ -103,6 +103,14 @@ type Config struct {
 	// 1. Chunking recomputes prefixes spanning chunk boundaries; it is
 	// kept for comparison.
 	ChunkedParallel bool
+	// BatchLanes > 1 executes reordered mode through the batched SoA
+	// subtree engine (sim.ExecuteBatchedSubtree): sibling subtree tasks
+	// pack into up to BatchLanes lanes of one contiguous register and
+	// advance shared layer ranges in a single cache-blocked sweep per
+	// compiled segment. Outcomes and op counts are identical to the
+	// single-lane subtree executor. Works at any worker count (including
+	// 1); incompatible with ChunkedParallel.
+	BatchLanes int
 	// Fuse selects the kernel-compilation mode for reordered execution
 	// (see statevec.FuseMode). FuseOff dispatches gate by gate;
 	// FuseExact compiles fused kernels that replay dispatch arithmetic
@@ -222,6 +230,16 @@ func Run(cfg Config) (*Report, error) {
 		MemProbe:       cfg.MemProbe,
 	}
 	runReordered := func() (*sim.Result, error) {
+		if cfg.BatchLanes > 1 {
+			if cfg.ChunkedParallel {
+				return nil, fmt.Errorf("core: BatchLanes requires the subtree decomposition, not ChunkedParallel")
+			}
+			workers := cfg.Workers
+			if workers < 1 {
+				workers = 1
+			}
+			return sim.ExecuteBatchedSubtree(rep.Circuit, rep.Trials, workers, cfg.BatchLanes, opt)
+		}
 		if cfg.Workers > 1 {
 			if cfg.ChunkedParallel {
 				return sim.Parallel(rep.Circuit, rep.Trials, cfg.Workers, opt)

@@ -236,7 +236,11 @@ func checkResourceInvariants(w *Workload, ex Executor, naive, res *sim.Result, f
 // chunked worker keeps at most b; the subtree executor additionally
 // stores the trunk's stack and up to 2*workers queued entry states.
 // PolicyUncompute stores nothing; PolicyAdaptive respects b like the
-// budgeted sequential executor.
+// budgeted sequential executor. Batched subtree execution (Lanes > 1)
+// widens the cap: each worker claims a whole spawn group, so it can hold
+// a budgeted stack (entry floor included) per lane, and the queue's
+// entry-state bound grows to max(2*workers, lanes) so the trunk can
+// always buffer one full group.
 func msvBound(ex Executor, b int) int {
 	switch ex.Kind {
 	case KindPlan, KindPlanAdaptive:
@@ -246,6 +250,9 @@ func msvBound(ex Executor, b int) int {
 	case KindChunked:
 		return ex.Workers * b
 	default:
+		if ex.Lanes > 1 {
+			return (ex.Workers*ex.Lanes+1)*b + 2*ex.Workers + ex.Lanes
+		}
 		return (ex.Workers+1)*b + 2*ex.Workers
 	}
 }

@@ -51,6 +51,10 @@ type Executor struct {
 	Kind ExecKind
 	// Workers is the concurrency level (1 for sequential execution).
 	Workers int
+	// Lanes is the batched-SoA lane count (0 or 1 for single-lane
+	// executors). Lanes > 1 widens the stored-vector bound: each worker
+	// group can hold a budgeted stack per lane.
+	Lanes int
 	// Run executes the trial set and returns the merged result.
 	Run func(c *circuit.Circuit, trials []*trial.Trial, opt sim.Options) (*sim.Result, error)
 }
@@ -136,6 +140,42 @@ func Executors() []Executor {
 			},
 		},
 	)
+	// Batched SoA variants (sim.ExecuteBatchedSubtree): spawn groups of up
+	// to `lanes` sibling tasks advance their shared layer ranges through
+	// Program.RunBatch instead of one state at a time. The single-lane
+	// executors above already pin the bit-exact reference, so these assert
+	// that lane packing, group scheduling and the per-lane drain machinery
+	// change no outcome bit and no forward op count at any worker x lane
+	// combination. FuseOff batched runs force-compile a dispatch-identical
+	// program; FuseExact runs the fused kernels. (FuseNumeric stays out of
+	// the registry for the same reassociation reason as above.)
+	for _, cfg := range []struct {
+		w, l  int
+		fused bool
+	}{
+		{1, 2, false}, // single worker still routes through the split plan
+		{2, 4, false},
+		{4, 8, true},
+		{8, 2, true},
+	} {
+		cfg := cfg
+		name := fmt.Sprintf("subtree-batched-w%d-l%d", cfg.w, cfg.l)
+		if cfg.fused {
+			name += "-fused"
+		}
+		execs = append(execs, Executor{
+			Name:    name,
+			Kind:    KindSubtree,
+			Workers: cfg.w,
+			Lanes:   cfg.l,
+			Run: func(c *circuit.Circuit, trials []*trial.Trial, opt sim.Options) (*sim.Result, error) {
+				if cfg.fused {
+					opt.Fuse = statevec.FuseExact
+				}
+				return sim.ExecuteBatchedSubtree(c, trials, cfg.w, cfg.l, opt)
+			},
+		})
+	}
 	// Restore-policy variants (see sim.RestorePolicy): reverse execution
 	// instead of — or adaptively mixed with — snapshots. The engine passes
 	// the workload's snapshot budget through Options; the policy executors
@@ -188,6 +228,30 @@ func Executors() []Executor {
 			Run: func(c *circuit.Circuit, trials []*trial.Trial, opt sim.Options) (*sim.Result, error) {
 				opt.Policy = sim.PolicyAdaptive
 				return sim.ParallelSubtree(c, trials, 4, opt)
+			},
+		},
+		// Lane grouping under non-snapshot policies: the trunk still
+		// buffers spawn groups, but workers fall back to sequential
+		// per-lane execution (journaled rollbacks are inherently
+		// single-lane), so these pin the grouped-dispatch path.
+		Executor{
+			Name:    "subtree-batched-uncompute-w2-l4",
+			Kind:    KindSubtreePolicy,
+			Workers: 2,
+			Lanes:   4,
+			Run: func(c *circuit.Circuit, trials []*trial.Trial, opt sim.Options) (*sim.Result, error) {
+				opt.Policy = sim.PolicyUncompute
+				return sim.ExecuteBatchedSubtree(c, trials, 2, 4, opt)
+			},
+		},
+		Executor{
+			Name:    "subtree-batched-adaptive-w4-l2",
+			Kind:    KindSubtreePolicy,
+			Workers: 4,
+			Lanes:   2,
+			Run: func(c *circuit.Circuit, trials []*trial.Trial, opt sim.Options) (*sim.Result, error) {
+				opt.Policy = sim.PolicyAdaptive
+				return sim.ExecuteBatchedSubtree(c, trials, 4, 2, opt)
 			},
 		},
 	)

@@ -31,6 +31,7 @@ const (
 	saltLatency     = 0x2e8b_f693_1a5d_c037
 	saltBatch       = 0x9b14_ce72_06ad_5f83
 	saltUncompute   = 0x4fa7_61c9_8e30_b2d5
+	saltSoabatch    = 0x6de1_53b8_29cf_047d
 )
 
 // experimentSalts names every per-experiment salt for the pairwise
@@ -46,6 +47,7 @@ var experimentSalts = map[string]uint64{
 	"latency":     saltLatency,
 	"batch":       saltBatch,
 	"uncompute":   saltUncompute,
+	"soabatch":    saltSoabatch,
 }
 
 // mix64 is the splitmix64 finalizer: a bijective avalanche so that
@@ -108,6 +110,13 @@ func LatencySeed(cfg Config) int64 {
 // stream.
 func UncomputeSeed(cfg Config, qubits, depth int) int64 {
 	return seedFor(cfg.Seed, saltUncompute, qubits, depth)
+}
+
+// SoabatchSeed returns the trial seed of the batched-SoA-kernel
+// experiment, keyed by the workload shape so changing the QV circuit
+// draws a fresh stream.
+func SoabatchSeed(cfg Config, qubits, depth int) int64 {
+	return seedFor(cfg.Seed, saltSoabatch, qubits, depth)
 }
 
 // BatchSeed returns an RNG seed for the batch experiment, keyed by the

@@ -1,0 +1,106 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/noise"
+	"repro/internal/obs"
+	"repro/internal/reorder"
+	"repro/internal/sim"
+	"repro/internal/statevec"
+	"repro/internal/trial"
+)
+
+// SoabatchLanes lists the SoA lane counts the batched-kernel experiment
+// sweeps (1 = the single-lane subtree executor, the comparison floor).
+var SoabatchLanes = []int{1, 2, 4, 8}
+
+// Soabatch measures the batched SoA kernel engine on a Quantum Volume
+// workload: the subtree-parallel executor at a fixed worker count, with
+// spawn groups of 1/2/4/8 sibling tasks advancing their shared layer
+// ranges through one cache-blocked Program.RunBatch pass per compiled
+// segment. All runs share one pooled buffer arena, so the pool-hit
+// column shows the zero-alloc steady state warming up lane count by
+// lane count.
+//
+// The table makes the engine's contract visible and asserts it on every
+// run:
+//
+//   - executed forward ops are identical at every lane count and equal
+//     to the unbudgeted sequential plan's — lane packing loses no
+//     prefix sharing;
+//   - per-trial outcomes are identical to single-lane execution (the
+//     difftest corpus separately proves bit-identity of final states on
+//     the dispatch and exact-fusion paths);
+//   - batched sweeps amortize: with K lanes, one recorded batch sweep
+//     covers K logical kernel sweeps, so kernel_sweeps stays constant
+//     while batch_sweeps falls.
+func Soabatch(cfg Config) (*Table, error) {
+	const qubits, depth, trials, workers = 12, 4, 256, 8
+	crng := rand.New(rand.NewSource(cfg.Seed ^ int64(qubits*1000+depth)))
+	c := bench.QV(qubits, depth, crng)
+	m := noise.Uniform("soabatch-1e-2", qubits, 1e-2, 5e-2, 1e-2)
+	gen, err := trial.NewGenerator(c, m)
+	if err != nil {
+		return nil, fmt.Errorf("harness: soabatch: %v", err)
+	}
+	trialSet := gen.Generate(rand.New(rand.NewSource(SoabatchSeed(cfg, qubits, depth))), trials)
+	plan, err := reorder.BuildPlan(c, trialSet)
+	if err != nil {
+		return nil, fmt.Errorf("harness: soabatch: %v", err)
+	}
+
+	t := &Table{
+		Title: fmt.Sprintf("Batched SoA kernels: subtree executor at %d workers on QV n%d d%d (%d trials, numeric fusion, shared buffer arena)",
+			workers, qubits, depth, trials),
+		Header: []string{"lanes", "ops", "copies", "msv", "kernel sweeps", "batch sweeps", "pool hit%", "exec time"},
+	}
+	arena := statevec.NewBufferPool()
+	var ref *sim.Result
+	for _, lanes := range SoabatchLanes {
+		entry, rec := cfg.scenario("soabatch", fmt.Sprintf("lanes%d", lanes))
+		met := obs.NewMetrics()
+		opt := sim.Options{
+			Fuse:     statevec.FuseNumeric,
+			Pool:     arena,
+			Recorder: obs.Multi(rec, met),
+		}
+		h0, m0 := arena.Stats()
+		start := time.Now()
+		res, err := sim.ExecuteBatchedSubtree(c, trialSet, workers, lanes, opt)
+		if err != nil {
+			return nil, fmt.Errorf("harness: soabatch lanes %d: %v", lanes, err)
+		}
+		dur := time.Since(start)
+		if entry != nil {
+			entry.Plan = planStatics(plan.Analysis())
+		}
+
+		if res.Ops != plan.OptimizedOps() {
+			return nil, fmt.Errorf("harness: soabatch lanes %d executed %d ops, plan has %d (sharing lost)",
+				lanes, res.Ops, plan.OptimizedOps())
+		}
+		if ref == nil {
+			ref = res
+		} else if !sim.EqualOutcomes(ref, res) {
+			return nil, fmt.Errorf("harness: soabatch lanes %d outcomes differ from single-lane execution", lanes)
+		}
+
+		snap := met.Snapshot()
+		h1, m1 := arena.Stats()
+		hitPct := "-"
+		if gets := (h1 - h0) + (m1 - m0); gets > 0 {
+			hitPct = fmt.Sprintf("%.1f", 100*float64(h1-h0)/float64(gets))
+		}
+		t.AddRow(fmt.Sprintf("%d", lanes),
+			fmt.Sprintf("%d", res.Ops), fmt.Sprintf("%d", res.Copies),
+			fmt.Sprintf("%d", res.MSV),
+			fmt.Sprintf("%d", snap.Counters[obs.KernelSweeps.String()]),
+			fmt.Sprintf("%d", snap.Counters[obs.BatchSweeps.String()]),
+			hitPct, fmtNs(float64(dur.Nanoseconds())))
+	}
+	return t, nil
+}

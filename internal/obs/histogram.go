@@ -51,6 +51,10 @@ const (
 	// segment ran backwards (dimensionless), one observation per
 	// rollback.
 	HistUncomputeDepth
+	// HistBatchLanes is the distribution of lane counts per batched
+	// segment execution (dimensionless), one observation per RunBatch —
+	// how full the SoA register actually runs.
+	HistBatchLanes
 
 	numHists
 )
@@ -62,6 +66,7 @@ var histNames = [numHists]string{
 	HistRestoreDepth:     "restore_depth",
 	HistBatchVariantOps:  "batch_variant_ops",
 	HistUncomputeDepth:   "uncompute_depth",
+	HistBatchLanes:       "batch_lanes",
 }
 
 // String returns the histogram's canonical (JSON/Prometheus) name.

@@ -26,6 +26,22 @@ type Scenario struct {
 	RepsNs []int64 `json:"reps_ns"`
 	Ops    int64   `json:"ops,omitempty"`
 	Trials int     `json:"trials,omitempty"`
+	// AllocsPerRep is the steady-state heap-allocation count of one
+	// repetition: the minimum runtime.MemStats.Mallocs delta across the
+	// timed repetitions (the minimum, because GC assists and background
+	// runtime work only ever add allocations). Zero in entries recorded
+	// before the column existed.
+	AllocsPerRep int64 `json:"allocs_per_rep,omitempty"`
+}
+
+// AllocsPerTrial is the steady-state allocation count amortized per
+// trial — the flat-as-workers-scale quantity `qbench -alloc-gate`
+// enforces.
+func (s Scenario) AllocsPerTrial() float64 {
+	if s.Trials == 0 {
+		return 0
+	}
+	return float64(s.AllocsPerRep) / float64(s.Trials)
 }
 
 // MedianNs returns the scenario's median repetition time.
@@ -151,9 +167,12 @@ type Comparison struct {
 	// Change is the relative median change, (cur - base) / base.
 	Change float64
 	// P is the Mann–Whitney two-sided p-value (1 for VerdictNew).
-	P       float64
-	Exact   bool
-	Verdict Verdict
+	P     float64
+	Exact bool
+	// CurAllocs is the current entry's steady-state allocations per
+	// repetition (informational; the alloc gate enforces its own bound).
+	CurAllocs int64
+	Verdict   Verdict
 }
 
 // Compare tests every scenario of cur against the baseline entry at
@@ -162,7 +181,7 @@ type Comparison struct {
 func Compare(base, cur *Entry, alpha float64) ([]Comparison, error) {
 	out := make([]Comparison, 0, len(cur.Scenarios))
 	for _, sc := range cur.Scenarios {
-		cmp := Comparison{Scenario: sc.Name, CurMedianNs: sc.MedianNs(), P: 1, Verdict: VerdictNew}
+		cmp := Comparison{Scenario: sc.Name, CurMedianNs: sc.MedianNs(), P: 1, CurAllocs: sc.AllocsPerRep, Verdict: VerdictNew}
 		var bs *Scenario
 		if base != nil {
 			bs = base.Scenario(sc.Name)
@@ -214,7 +233,7 @@ func WriteReport(w io.Writer, base *Entry, cs []Comparison, alpha float64) {
 		}
 		fmt.Fprintf(w, "baseline: %s (%s)\n", ref, base.Env.Fingerprint())
 	}
-	fmt.Fprintf(w, "%-24s %14s %14s %9s %9s  %s\n", "scenario", "base median", "cur median", "change", "p", "verdict")
+	fmt.Fprintf(w, "%-24s %14s %14s %9s %9s %12s  %s\n", "scenario", "base median", "cur median", "change", "p", "allocs/rep", "verdict")
 	for _, c := range cs {
 		change := "-"
 		if c.Verdict != VerdictNew {
@@ -224,8 +243,8 @@ func WriteReport(w io.Writer, base *Entry, cs []Comparison, alpha float64) {
 		if c.Verdict != VerdictNew && !math.IsNaN(c.P) {
 			p = fmt.Sprintf("%.4f", c.P)
 		}
-		fmt.Fprintf(w, "%-24s %14s %14s %9s %9s  %s\n",
-			c.Scenario, formatNs(c.BaseMedianNs), formatNs(c.CurMedianNs), change, p, c.Verdict)
+		fmt.Fprintf(w, "%-24s %14s %14s %9s %9s %12d  %s\n",
+			c.Scenario, formatNs(c.BaseMedianNs), formatNs(c.CurMedianNs), change, p, c.CurAllocs, c.Verdict)
 	}
 	regressions, improvements := 0, 0
 	for _, c := range cs {

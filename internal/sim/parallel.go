@@ -40,6 +40,13 @@ func Parallel(c *circuit.Circuit, trials []*trial.Trial, workers int, opt Option
 	// below) and contribute nothing to the merge.
 	ordered := reorder.Sort(trials)
 	budget := opt.planBudget()
+	// One buffer arena shared by every chunk, recorded here (the chunks
+	// see a caller-provided pool and skip their own accounting).
+	if opt.Pool == nil {
+		arena := statevec.NewBufferPool()
+		opt.Pool = arena
+		defer recordPoolStats(opt.Recorder, arena, 0, 0)
+	}
 	// One compiled circuit shared by every chunk (Programs are
 	// goroutine-safe); each chunk plan carries it into executePlan.
 	prog := opt.compileProgram(c)

@@ -121,6 +121,24 @@ type Options struct {
 	// only the shallowest branch frames as real snapshots. See
 	// SamplerMemProbe. nil means no pressure.
 	MemProbe func() bool
+	// Lanes > 1 enables the batched SoA executor on the subtree paths:
+	// the trunk gathers up to Lanes consecutively spawned sibling tasks
+	// (siblings entering at the same layer, cloned from the same trunk
+	// state) into one group, and a worker advances the group's common
+	// layer ranges through statevec.Program.RunBatch — one cache-blocked
+	// sweep across all lanes per compiled segment. Outcomes, forward ops
+	// and emitted trials are identical to single-lane execution at every
+	// lane and worker count (bit-identical in non-numeric fuse modes).
+	// Sequential executors ignore it; non-snapshot restore policies run
+	// grouped tasks one lane at a time through the policy executor.
+	Lanes int
+	// Pool, when non-nil, is the amplitude-buffer arena the run draws
+	// snapshots, entry clones and batch registers from, letting callers
+	// keep buffers warm across runs (the zero-alloc steady state). nil
+	// gives the run a private arena. Pool hit/miss counters are recorded
+	// only by runs that own their arena, so a shared pool is counted by
+	// exactly one accountant.
+	Pool *statevec.BufferPool
 }
 
 // compileProgram returns the compiled program the options imply for the
@@ -179,28 +197,46 @@ func (m *msvTracker) add(d int64) {
 
 func (m *msvTracker) highWater() int { return int(m.peak.Load()) }
 
-// statePool recycles 2^n-sized state-vector registers within one
-// goroutine, so the push/pop churn of deep plans reuses a handful of
-// buffers instead of allocating at every branch return.
+// statePool adapts the shared statevec.BufferPool arena to the executors'
+// get/put idiom for one register width, so the push/pop churn of deep
+// plans reuses a handful of buffers instead of allocating at every branch
+// return. The arena is shared by every goroutine of a run (the trunk
+// clones entry states that workers later release), so buffers circulate
+// instead of stranding in per-goroutine free lists.
 type statePool struct {
 	qubits int
-	free   []*statevec.State
+	arena  *statevec.BufferPool
 }
 
-func newStatePool(n int) *statePool { return &statePool{qubits: n} }
+func newStatePool(n int, arena *statevec.BufferPool) *statePool {
+	return &statePool{qubits: n, arena: arena}
+}
 
 // get returns a register with unspecified contents (callers overwrite it
-// via CopyFrom).
-func (p *statePool) get() *statevec.State {
-	if n := len(p.free); n > 0 {
-		s := p.free[n-1]
-		p.free = p.free[:n-1]
-		return s
+// via CopyFrom or Reset).
+func (p *statePool) get() *statevec.State { return p.arena.GetState(p.qubits) }
+
+func (p *statePool) put(s *statevec.State) { p.arena.PutState(s) }
+
+// bufferPool returns the arena this run allocates from and whether the
+// run owns it (created here rather than supplied via Options.Pool).
+func (o Options) bufferPool() (arena *statevec.BufferPool, owned bool) {
+	if o.Pool != nil {
+		return o.Pool, false
 	}
-	return statevec.NewState(p.qubits)
+	return statevec.NewBufferPool(), true
 }
 
-func (p *statePool) put(s *statevec.State) { p.free = append(p.free, s) }
+// recordPoolStats adds the arena's hit/miss deltas since (h0, m0) to the
+// recorder. Only the run that owns an arena records it.
+func recordPoolStats(rec obs.Recorder, arena *statevec.BufferPool, h0, m0 int64) {
+	if rec == nil {
+		return
+	}
+	h, m := arena.Stats()
+	rec.Add(obs.PoolHits, h-h0)
+	rec.Add(obs.PoolMisses, m-m0)
+}
 
 // Distribution returns the outcome histogram normalized to probabilities.
 func (r *Result) Distribution() map[uint64]float64 {
@@ -345,8 +381,11 @@ func executePlan(c *circuit.Circuit, plan *reorder.Plan, opt Options, tr *msvTra
 		res.FinalStates = make(map[int]*statevec.State)
 	}
 	rec := opt.Recorder
-	pool := newStatePool(c.NumQubits())
-	work := statevec.NewState(c.NumQubits())
+	arena, owned := opt.bufferPool()
+	h0, m0 := arena.Stats()
+	pool := newStatePool(c.NumQubits(), arena)
+	work := pool.get()
+	work.Reset()
 	var stack []*statevec.State
 	layers := c.Layers()
 	ops := c.Ops()
@@ -451,12 +490,21 @@ func executePlan(c *circuit.Circuit, plan *reorder.Plan, opt Options, tr *msvTra
 	if len(res.Outcomes) != len(plan.Order) {
 		return nil, fmt.Errorf("sim: plan emitted %d of %d trials", len(res.Outcomes), len(plan.Order))
 	}
+	// Return the registers to the arena so a caller-shared pool stays
+	// warm across runs instead of leaking one working set per run.
+	pool.put(work)
+	for _, s := range stack {
+		pool.put(s)
+	}
 	if rec != nil {
 		rec.Add(obs.Ops, res.Ops)
 		rec.Add(obs.Copies, res.Copies)
 		// This execution's own stack peak; concurrent executors raise the
 		// gauge again with the cross-worker tracker peak after merging.
 		rec.SetMax(obs.MSVHighWater, int64(res.MSV))
+		if owned {
+			recordPoolStats(rec, arena, h0, m0)
+		}
 	}
 	finish(res)
 	return res, nil

@@ -108,11 +108,58 @@ func countSubtrees(ordered []*trial.Trial, cut int) int {
 	return count
 }
 
-// queuedTask is a spawned subtree waiting for a worker: the static task
-// plus its materialized entry state.
+// queuedTask is a group of spawned subtrees waiting for a worker: the
+// static tasks plus their materialized entry states, one per lane. With
+// Options.Lanes <= 1 every group holds a single task (the original
+// one-task-per-pop behavior); larger groups are executed through the
+// batched SoA engine.
 type queuedTask struct {
-	st    *reorder.Subtree
-	entry *statevec.State
+	tasks   []*reorder.Subtree
+	entries []*statevec.State
+	ops     int64 // summed static task ops: the heap priority
+}
+
+// spawnGroup buffers consecutively spawned sibling tasks into one queued
+// group. Non-spawn trunk steps flush the buffer, so only strictly
+// consecutive spawns — siblings entering at the same layer, cloned from
+// the same trunk state — share a group, which is exactly the set a
+// batched sweep can advance in lockstep from its first segment.
+type spawnGroup struct {
+	lanes   int
+	queue   *taskQueue
+	tasks   []*reorder.Subtree
+	entries []*statevec.State
+}
+
+func newSpawnGroup(lanes int, queue *taskQueue) *spawnGroup {
+	if lanes < 1 {
+		lanes = 1
+	}
+	return &spawnGroup{lanes: lanes, queue: queue}
+}
+
+// add buffers one spawned task; a full buffer is flushed immediately. The
+// caller has already acquired one sem slot per entry, so buffering never
+// exceeds the queue's entry-state bound.
+func (g *spawnGroup) add(st *reorder.Subtree, entry *statevec.State) {
+	g.tasks = append(g.tasks, st)
+	g.entries = append(g.entries, entry)
+	if len(g.tasks) >= g.lanes {
+		g.flush()
+	}
+}
+
+func (g *spawnGroup) flush() {
+	if len(g.tasks) == 0 {
+		return
+	}
+	var ops int64
+	for _, st := range g.tasks {
+		ops += st.Ops
+	}
+	g.queue.push(queuedTask{tasks: g.tasks, entries: g.entries, ops: ops})
+	g.tasks = nil
+	g.entries = nil
 }
 
 // taskQueue is the ready queue: a max-heap on static task ops under a
@@ -135,7 +182,7 @@ func (q *taskQueue) push(t queuedTask) {
 	q.items = append(q.items, t)
 	for i := len(q.items) - 1; i > 0; {
 		p := (i - 1) / 2
-		if q.items[p].st.Ops >= q.items[i].st.Ops {
+		if q.items[p].ops >= q.items[i].ops {
 			break
 		}
 		q.items[p], q.items[i] = q.items[i], q.items[p]
@@ -162,10 +209,10 @@ func (q *taskQueue) pop() (queuedTask, bool) {
 	for i := 0; ; {
 		l, r := 2*i+1, 2*i+2
 		big := i
-		if l <= last-1 && q.items[l].st.Ops > q.items[big].st.Ops {
+		if l <= last-1 && q.items[l].ops > q.items[big].ops {
 			big = l
 		}
-		if r <= last-1 && q.items[r].st.Ops > q.items[big].st.Ops {
+		if r <= last-1 && q.items[r].ops > q.items[big].ops {
 			big = r
 		}
 		if big == i {
@@ -194,20 +241,32 @@ func ExecuteSplitPlan(c *circuit.Circuit, sp *reorder.SplitPlan, workers int, op
 	if workers < 1 {
 		return nil, fmt.Errorf("sim: worker count %d < 1", workers)
 	}
+	lanes := opt.Lanes
+	if lanes < 1 {
+		lanes = 1
+	}
 	var tracker msvTracker
 	queue := newTaskQueue()
 	// Bound on cloned-but-unfinished entry states: the trunk blocks
-	// rather than materializing an entry vector per task up front.
-	sem := make(chan struct{}, 2*workers)
+	// rather than materializing an entry vector per task up front. The
+	// trunk acquires a slot per entry before buffering a lane group, so
+	// the bound must admit at least one full group.
+	semCap := 2 * workers
+	if lanes > semCap {
+		semCap = lanes
+	}
+	sem := make(chan struct{}, semCap)
 	prog := sp.Prog
 	if prog == nil {
 		prog = opt.compileProgram(c)
 	}
-	if opt.Policy != PolicySnapshot && prog == nil {
-		// Reverse execution needs a compiled program; FuseOff compiles
-		// one dispatch-identical kernel per op.
+	if prog == nil && (opt.Policy != PolicySnapshot || lanes > 1) {
+		// Reverse execution and batched sweeps exist only on compiled
+		// programs; FuseOff compiles one dispatch-identical kernel per op.
 		prog = opt.policyProgram(c)
 	}
+	arena, owned := opt.bufferPool()
+	h0, m0 := arena.Stats()
 
 	partials := make([]*Result, workers)
 	errs := make([]error, workers)
@@ -220,26 +279,36 @@ func ExecuteSplitPlan(c *circuit.Circuit, sp *reorder.SplitPlan, workers int, op
 			if opt.KeepStates {
 				res.FinalStates = make(map[int]*statevec.State)
 			}
-			pool := newStatePool(c.NumQubits())
+			pool := newStatePool(c.NumQubits(), arena)
+			var br *batchRunner
+			if lanes > 1 && opt.Policy == PolicySnapshot {
+				br = newBatchRunner(c.NumQubits(), lanes, arena)
+			}
 			for {
 				qt, ok := queue.pop()
 				if !ok {
 					break
 				}
 				if errs[w] == nil {
-					errs[w] = runSubtree(c, sp, prog, qt.st, qt.entry, opt, res, &tracker, pool, w)
+					errs[w] = runTaskGroup(c, sp, prog, qt, opt, res, &tracker, pool, br, w)
 				} else {
 					// Already failed: drain so the trunk never blocks on
-					// the entry-state bound, dropping the queued clone.
-					tracker.add(-1)
+					// the entry-state bound, dropping the queued clones.
+					tracker.add(-int64(len(qt.entries)))
 				}
-				<-sem
+				for range qt.entries {
+					<-sem
+				}
+			}
+			if br != nil {
+				br.release()
 			}
 			partials[w] = res
 		}(w)
 	}
 
-	trunkRes, trunkErr := runTrunk(c, sp, prog, opt, queue, sem, &tracker)
+	trunkPool := newStatePool(c.NumQubits(), arena)
+	trunkRes, trunkErr := runTrunk(c, sp, prog, opt, queue, sem, &tracker, trunkPool)
 	queue.close()
 	wg.Wait()
 	if trunkErr != nil {
@@ -274,6 +343,9 @@ func ExecuteSplitPlan(c *circuit.Circuit, sp *reorder.SplitPlan, workers int, op
 		rec.Add(obs.Ops, merged.Ops)
 		rec.Add(obs.Copies, merged.Copies)
 		rec.SetMax(obs.MSVHighWater, int64(merged.MSV))
+		if owned {
+			recordPoolStats(rec, arena, h0, m0)
+		}
 	}
 	finish(merged)
 	return merged, nil
@@ -284,22 +356,27 @@ func ExecuteSplitPlan(c *circuit.Circuit, sp *reorder.SplitPlan, workers int, op
 // prefix computation exactly once; it never emits trials. With a compiled
 // program, trunk advances use the striped Run so the otherwise
 // single-threaded serialization point can borrow idle CPUs.
-func runTrunk(c *circuit.Circuit, sp *reorder.SplitPlan, prog *statevec.Program, opt Options, queue *taskQueue, sem chan struct{}, tr *msvTracker) (*Result, error) {
+func runTrunk(c *circuit.Circuit, sp *reorder.SplitPlan, prog *statevec.Program, opt Options, queue *taskQueue, sem chan struct{}, tr *msvTracker, pool *statePool) (*Result, error) {
 	if opt.Policy != PolicySnapshot {
-		return runTrunkPolicy(c, sp, prog, opt, queue, sem, tr)
+		return runTrunkPolicy(c, sp, prog, opt, queue, sem, tr, pool)
 	}
 	res := &Result{Counts: make(map[uint64]int)}
 	if opt.KeepStates {
 		res.FinalStates = make(map[int]*statevec.State)
 	}
 	rec := opt.Recorder // trunk events carry worker id -1
-	pool := newStatePool(c.NumQubits())
-	work := statevec.NewState(c.NumQubits())
+	work := pool.get()
+	work.Reset()
 	var stack []*statevec.State
 	var pushTimes []time.Time // shadows stack for snapshot-lifetime observation
 	layers := c.Layers()
 	ops := c.Ops()
+	grp := newSpawnGroup(opt.Lanes, queue)
 	for _, s := range sp.Trunk {
+		if s.Kind != reorder.StepSpawn {
+			// Only strictly consecutive spawns share a lane group.
+			grp.flush()
+		}
 		switch s.Kind {
 		case reorder.StepAdvance:
 			if prog != nil {
@@ -355,21 +432,24 @@ func runTrunk(c *circuit.Circuit, sp *reorder.SplitPlan, prog *statevec.Program,
 			}
 		case reorder.StepSpawn:
 			sem <- struct{}{}
-			entry := work.Clone()
+			entry := pool.get()
+			entry.CopyFrom(work)
 			res.Copies++
 			tr.add(1) // the queued entry state is a stored vector
 			if rec != nil {
 				rec.Add(obs.TasksSpawned, 1)
 				rec.Event(obs.EvSpawn, -1, len(stack))
 			}
-			queue.push(queuedTask{st: sp.Subtrees[s.Task], entry: entry})
+			grp.add(sp.Subtrees[s.Task], entry)
 		default:
 			return nil, fmt.Errorf("sim: invalid trunk step %v", s.Kind)
 		}
 	}
+	grp.flush()
 	if len(stack) != 0 {
 		return nil, fmt.Errorf("sim: trunk leaves %d snapshots stored", len(stack))
 	}
+	pool.put(work)
 	return res, nil
 }
 

@@ -401,9 +401,12 @@ func executePlanPolicy(c *circuit.Circuit, plan *reorder.Plan, opt Options, tr *
 	if prog == nil {
 		prog = opt.policyProgram(c)
 	}
-	pool := newStatePool(c.NumQubits())
+	arena, owned := opt.bufferPool()
+	h0, m0 := arena.Stats()
+	pool := newStatePool(c.NumQubits(), arena)
 	bs := newBranchState(c, opt, prog, res, tr, pool, wid, true)
-	bs.work = statevec.NewState(c.NumQubits())
+	bs.work = pool.get()
+	bs.work.Reset()
 	var emitMark time.Time
 	if rec != nil {
 		emitMark = time.Now()
@@ -452,10 +455,14 @@ func executePlanPolicy(c *circuit.Circuit, plan *reorder.Plan, opt Options, tr *
 	if err := bs.finishCheck(); err != nil {
 		return nil, err
 	}
+	pool.put(bs.work)
 	if rec != nil {
 		rec.Add(obs.Ops, res.Ops)
 		rec.Add(obs.Copies, res.Copies)
 		rec.SetMax(obs.MSVHighWater, int64(res.MSV))
+		if owned {
+			recordPoolStats(rec, arena, h0, m0)
+		}
 	}
 	finish(res)
 	return res, nil
@@ -463,16 +470,21 @@ func executePlanPolicy(c *circuit.Circuit, plan *reorder.Plan, opt Options, tr *
 
 // runTrunkPolicy is runTrunk under a restore policy: trunk branch points
 // go through the policy, spawns clone the working register as before.
-func runTrunkPolicy(c *circuit.Circuit, sp *reorder.SplitPlan, prog *statevec.Program, opt Options, queue *taskQueue, sem chan struct{}, tr *msvTracker) (*Result, error) {
+func runTrunkPolicy(c *circuit.Circuit, sp *reorder.SplitPlan, prog *statevec.Program, opt Options, queue *taskQueue, sem chan struct{}, tr *msvTracker, pool *statePool) (*Result, error) {
 	res := &Result{Counts: make(map[uint64]int)}
 	if opt.KeepStates {
 		res.FinalStates = make(map[int]*statevec.State)
 	}
 	rec := opt.Recorder // trunk events carry worker id -1
-	pool := newStatePool(c.NumQubits())
 	bs := newBranchState(c, opt, prog, res, tr, pool, -1, true)
-	bs.work = statevec.NewState(c.NumQubits())
+	bs.work = pool.get()
+	bs.work.Reset()
+	grp := newSpawnGroup(opt.Lanes, queue)
 	for _, s := range sp.Trunk {
+		if s.Kind != reorder.StepSpawn {
+			// Only strictly consecutive spawns share a lane group.
+			grp.flush()
+		}
 		switch s.Kind {
 		case reorder.StepAdvance:
 			bs.advance(s.From, s.To)
@@ -488,21 +500,24 @@ func runTrunkPolicy(c *circuit.Circuit, sp *reorder.SplitPlan, prog *statevec.Pr
 			bs.restore()
 		case reorder.StepSpawn:
 			sem <- struct{}{}
-			entry := bs.work.Clone()
+			entry := pool.get()
+			entry.CopyFrom(bs.work)
 			res.Copies++
 			tr.add(1) // the queued entry state is a stored vector
 			if rec != nil {
 				rec.Add(obs.TasksSpawned, 1)
 				rec.Event(obs.EvSpawn, -1, len(bs.frames))
 			}
-			queue.push(queuedTask{st: sp.Subtrees[s.Task], entry: entry})
+			grp.add(sp.Subtrees[s.Task], entry)
 		default:
 			return nil, fmt.Errorf("sim: invalid trunk step %v", s.Kind)
 		}
 	}
+	grp.flush()
 	if err := bs.finishCheck(); err != nil {
 		return nil, err
 	}
+	pool.put(bs.work)
 	return res, nil
 }
 

@@ -1,0 +1,229 @@
+package statevec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBatchStateLayout pins the SoA layout: K independent lane views over
+// one contiguous buffer, each a full-width state register.
+func TestBatchStateLayout(t *testing.T) {
+	b := NewBatchState(3, 4)
+	if b.Qubits() != 3 || b.Lanes() != 4 {
+		t.Fatalf("got %d qubits, %d lanes", b.Qubits(), b.Lanes())
+	}
+	amps := b.LaneAmps(4)
+	if len(amps) != 4 {
+		t.Fatalf("LaneAmps(4) returned %d lanes", len(amps))
+	}
+	for i := 0; i < 4; i++ {
+		lane := b.Lane(i)
+		if lane.NumQubits() != 3 || len(amps[i]) != 8 {
+			t.Fatalf("lane %d: %d qubits, %d amps", i, lane.NumQubits(), len(amps[i]))
+		}
+		lane.Reset()
+		lane.amp[0] = complex(float64(i+1), 0)
+	}
+	// Lane writes land in distinct stripes of the shared buffer.
+	for i := 0; i < 4; i++ {
+		if got := real(b.buf[i*8]); got != float64(i+1) {
+			t.Fatalf("lane %d stripe holds %v, want %d", i, got, i+1)
+		}
+	}
+	if got := b.LaneAmps(2); len(got) != 2 {
+		t.Fatalf("LaneAmps(2) returned %d lanes", len(got))
+	}
+}
+
+func TestBatchStatePanics(t *testing.T) {
+	for _, bad := range []func(){
+		func() { NewBatchState(0, 2) },
+		func() { NewBatchState(31, 2) },
+		func() { NewBatchState(3, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad BatchState dimensions did not panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+// TestBufferPoolReuse pins the zero-alloc contract: the second acquisition
+// of every pooled shape is a free-list hit returning the same object.
+func TestBufferPoolReuse(t *testing.T) {
+	p := NewBufferPool()
+
+	buf := p.Get(16)
+	if len(buf) != 16 {
+		t.Fatalf("Get(16) returned %d elements", len(buf))
+	}
+	p.Put(buf)
+	if again := p.Get(16); &again[0] != &buf[0] {
+		t.Fatal("Get after Put did not reuse the buffer")
+	}
+
+	s := p.GetState(4)
+	if s.NumQubits() != 4 {
+		t.Fatalf("GetState(4) returned %d qubits", s.NumQubits())
+	}
+	p.PutState(s)
+	if again := p.GetState(4); again != s {
+		t.Fatal("GetState after PutState did not reuse the register")
+	}
+
+	b := p.GetBatch(3, 2)
+	p.PutBatch(b)
+	if again := p.GetBatch(3, 2); again != b {
+		t.Fatal("GetBatch after PutBatch did not reuse the batch")
+	}
+	if other := p.GetBatch(3, 4); other == b {
+		t.Fatal("GetBatch served a batch of the wrong lane count")
+	}
+
+	hits, misses := p.Stats()
+	if hits != 3 || misses != 4 {
+		t.Fatalf("Stats() = %d hits, %d misses; want 3, 4", hits, misses)
+	}
+
+	// nil returns are ignored.
+	p.Put(nil)
+	p.PutState(nil)
+	p.PutBatch(nil)
+}
+
+// TestBufferPoolSteadyStateAllocs proves the pooled cycle itself is
+// allocation-free after warm-up.
+func TestBufferPoolSteadyStateAllocs(t *testing.T) {
+	p := NewBufferPool()
+	p.PutState(p.GetState(6))
+	p.PutBatch(p.GetBatch(6, 4))
+	allocs := testing.AllocsPerRun(100, func() {
+		s := p.GetState(6)
+		b := p.GetBatch(6, 4)
+		p.PutBatch(b)
+		p.PutState(s)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state pooled cycle allocates %.1f objects per op", allocs)
+	}
+}
+
+// runBatchVariants are the compile modes the batched sweeps must replicate
+// bit-for-bit (FuseNumeric included: lanes are independent, so batching may
+// not change rounding in any mode).
+var runBatchVariants = []struct {
+	name string
+	opt  CompileOptions
+}{
+	{"off", CompileOptions{Fuse: FuseOff}},
+	{"exact", CompileOptions{Fuse: FuseExact}},
+	{"numeric", CompileOptions{Fuse: FuseNumeric}},
+}
+
+// TestRunBatchBitIdentical is the core batched-execution property: a
+// RunBatch sweep over K lanes must equal K independent RunSerial sweeps,
+// Float64bits-identical on every amplitude, in every fuse mode, for every
+// kernel family the random circuits exercise.
+func TestRunBatchBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(20200720))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(5)
+		c := randCompileCircuit(rng, n, 3+rng.Intn(25))
+		lanes := 1 + rng.Intn(8)
+		inits := make([]*State, lanes)
+		for i := range inits {
+			inits[i] = randState(rng, n)
+		}
+		for _, v := range runBatchVariants {
+			p := CompileWith(c, v.opt)
+
+			// Split the range to exercise segment boundaries; the serial
+			// reference must use the same boundaries (FuseNumeric folds
+			// per segment, so segmentation is part of the contract).
+			cutAt := p.NumLayers() / 2
+			want := make([]*State, lanes)
+			for i, init := range inits {
+				want[i] = init.Clone()
+				p.RunSerial(want[i], 0, cutAt)
+				p.RunSerial(want[i], cutAt, p.NumLayers())
+			}
+
+			batch := NewBatchState(n, lanes)
+			for i, init := range inits {
+				batch.Lane(i).CopyFrom(init)
+			}
+			p.RunBatch(batch.LaneAmps(lanes), 0, cutAt)
+			p.RunBatch(batch.LaneAmps(lanes), cutAt, p.NumLayers())
+
+			for i := range want {
+				if j, ok := statesBitEqual(want[i], batch.Lane(i)); !ok {
+					t.Fatalf("trial %d %s (n=%d, lanes=%d): lane %d amplitude %d differs: %v vs %v",
+						trial, v.name, n, lanes, i, j, want[i].amp[j], batch.Lane(i).amp[j])
+				}
+			}
+		}
+	}
+}
+
+// TestRunBatchOpsAndWidth pins the op accounting and the width guard.
+func TestRunBatchOpsAndWidth(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	c := randCompileCircuit(rng, 3, 20)
+	p := Compile(c)
+	batch := NewBatchState(3, 2)
+	batch.Lane(0).Reset()
+	batch.Lane(1).Reset()
+	if got := p.RunBatch(batch.LaneAmps(2), 0, p.NumLayers()); got != c.NumOps() {
+		t.Fatalf("RunBatch reported %d ops per lane, circuit has %d", got, c.NumOps())
+	}
+	// Zero lanes still reports segment ops without touching state.
+	if got := p.RunBatch(nil, 0, p.NumLayers()); got != c.NumOps() {
+		t.Fatalf("empty RunBatch reported %d ops, want %d", got, c.NumOps())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RunBatch on mismatched lane width did not panic")
+		}
+	}()
+	p.RunBatch([][]complex128{make([]complex128, 4)}, 0, p.NumLayers())
+}
+
+// FuzzBatchedSweepParity fuzzes batched-vs-serial bit identity: any
+// seed-derived circuit, lane count, and fuse mode must produce
+// Float64bits-identical lanes through RunBatch and per-state RunSerial.
+func FuzzBatchedSweepParity(f *testing.F) {
+	f.Add(int64(1), uint8(4), uint8(12), uint8(2))
+	f.Add(int64(20200720), uint8(3), uint8(30), uint8(7))
+	f.Add(int64(-9), uint8(1), uint8(5), uint8(16))
+	f.Fuzz(func(t *testing.T, seed int64, nRaw, opsRaw, lanesRaw uint8) {
+		n := 1 + int(nRaw)%5
+		nops := 1 + int(opsRaw)%40
+		lanes := 1 + int(lanesRaw)%8
+		rng := rand.New(rand.NewSource(seed))
+		c := randCompileCircuit(rng, n, nops)
+		inits := make([]*State, lanes)
+		for i := range inits {
+			inits[i] = randState(rng, n)
+		}
+		for _, v := range runBatchVariants {
+			p := CompileWith(c, v.opt)
+			batch := NewBatchState(n, lanes)
+			for i, init := range inits {
+				batch.Lane(i).CopyFrom(init)
+			}
+			p.RunBatch(batch.LaneAmps(lanes), 0, p.NumLayers())
+			for i, init := range inits {
+				want := init.Clone()
+				p.RunSerial(want, 0, p.NumLayers())
+				if j, ok := statesBitEqual(want, batch.Lane(i)); !ok {
+					t.Fatalf("%s: lane %d amplitude %d differs (seed %d n %d ops %d lanes %d)",
+						v.name, i, j, seed, n, nops, lanes)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,127 @@
+package statevec
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// BufferPool is a size-classed arena of amplitude buffers shared by every
+// consumer of 2^n-sized storage in a run: snapshot stacks, subtree entry
+// clones, uncompute journal frames, and the lane-packed batch registers of
+// the SoA executor. One pool serves all goroutines of a run (the trunk
+// clones entry states that workers later release, so per-goroutine free
+// lists would strand buffers); after warm-up every acquisition is a free-
+// list pop and the steady-state hot loop performs zero heap allocations.
+//
+// Buffers come back with unspecified contents — callers overwrite them via
+// CopyFrom or Reset. The zero value is not usable; use NewBufferPool.
+type BufferPool struct {
+	mu      sync.Mutex
+	bufs    map[int][][]complex128 // raw buffers by length
+	states  map[int][]*State       // state registers by qubit count
+	batches map[batchKey][]*BatchState
+	hits    atomic.Int64
+	misses  atomic.Int64
+}
+
+type batchKey struct{ n, lanes int }
+
+// NewBufferPool returns an empty pool.
+func NewBufferPool() *BufferPool {
+	return &BufferPool{
+		bufs:    make(map[int][][]complex128),
+		states:  make(map[int][]*State),
+		batches: make(map[batchKey][]*BatchState),
+	}
+}
+
+// Get returns a buffer of exactly size elements with unspecified contents.
+func (p *BufferPool) Get(size int) []complex128 {
+	p.mu.Lock()
+	list := p.bufs[size]
+	if n := len(list); n > 0 {
+		buf := list[n-1]
+		list[n-1] = nil
+		p.bufs[size] = list[:n-1]
+		p.mu.Unlock()
+		p.hits.Add(1)
+		return buf
+	}
+	p.mu.Unlock()
+	p.misses.Add(1)
+	return make([]complex128, size)
+}
+
+// Put returns a buffer to its size class. nil is ignored.
+func (p *BufferPool) Put(buf []complex128) {
+	if buf == nil {
+		return
+	}
+	p.mu.Lock()
+	p.bufs[len(buf)] = append(p.bufs[len(buf)], buf)
+	p.mu.Unlock()
+}
+
+// GetState returns an n-qubit state register with unspecified amplitudes
+// (callers overwrite via CopyFrom or Reset before reading).
+func (p *BufferPool) GetState(n int) *State {
+	p.mu.Lock()
+	list := p.states[n]
+	if ln := len(list); ln > 0 {
+		s := list[ln-1]
+		list[ln-1] = nil
+		p.states[n] = list[:ln-1]
+		p.mu.Unlock()
+		p.hits.Add(1)
+		return s
+	}
+	p.mu.Unlock()
+	p.misses.Add(1)
+	return &State{n: n, amp: make([]complex128, 1<<uint(n))}
+}
+
+// PutState returns a state register to the pool. nil is ignored.
+func (p *BufferPool) PutState(s *State) {
+	if s == nil {
+		return
+	}
+	p.mu.Lock()
+	p.states[s.n] = append(p.states[s.n], s)
+	p.mu.Unlock()
+}
+
+// GetBatch returns a lane-packed batch register for `lanes` independent
+// n-qubit states. Lane contents are unspecified.
+func (p *BufferPool) GetBatch(n, lanes int) *BatchState {
+	key := batchKey{n, lanes}
+	p.mu.Lock()
+	list := p.batches[key]
+	if ln := len(list); ln > 0 {
+		b := list[ln-1]
+		list[ln-1] = nil
+		p.batches[key] = list[:ln-1]
+		p.mu.Unlock()
+		p.hits.Add(1)
+		return b
+	}
+	p.mu.Unlock()
+	p.misses.Add(1)
+	return NewBatchState(n, lanes)
+}
+
+// PutBatch returns a batch register to the pool. nil is ignored.
+func (p *BufferPool) PutBatch(b *BatchState) {
+	if b == nil {
+		return
+	}
+	p.mu.Lock()
+	key := batchKey{b.n, b.lanes}
+	p.batches[key] = append(p.batches[key], b)
+	p.mu.Unlock()
+}
+
+// Stats returns the cumulative hit and miss counts across Get, GetState
+// and GetBatch. A miss allocates; a steady-state run shows hits only.
+func (p *BufferPool) Stats() (hits, misses int64) {
+	return p.hits.Load(), p.misses.Load()
+}
