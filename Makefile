@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race race-verify bench bench-json bench-regress alloc-gate verify verify-deep selftest fuzz-smoke metrics-smoke
+.PHONY: build vet test race race-verify bench bench-json bench-regress alloc-gate verify verify-deep selftest fuzz-smoke metrics-smoke serve-smoke
 
 build:
 	$(GO) build ./...
@@ -65,6 +65,16 @@ metrics-smoke: build
 	$(GO) run ./cmd/qsim -bench qv_n5d5 -trials 512 -mode both -metrics /tmp/qsim_metrics_smoke.json -prom-smoke -sample-interval 20ms
 	$(GO) run ./cmd/qsim -verify-metrics /tmp/qsim_metrics_smoke.json
 
+# Daemon smoke test: start a qsimd core on a loopback listener, drive it
+# with the client-side load generator (one cold job, then identical jobs
+# fanned out across tenants), and assert the daemon contract end to end —
+# histograms bit-identical to direct core.Run, warm jobs all-hit against
+# the shared segment cache, cache/pool bounds respected, /metrics a valid
+# exposition with per-tenant series, and drain completing every admitted
+# job before refusing new work.
+serve-smoke: build
+	$(GO) run ./cmd/repro -exp service
+
 # The seeded differential self-test: randomized workloads through every
 # executor, cross-checked bit-for-bit against naive execution.
 selftest: build
@@ -82,14 +92,15 @@ fuzz-smoke:
 # detector over the whole tree (includes the -short-gated deep
 # differential sweep, the batch bit-identity sweep at 1/2/4/8 workers,
 # and the restore-policy matrix), fuzz smoke, the CLI self-test, the
-# zero-alloc steady-state gate, and the cross-circuit batch and
-# restore-policy experiments end to end.
+# zero-alloc steady-state gate, the daemon smoke test, and the
+# cross-circuit batch and restore-policy experiments end to end.
 verify-deep: build
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(MAKE) fuzz-smoke
 	$(MAKE) selftest
 	$(MAKE) alloc-gate
+	$(MAKE) serve-smoke
 	$(GO) run ./cmd/repro -exp batch
 	$(GO) run ./cmd/repro -exp uncompute
 	$(GO) run ./cmd/repro -exp soabatch

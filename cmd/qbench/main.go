@@ -141,6 +141,11 @@ func run(logger *slog.Logger, cfg config) (int, error) {
 		return 0, err
 	}
 	scenarios = append(scenarios, uncScens...)
+	svcScens, err := buildServiceScenarios(cfg)
+	if err != nil {
+		return 0, err
+	}
+	scenarios = append(scenarios, svcScens...)
 	entry := perf.Entry{Suite: cfg.suite, Env: obs.CaptureEnv()}
 	for _, sc := range scenarios {
 		mea, err := measure(logger, sc, cfg.reps, len(trials))

@@ -1,0 +1,132 @@
+// Command qsimd is the long-running simulation daemon: an HTTP/JSON job
+// service over the paper's trial-reordering simulator.
+//
+// Where the qsim CLI pays compilation and buffer warm-up on every
+// invocation, qsimd keeps them across requests: all jobs share the
+// process-global content-addressed segment cache (bounded, second-chance
+// eviction) and one amplitude-buffer arena, so a repeated or concurrent
+// circuit reuses kernels and state vectors another request paid for.
+//
+// Usage:
+//
+//	qsimd [-addr :8080] [-workers n] [flags]
+//
+// Flags:
+//
+//	-addr a           listen address (default 127.0.0.1:8080)
+//	-workers n        job-executing goroutines (default GOMAXPROCS)
+//	-queue-cap n      max queued jobs before 429 (default 64)
+//	-segcache-cap n   max cached compiled segments, 0 = unbounded
+//	                  (default 4096; eviction is second-chance clock)
+//	-pool-retain n    idle buffers retained per size class (default 128,
+//	                  -1 = unbounded)
+//	-sample-interval d poll runtime.MemStats every d and export gauges
+//	-log-level l      debug, info, warn, error (default info)
+//	-log-json         emit structured logs as JSON lines
+//
+// API (see internal/service):
+//
+//	POST /v1/jobs      submit {"bench": "bv5", "trials": 512, ...}
+//	GET  /v1/jobs/{id} poll status; "done" carries the outcome histogram
+//	GET  /v1/stats     segment cache / pool / queue snapshot
+//	GET  /metrics      Prometheus exposition (job "qsimd" + per-tenant)
+//	GET  /healthz      liveness (503 once draining)
+//
+// SIGTERM or SIGINT starts a graceful drain: new submissions get 503,
+// admitted jobs run to completion, workers exit, the final shared-state
+// stats are logged, and the listener closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/service"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "qsimd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "job-executing goroutines")
+	queueCap := flag.Int("queue-cap", service.DefaultQueueCap, "max queued jobs before 429")
+	segCacheCap := flag.Int("segcache-cap", 4096, "max cached compiled segments (0 = unbounded)")
+	poolRetain := flag.Int("pool-retain", 0, "idle buffers retained per pool size class (0 = default, -1 = unbounded)")
+	sampleInterval := flag.Duration("sample-interval", 0, "runtime.MemStats sampling interval (0 = off)")
+	drainTimeout := flag.Duration("drain-timeout", time.Minute, "max time to finish admitted jobs on shutdown")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	logJSON := flag.Bool("log-json", false, "emit logs as JSON")
+	flag.Parse()
+
+	logger, err := obs.SetupLogger(*logLevel, *logJSON, os.Stderr)
+	if err != nil {
+		return err
+	}
+
+	srv := service.New(service.Config{
+		Workers:     *workers,
+		QueueCap:    *queueCap,
+		SegCacheCap: *segCacheCap,
+		PoolRetain:  *poolRetain,
+		Logger:      logger,
+	})
+	if *sampleInterval > 0 {
+		sampler := obs.StartSampler(*sampleInterval, obs.DefaultSamplerCapacity)
+		defer sampler.Stop()
+		srv.Exporter().AttachSampler(sampler)
+	}
+	obs.PublishExpvar("qsimd", srv.Metrics())
+	srv.Start()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	logger.Info("qsimd listening", "addr", ln.Addr().String())
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // restore default signal behavior: a second signal kills hard
+
+	logger.Info("signal received, draining", "timeout", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	drainErr := srv.Drain(drainCtx)
+	st := srv.Stats()
+	logger.Info("final shared state",
+		"jobs_completed", st.Jobs.Completed, "jobs_failed", st.Jobs.Failed,
+		"jobs_rejected", st.Jobs.Rejected,
+		"segcache_size", st.SegCache.Size, "segcache_hits", st.SegCache.Hits,
+		"segcache_misses", st.SegCache.Misses, "segcache_evictions", st.SegCache.Evictions,
+		"pool_retained", st.Pool.Retained, "pool_drops", st.Pool.Drops)
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Warn("http shutdown", "err", err)
+	}
+	<-serveErr
+	return drainErr
+}

@@ -138,6 +138,11 @@ type Config struct {
 	// the executors' counters and trace events (see internal/obs). nil
 	// disables all recording; recording never changes any Result field.
 	Recorder obs.Recorder
+	// Pool, when non-nil, is a shared amplitude-buffer arena the run draws
+	// its state vectors from (see sim.Options.Pool). Long-lived callers —
+	// the qsimd daemon — pass one pool across every job so buffers stay
+	// warm between requests. nil gives each run a private arena.
+	Pool *statevec.BufferPool
 }
 
 // Report is the outcome of Run.
@@ -228,6 +233,7 @@ func Run(cfg Config) (*Report, error) {
 		Recorder:       cfg.Recorder,
 		Policy:         cfg.Policy,
 		MemProbe:       cfg.MemProbe,
+		Pool:           cfg.Pool,
 	}
 	runReordered := func() (*sim.Result, error) {
 		if cfg.BatchLanes > 1 {

@@ -32,6 +32,7 @@ const (
 	saltBatch       = 0x9b14_ce72_06ad_5f83
 	saltUncompute   = 0x4fa7_61c9_8e30_b2d5
 	saltSoabatch    = 0x6de1_53b8_29cf_047d
+	saltService     = 0x7c39_e0b5_42f8_1da3
 )
 
 // experimentSalts names every per-experiment salt for the pairwise
@@ -48,6 +49,7 @@ var experimentSalts = map[string]uint64{
 	"batch":       saltBatch,
 	"uncompute":   saltUncompute,
 	"soabatch":    saltSoabatch,
+	"service":     saltService,
 }
 
 // mix64 is the splitmix64 finalizer: a bijective avalanche so that
@@ -117,6 +119,13 @@ func UncomputeSeed(cfg Config, qubits, depth int) int64 {
 // draws a fresh stream.
 func SoabatchSeed(cfg Config, qubits, depth int) int64 {
 	return seedFor(cfg.Seed, saltSoabatch, qubits, depth)
+}
+
+// ServiceSeed returns the job seed of the service experiment, keyed by
+// the job's index in the submission sweep so every distinct job draws a
+// fresh trial stream (identical-circuit sharing jobs reuse index 0).
+func ServiceSeed(cfg Config, job int) int64 {
+	return seedFor(cfg.Seed, saltService, job)
 }
 
 // BatchSeed returns an RNG seed for the batch experiment, keyed by the

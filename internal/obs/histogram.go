@@ -55,6 +55,13 @@ const (
 	// segment execution (dimensionless), one observation per RunBatch —
 	// how full the SoA register actually runs.
 	HistBatchLanes
+	// HistJobLatency is the end-to-end wall time of one simulation-
+	// service job, submission to completion (ns): queue wait plus
+	// execution.
+	HistJobLatency
+	// HistJobQueueWait is the time one service job spent queued before a
+	// worker picked it up (ns).
+	HistJobQueueWait
 
 	numHists
 )
@@ -67,6 +74,8 @@ var histNames = [numHists]string{
 	HistBatchVariantOps:  "batch_variant_ops",
 	HistUncomputeDepth:   "uncompute_depth",
 	HistBatchLanes:       "batch_lanes",
+	HistJobLatency:       "job_latency_ns",
+	HistJobQueueWait:     "job_queue_wait_ns",
 }
 
 // String returns the histogram's canonical (JSON/Prometheus) name.

@@ -67,6 +67,19 @@ const (
 	// SegCacheMisses counts segment lowerings the content-addressed
 	// cache could not serve.
 	SegCacheMisses
+	// SegCacheEvictions counts segments evicted from the bounded
+	// content-addressed cache (second-chance clock sweep; only a
+	// capacity-configured cache ever evicts).
+	SegCacheEvictions
+	// SegCacheCollisions counts content-cache hits rejected because the
+	// stored entry's cheap discriminators (layer count, lowered-op
+	// count) disagreed with the requesting program — a 64-bit digest
+	// collision. The requester falls back to a private compile.
+	SegCacheCollisions
+	// PoolDrops counts buffers released to a BufferPool size class that
+	// was already at its retention cap and therefore handed to the GC
+	// instead of the free list.
+	PoolDrops
 	// UncomputeSegments counts reverse-executed rollback segments (each
 	// rollback of one branch suffix is one segment, however many layer
 	// ranges and injections it undoes).
@@ -95,6 +108,16 @@ const (
 	// PoolMisses counts pool acquisitions that had to allocate. A
 	// steady-state run shows misses only during warm-up.
 	PoolMisses
+	// JobsAccepted counts simulation-service jobs admitted into the
+	// queue (cmd/qsimd).
+	JobsAccepted
+	// JobsRejected counts submissions refused by admission control
+	// (queue full → 429, or draining → 503).
+	JobsRejected
+	// JobsCompleted counts service jobs that finished successfully.
+	JobsCompleted
+	// JobsFailed counts service jobs that finished with an error.
+	JobsFailed
 
 	numCounters
 )
@@ -111,8 +134,11 @@ var counterNames = [numCounters]string{
 	StripeBarriers:   "stripe_barriers",
 	BatchVariants:    "batch_variants",
 	BatchOpsSaved:    "batch_ops_saved",
-	SegCacheHits:     "segcache_hits",
-	SegCacheMisses:   "segcache_misses",
+	SegCacheHits:       "segcache_hits",
+	SegCacheMisses:     "segcache_misses",
+	SegCacheEvictions:  "segcache_evictions",
+	SegCacheCollisions: "segcache_collisions",
+	PoolDrops:          "pool_drops",
 
 	UncomputeSegments:        "uncompute_segments",
 	UncomputeOps:             "uncompute_ops",
@@ -121,6 +147,10 @@ var counterNames = [numCounters]string{
 	BatchSweeps:              "batch_sweeps",
 	PoolHits:                 "pool_hits",
 	PoolMisses:               "pool_misses",
+	JobsAccepted:             "jobs_accepted",
+	JobsRejected:             "jobs_rejected",
+	JobsCompleted:            "jobs_completed",
+	JobsFailed:               "jobs_failed",
 }
 
 // String returns the counter's canonical (JSON) name.
@@ -134,12 +164,16 @@ const (
 	// MSVHighWater is the peak number of concurrently stored state
 	// vectors — the paper's MSV metric, taken across all goroutines.
 	MSVHighWater Gauge = iota
+	// QueueDepthHighWater is the peak number of jobs queued in the
+	// simulation service's admission queue (across all tenants).
+	QueueDepthHighWater
 
 	numGauges
 )
 
 var gaugeNames = [numGauges]string{
-	MSVHighWater: "msv_high_water",
+	MSVHighWater:        "msv_high_water",
+	QueueDepthHighWater: "queue_depth_high_water",
 }
 
 // String returns the gauge's canonical (JSON) name.

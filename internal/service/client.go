@@ -1,0 +1,238 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Client talks to a qsimd daemon over HTTP. The zero value is unusable;
+// construct with NewClient.
+type Client struct {
+	base string
+	hc   *http.Client
+	// PollInterval paces Wait's status polling (default 10ms).
+	PollInterval time.Duration
+}
+
+// NewClient returns a client for the daemon at base (e.g.
+// "http://127.0.0.1:8080"). A nil hc uses http.DefaultClient.
+func NewClient(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: base, hc: hc, PollInterval: 10 * time.Millisecond}
+}
+
+// APIError is a non-2xx daemon response.
+type APIError struct {
+	Status int
+	Msg    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("service: HTTP %d: %s", e.Status, e.Msg)
+}
+
+// Submit posts a job and returns its id.
+func (c *Client) Submit(ctx context.Context, req JobRequest) (string, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return "", err
+	}
+	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(hr)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return "", apiError(resp)
+	}
+	var out struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return "", err
+	}
+	return out.ID, nil
+}
+
+// Job fetches the current state of a job.
+func (c *Client) Job(ctx context.Context, id string) (*JobView, error) {
+	var v JobView
+	if err := c.getJSON(ctx, "/v1/jobs/"+id, &v); err != nil {
+		return nil, err
+	}
+	return &v, nil
+}
+
+// Stats fetches the daemon-wide shared-state snapshot.
+func (c *Client) Stats(ctx context.Context) (*Stats, error) {
+	var st Stats
+	if err := c.getJSON(ctx, "/v1/stats", &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Metrics fetches the raw Prometheus exposition.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(hr)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", apiError(resp)
+	}
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}
+
+// Wait polls until the job leaves the queued/running states.
+func (c *Client) Wait(ctx context.Context, id string) (*JobView, error) {
+	interval := c.PollInterval
+	if interval <= 0 {
+		interval = 10 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		v, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if v.State == StateDone || v.State == StateFailed {
+			return v, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// Run submits a job and waits for its result.
+func (c *Client) Run(ctx context.Context, req JobRequest) (*JobView, error) {
+	id, err := c.Submit(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	return c.Wait(ctx, id)
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, v any) error {
+	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(hr)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+func apiError(resp *http.Response) error {
+	var out struct {
+		Error string `json:"error"`
+	}
+	b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if json.Unmarshal(b, &out) != nil || out.Error == "" {
+		out.Error = string(bytes.TrimSpace(b))
+	}
+	return &APIError{Status: resp.StatusCode, Msg: out.Error}
+}
+
+// LoadResult aggregates one load-generation sweep.
+type LoadResult struct {
+	// Jobs holds every finished job, in completion-collection order.
+	Jobs []*JobView
+	// Submitted, Rejected and Failed count the sweep's submissions.
+	Submitted int
+	Rejected  int
+	Failed    int
+	// Elapsed is the wall-clock of the whole fan-out.
+	Elapsed time.Duration
+}
+
+// RunLoad fans reqs out over the daemon with at most concurrency
+// in-flight submit+wait pairs — the shape of a batch client driving a
+// shared service — and collects every result. Queue-full rejections are
+// counted, not retried (admission control is the daemon's job; the load
+// generator observes it).
+func RunLoad(ctx context.Context, c *Client, reqs []JobRequest, concurrency int) (*LoadResult, error) {
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	start := time.Now()
+	var (
+		mu  sync.Mutex
+		res LoadResult
+	)
+	sem := make(chan struct{}, concurrency)
+	var wg sync.WaitGroup
+	var firstErr error
+	for _, req := range reqs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(req JobRequest) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			v, err := c.Run(ctx, req)
+			mu.Lock()
+			defer mu.Unlock()
+			res.Submitted++
+			if err != nil {
+				var ae *APIError
+				if asAPIError(err, &ae) && ae.Status == http.StatusTooManyRequests {
+					res.Rejected++
+					return
+				}
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			if v.State == StateFailed {
+				res.Failed++
+			}
+			res.Jobs = append(res.Jobs, v)
+		}(req)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	if firstErr != nil {
+		return &res, firstErr
+	}
+	return &res, nil
+}
+
+// asAPIError unwraps err into an *APIError without importing errors.As
+// call-site noise everywhere.
+func asAPIError(err error, target **APIError) bool {
+	ae, ok := err.(*APIError)
+	if ok {
+		*target = ae
+	}
+	return ok
+}

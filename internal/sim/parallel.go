@@ -45,7 +45,7 @@ func Parallel(c *circuit.Circuit, trials []*trial.Trial, workers int, opt Option
 	if opt.Pool == nil {
 		arena := statevec.NewBufferPool()
 		opt.Pool = arena
-		defer recordPoolStats(opt.Recorder, arena, 0, 0)
+		defer recordPoolStats(opt.Recorder, arena, 0, 0, 0)
 	}
 	// One compiled circuit shared by every chunk (Programs are
 	// goroutine-safe); each chunk plan carries it into executePlan.

@@ -227,15 +227,16 @@ func (o Options) bufferPool() (arena *statevec.BufferPool, owned bool) {
 	return statevec.NewBufferPool(), true
 }
 
-// recordPoolStats adds the arena's hit/miss deltas since (h0, m0) to the
-// recorder. Only the run that owns an arena records it.
-func recordPoolStats(rec obs.Recorder, arena *statevec.BufferPool, h0, m0 int64) {
+// recordPoolStats adds the arena's hit/miss/drop deltas since (h0, m0,
+// d0) to the recorder. Only the run that owns an arena records it.
+func recordPoolStats(rec obs.Recorder, arena *statevec.BufferPool, h0, m0, d0 int64) {
 	if rec == nil {
 		return
 	}
 	h, m := arena.Stats()
 	rec.Add(obs.PoolHits, h-h0)
 	rec.Add(obs.PoolMisses, m-m0)
+	rec.Add(obs.PoolDrops, arena.Drops()-d0)
 }
 
 // Distribution returns the outcome histogram normalized to probabilities.
@@ -383,6 +384,7 @@ func executePlan(c *circuit.Circuit, plan *reorder.Plan, opt Options, tr *msvTra
 	rec := opt.Recorder
 	arena, owned := opt.bufferPool()
 	h0, m0 := arena.Stats()
+	d0 := arena.Drops()
 	pool := newStatePool(c.NumQubits(), arena)
 	work := pool.get()
 	work.Reset()
@@ -503,7 +505,7 @@ func executePlan(c *circuit.Circuit, plan *reorder.Plan, opt Options, tr *msvTra
 		// gauge again with the cross-worker tracker peak after merging.
 		rec.SetMax(obs.MSVHighWater, int64(res.MSV))
 		if owned {
-			recordPoolStats(rec, arena, h0, m0)
+			recordPoolStats(rec, arena, h0, m0, d0)
 		}
 	}
 	finish(res)

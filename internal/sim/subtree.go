@@ -267,6 +267,7 @@ func ExecuteSplitPlan(c *circuit.Circuit, sp *reorder.SplitPlan, workers int, op
 	}
 	arena, owned := opt.bufferPool()
 	h0, m0 := arena.Stats()
+	d0 := arena.Drops()
 
 	partials := make([]*Result, workers)
 	errs := make([]error, workers)
@@ -344,7 +345,7 @@ func ExecuteSplitPlan(c *circuit.Circuit, sp *reorder.SplitPlan, workers int, op
 		rec.Add(obs.Copies, merged.Copies)
 		rec.SetMax(obs.MSVHighWater, int64(merged.MSV))
 		if owned {
-			recordPoolStats(rec, arena, h0, m0)
+			recordPoolStats(rec, arena, h0, m0, d0)
 		}
 	}
 	finish(merged)

@@ -403,6 +403,7 @@ func executePlanPolicy(c *circuit.Circuit, plan *reorder.Plan, opt Options, tr *
 	}
 	arena, owned := opt.bufferPool()
 	h0, m0 := arena.Stats()
+	d0 := arena.Drops()
 	pool := newStatePool(c.NumQubits(), arena)
 	bs := newBranchState(c, opt, prog, res, tr, pool, wid, true)
 	bs.work = pool.get()
@@ -461,7 +462,7 @@ func executePlanPolicy(c *circuit.Circuit, plan *reorder.Plan, opt Options, tr *
 		rec.Add(obs.Copies, res.Copies)
 		rec.SetMax(obs.MSVHighWater, int64(res.MSV))
 		if owned {
-			recordPoolStats(rec, arena, h0, m0)
+			recordPoolStats(rec, arena, h0, m0, d0)
 		}
 	}
 	finish(res)

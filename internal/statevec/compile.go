@@ -330,21 +330,36 @@ func (p *Program) segment(from, to int) *segment {
 	}
 	// Cross-program content lookup: any program whose [from, to) range
 	// lowers to identical kernels (same gates, same floats, same fusion
-	// mode) shares the one compiled segment.
+	// mode) shares the one compiled segment. Hits are verified against
+	// cheap content discriminators; a 64-bit digest collision falls back
+	// to a private compile without publishing.
 	ck := p.contentKey(from, to)
-	seg = sharedSegment(ck)
-	if seg != nil {
+	disc := p.discriminators(from, to)
+	rec := p.opt.Recorder
+	shared, collided := sharedSegment(ck, disc)
+	if shared != nil {
+		seg = shared
 		segHits.Add(1)
-		if rec := p.opt.Recorder; rec != nil {
+		if rec != nil {
 			rec.Add(obs.SegCacheHits, 1)
 		}
 	} else {
 		segMisses.Add(1)
-		if rec := p.opt.Recorder; rec != nil {
+		if rec != nil {
 			rec.Add(obs.SegCacheMisses, 1)
+			if collided {
+				rec.Add(obs.SegCacheCollisions, 1)
+			}
 		}
 		ks, ops := lowerSegment(p.layers, from, to, p.opt.Fuse)
-		seg = publishSegment(ck, &segment{kernels: ks, ops: ops})
+		seg = &segment{kernels: ks, ops: ops}
+		if !collided {
+			var evicted int64
+			seg, evicted = publishSegment(ck, disc, seg)
+			if rec != nil && evicted > 0 {
+				rec.Add(obs.SegCacheEvictions, evicted)
+			}
+		}
 	}
 	p.mu.Lock()
 	if prior := p.segs[key]; prior != nil {

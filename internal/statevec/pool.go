@@ -13,27 +13,55 @@ import (
 // lists would strand buffers); after warm-up every acquisition is a free-
 // list pop and the steady-state hot loop performs zero heap allocations.
 //
+// Each size class retains at most a bounded number of idle buffers
+// (DefaultPoolRetain unless NewBufferPoolRetain says otherwise); releases
+// beyond the cap are dropped to the GC and counted in Drops. Without the
+// cap, a long-lived arena serving mixed job sizes — the cmd/qsimd daemon —
+// retains the high-water mark of every size class it ever saw, forever.
+// The cap is far above the steady-state working set of a single run, so
+// one-shot behavior (and the `make alloc-gate` zero-alloc contract) is
+// unchanged.
+//
 // Buffers come back with unspecified contents — callers overwrite them via
 // CopyFrom or Reset. The zero value is not usable; use NewBufferPool.
 type BufferPool struct {
 	mu      sync.Mutex
+	retain  int
 	bufs    map[int][][]complex128 // raw buffers by length
 	states  map[int][]*State       // state registers by qubit count
 	batches map[batchKey][]*BatchState
 	hits    atomic.Int64
 	misses  atomic.Int64
+	drops   atomic.Int64
 }
 
 type batchKey struct{ n, lanes int }
 
-// NewBufferPool returns an empty pool.
-func NewBufferPool() *BufferPool {
+// DefaultPoolRetain is the default per-size-class retention cap: the
+// maximum number of idle buffers (or states, or batch registers) one size
+// class keeps. A run's concurrent buffer demand is bounded by its MSV plus
+// per-worker scratch, comfortably below this; the cap only bites when a
+// long-lived arena outlives the workload that filled it.
+const DefaultPoolRetain = 128
+
+// NewBufferPool returns an empty pool with the default retention cap.
+func NewBufferPool() *BufferPool { return NewBufferPoolRetain(DefaultPoolRetain) }
+
+// NewBufferPoolRetain returns an empty pool retaining at most perClass
+// idle buffers in each size class. perClass <= 0 means unbounded (the
+// pre-cap behavior, for callers that manage lifetime themselves).
+func NewBufferPoolRetain(perClass int) *BufferPool {
 	return &BufferPool{
+		retain:  perClass,
 		bufs:    make(map[int][][]complex128),
 		states:  make(map[int][]*State),
 		batches: make(map[batchKey][]*BatchState),
 	}
 }
+
+// full reports whether a size class holding n idle entries is at its
+// retention cap. Caller holds mu.
+func (p *BufferPool) full(n int) bool { return p.retain > 0 && n >= p.retain }
 
 // Get returns a buffer of exactly size elements with unspecified contents.
 func (p *BufferPool) Get(size int) []complex128 {
@@ -52,12 +80,18 @@ func (p *BufferPool) Get(size int) []complex128 {
 	return make([]complex128, size)
 }
 
-// Put returns a buffer to its size class. nil is ignored.
+// Put returns a buffer to its size class, dropping it when the class is
+// at its retention cap. nil is ignored.
 func (p *BufferPool) Put(buf []complex128) {
 	if buf == nil {
 		return
 	}
 	p.mu.Lock()
+	if p.full(len(p.bufs[len(buf)])) {
+		p.mu.Unlock()
+		p.drops.Add(1)
+		return
+	}
 	p.bufs[len(buf)] = append(p.bufs[len(buf)], buf)
 	p.mu.Unlock()
 }
@@ -80,12 +114,18 @@ func (p *BufferPool) GetState(n int) *State {
 	return &State{n: n, amp: make([]complex128, 1<<uint(n))}
 }
 
-// PutState returns a state register to the pool. nil is ignored.
+// PutState returns a state register to the pool, dropping it when the
+// class is at its retention cap. nil is ignored.
 func (p *BufferPool) PutState(s *State) {
 	if s == nil {
 		return
 	}
 	p.mu.Lock()
+	if p.full(len(p.states[s.n])) {
+		p.mu.Unlock()
+		p.drops.Add(1)
+		return
+	}
 	p.states[s.n] = append(p.states[s.n], s)
 	p.mu.Unlock()
 }
@@ -109,13 +149,19 @@ func (p *BufferPool) GetBatch(n, lanes int) *BatchState {
 	return NewBatchState(n, lanes)
 }
 
-// PutBatch returns a batch register to the pool. nil is ignored.
+// PutBatch returns a batch register to the pool, dropping it when the
+// class is at its retention cap. nil is ignored.
 func (p *BufferPool) PutBatch(b *BatchState) {
 	if b == nil {
 		return
 	}
 	p.mu.Lock()
 	key := batchKey{b.n, b.lanes}
+	if p.full(len(p.batches[key])) {
+		p.mu.Unlock()
+		p.drops.Add(1)
+		return
+	}
 	p.batches[key] = append(p.batches[key], b)
 	p.mu.Unlock()
 }
@@ -124,4 +170,27 @@ func (p *BufferPool) PutBatch(b *BatchState) {
 // and GetBatch. A miss allocates; a steady-state run shows hits only.
 func (p *BufferPool) Stats() (hits, misses int64) {
 	return p.hits.Load(), p.misses.Load()
+}
+
+// Drops returns the number of releases discarded because their size class
+// was at its retention cap.
+func (p *BufferPool) Drops() int64 { return p.drops.Load() }
+
+// Retained returns the current number of idle buffers held across all
+// size classes (raw buffers + state registers + batch registers), for
+// bound checks and daemon stats.
+func (p *BufferPool) Retained() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, l := range p.bufs {
+		n += len(l)
+	}
+	for _, l := range p.states {
+		n += len(l)
+	}
+	for _, l := range p.batches {
+		n += len(l)
+	}
+	return n
 }

@@ -1,0 +1,83 @@
+package statevec
+
+import "testing"
+
+// TestPoolRetentionCap: each size class keeps at most the configured
+// number of idle buffers; overflow releases are dropped and counted, and
+// Get still serves what was retained.
+func TestPoolRetentionCap(t *testing.T) {
+	p := NewBufferPoolRetain(2)
+
+	for i := 0; i < 5; i++ {
+		p.Put(make([]complex128, 8))
+	}
+	if got := p.Retained(); got != 2 {
+		t.Fatalf("raw buffers retained %d, want 2", got)
+	}
+	if got := p.Drops(); got != 3 {
+		t.Fatalf("drops %d, want 3", got)
+	}
+
+	// A different size is its own class with its own cap.
+	for i := 0; i < 3; i++ {
+		p.Put(make([]complex128, 16))
+	}
+	if got := p.Retained(); got != 4 {
+		t.Fatalf("retained across two classes %d, want 4", got)
+	}
+	if got := p.Drops(); got != 4 {
+		t.Fatalf("drops %d, want 4", got)
+	}
+
+	// States and batch registers are capped the same way.
+	for i := 0; i < 4; i++ {
+		p.PutState(NewState(3))
+	}
+	for i := 0; i < 4; i++ {
+		p.PutBatch(NewBatchState(2, 2))
+	}
+	if got := p.Retained(); got != 8 {
+		t.Fatalf("retained with states and batches %d, want 8", got)
+	}
+	if got := p.Drops(); got != 8 {
+		t.Fatalf("drops with states and batches %d, want 8", got)
+	}
+
+	// The retained buffers are still served as hits.
+	p.Get(8)
+	p.Get(8)
+	p.Get(8) // third is a miss: the class only kept two
+	hits, misses := p.Stats()
+	if hits != 2 || misses != 1 {
+		t.Fatalf("(hits %d, misses %d), want (2, 1)", hits, misses)
+	}
+}
+
+// TestPoolUnboundedRetention: perClass <= 0 disables the cap (the
+// pre-daemon behavior for callers that manage lifetime themselves).
+func TestPoolUnboundedRetention(t *testing.T) {
+	p := NewBufferPoolRetain(0)
+	for i := 0; i < 500; i++ {
+		p.Put(make([]complex128, 4))
+	}
+	if got := p.Retained(); got != 500 {
+		t.Fatalf("retained %d, want 500", got)
+	}
+	if got := p.Drops(); got != 0 {
+		t.Fatalf("drops %d, want 0", got)
+	}
+}
+
+// TestPoolDefaultRetention: NewBufferPool applies DefaultPoolRetain.
+func TestPoolDefaultRetention(t *testing.T) {
+	p := NewBufferPool()
+	for i := 0; i < DefaultPoolRetain+10; i++ {
+		p.Put(make([]complex128, 2))
+	}
+	if got := p.Retained(); got != DefaultPoolRetain {
+		t.Fatalf("retained %d, want %d", got, DefaultPoolRetain)
+	}
+	if got := p.Drops(); got != 10 {
+		t.Fatalf("drops %d, want 10", got)
+	}
+}

@@ -82,20 +82,33 @@ func (p *Program) reverseSegment(from, to int) *segment {
 		return seg
 	}
 	ck := p.contentKeyRev(from, to)
-	seg = sharedSegment(ck)
-	if seg != nil {
+	disc := p.discriminators(from, to)
+	rec := p.opt.Recorder
+	shared, collided := sharedSegment(ck, disc)
+	if shared != nil {
+		seg = shared
 		segHits.Add(1)
-		if rec := p.opt.Recorder; rec != nil {
+		if rec != nil {
 			rec.Add(obs.SegCacheHits, 1)
 		}
 	} else {
 		segMisses.Add(1)
-		if rec := p.opt.Recorder; rec != nil {
+		if rec != nil {
 			rec.Add(obs.SegCacheMisses, 1)
+			if collided {
+				rec.Add(obs.SegCacheCollisions, 1)
+			}
 		}
 		rev := reverseLayers(p.layers[from:to])
 		ks, ops := lowerSegment(rev, 0, len(rev), p.opt.Fuse)
-		seg = publishSegment(ck, &segment{kernels: ks, ops: ops})
+		seg = &segment{kernels: ks, ops: ops}
+		if !collided {
+			var evicted int64
+			seg, evicted = publishSegment(ck, disc, seg)
+			if rec != nil && evicted > 0 {
+				rec.Add(obs.SegCacheEvictions, evicted)
+			}
+		}
 	}
 	p.mu.Lock()
 	if prior := p.revSegs[key]; prior != nil {

@@ -24,10 +24,27 @@ import (
 // configurations (striping is a Program-level run concern, not a segment
 // property).
 //
-// The cache is process-global and unbounded — segments are small (a few
-// fused kernels each) and the working set is the distinct circuit
-// content of the run. ResetSegmentCache exists for tests and for
-// long-lived processes that switch workloads.
+// The cache is process-global. Two properties matter for long-running
+// processes (cmd/qsimd) that a one-shot CLI run never exercised:
+//
+//   - Bounded growth. An unbounded map grows with every distinct circuit
+//     a daemon ever serves. SetSegmentCacheCapacity bounds the entry
+//     count; eviction is second-chance (clock): every hit sets a
+//     reference bit, the clock hand clears bits until it finds an
+//     unreferenced entry and evicts it. The default capacity is
+//     unbounded, preserving one-shot behavior.
+//
+//   - Verified hits. A 64-bit digest can collide, and a collision would
+//     silently hand one tenant's compiled kernels to another tenant's
+//     different circuit. Every entry therefore stores cheap
+//     discriminators of the content that produced it — the layer count
+//     and the lowered-op count of the range — and a hit is served only
+//     when they match the requesting program's range. A mismatch is
+//     counted as a collision and the requester compiles privately
+//     (without publishing: the key is poisoned for its content).
+//
+// ResetSegmentCache exists for tests and for long-lived processes that
+// switch workloads.
 
 // segContentKey identifies a compiled segment by what it computes, not
 // where it came from. The rev bit distinguishes the reverse lowering of a
@@ -42,36 +59,106 @@ type segContentKey struct {
 	hash uint64
 }
 
+// segDiscriminators are the cheap content properties a requester can
+// compute without lowering, checked on every hit to reject 64-bit digest
+// collisions. Layer count and lowered-op count are independent of the
+// digest chain, so two ranges that collide in FNV-1a still disagree here
+// unless they are structurally near-identical.
+type segDiscriminators struct {
+	layers int // range length, to - from
+	ops    int // lowered ops in the range (identity gates included)
+}
+
+// segEntry is one cached segment plus its verification discriminators and
+// second-chance reference bit. The ref bit is atomic so hits (read lock)
+// can set it while the clock hand (write lock) clears it.
+type segEntry struct {
+	seg  *segment
+	disc segDiscriminators
+	ref  atomic.Bool
+}
+
 var (
-	segShareMu sync.RWMutex
-	segShare   = make(map[segContentKey]*segment)
-	segHits    atomic.Int64
-	segMisses  atomic.Int64
+	segShareMu    sync.RWMutex
+	segShare      = make(map[segContentKey]*segEntry)
+	segRing       []segContentKey // clock ring over the cached keys
+	segHand       int             // clock hand index into segRing
+	segCap        int             // max entries; 0 = unbounded
+	segHits       atomic.Int64
+	segMisses     atomic.Int64
+	segEvictions  atomic.Int64
+	segCollisions atomic.Int64
 )
 
 // SegmentCacheStats returns the cumulative hit and miss counts of the
 // content-addressed segment cache since process start (or the last
-// ResetSegmentCache).
+// ResetSegmentCache). A collision-rejected lookup counts as a miss (the
+// requester lowers privately).
 func SegmentCacheStats() (hits, misses int64) {
 	return segHits.Load(), segMisses.Load()
 }
 
-// ResetSegmentCache empties the content-addressed segment cache and
-// zeroes its statistics. Intended for tests.
-func ResetSegmentCache() {
-	segShareMu.Lock()
-	segShare = make(map[segContentKey]*segment)
-	segShareMu.Unlock()
-	segHits.Store(0)
-	segMisses.Store(0)
-}
+// SegmentCacheEvictions returns the number of entries the bounded cache
+// has evicted since process start (or the last ResetSegmentCache).
+func SegmentCacheEvictions() int64 { return segEvictions.Load() }
 
-// segmentCacheLen returns the number of cached segments (test hook).
-func segmentCacheLen() int {
+// SegmentCacheCollisions returns the number of lookups that matched a
+// 64-bit content digest but failed discriminator verification.
+func SegmentCacheCollisions() int64 { return segCollisions.Load() }
+
+// SegmentCacheSize returns the current number of cached segments.
+func SegmentCacheSize() int {
 	segShareMu.RLock()
 	defer segShareMu.RUnlock()
 	return len(segShare)
 }
+
+// SetSegmentCacheCapacity bounds the content-addressed segment cache to
+// at most cap entries (0 restores the unbounded default) and returns the
+// previous capacity. Shrinking below the current size evicts immediately.
+// Long-running processes serving varied circuits should set a bound; the
+// working set of a one-shot run is its distinct circuit content, so the
+// CLIs leave it unbounded.
+func SetSegmentCacheCapacity(capacity int) int {
+	if capacity < 0 {
+		capacity = 0
+	}
+	segShareMu.Lock()
+	defer segShareMu.Unlock()
+	prev := segCap
+	segCap = capacity
+	if segCap > 0 {
+		for len(segShare) > segCap {
+			evictLocked()
+		}
+	}
+	return prev
+}
+
+// SegmentCacheCapacity returns the configured capacity (0 = unbounded).
+func SegmentCacheCapacity() int {
+	segShareMu.RLock()
+	defer segShareMu.RUnlock()
+	return segCap
+}
+
+// ResetSegmentCache empties the content-addressed segment cache and
+// zeroes its statistics. The configured capacity survives. Intended for
+// tests and for long-lived processes that switch workloads.
+func ResetSegmentCache() {
+	segShareMu.Lock()
+	segShare = make(map[segContentKey]*segEntry)
+	segRing = nil
+	segHand = 0
+	segShareMu.Unlock()
+	segHits.Store(0)
+	segMisses.Store(0)
+	segEvictions.Store(0)
+	segCollisions.Store(0)
+}
+
+// segmentCacheLen returns the number of cached segments (test hook).
+func segmentCacheLen() int { return SegmentCacheSize() }
 
 const (
 	fnvOffset64 = 14695981039346656037
@@ -140,31 +227,105 @@ func (p *Program) contentKey(from, to int) segContentKey {
 
 // contentKeyRev is contentKey for the reverse lowering of the same range.
 // The reverse content is a pure function of the forward content, so the
-// forward digest plus the direction bit addresses it.
+// forward digest plus the direction bit addresses it. The discriminators
+// of the reverse range equal the forward ones (reversal permutes ops, it
+// does not add or remove any).
 func (p *Program) contentKeyRev(from, to int) segContentKey {
 	ck := p.contentKey(from, to)
 	ck.rev = true
 	return ck
 }
 
-// sharedSegment looks up a content key in the global cache, returning nil
-// on miss.
-func sharedSegment(ck segContentKey) *segment {
+// discriminators computes the verification discriminators of layers
+// [from, to) without lowering anything: O(layers) slice-length sums.
+func (p *Program) discriminators(from, to int) segDiscriminators {
+	ops := 0
+	for l := from; l < to; l++ {
+		ops += len(p.layers[l])
+	}
+	return segDiscriminators{layers: to - from, ops: ops}
+}
+
+// sharedSegment looks up a content key in the global cache and verifies
+// the stored discriminators against the requester's. It returns the
+// segment on a verified hit; (nil, true) when the digest matched but the
+// discriminators did not (a 64-bit collision — the caller must compile
+// privately and must not publish under this key); and (nil, false) on a
+// plain miss.
+func sharedSegment(ck segContentKey, disc segDiscriminators) (*segment, bool) {
 	segShareMu.RLock()
-	seg := segShare[ck]
+	e := segShare[ck]
 	segShareMu.RUnlock()
-	return seg
+	if e == nil {
+		return nil, false
+	}
+	if e.disc != disc {
+		segCollisions.Add(1)
+		return nil, true
+	}
+	e.ref.Store(true)
+	return e.seg, false
 }
 
 // publishSegment stores a freshly lowered segment under its content key,
 // returning the winner if another goroutine published the same content
-// first (both lowered identical kernels; keeping one maximizes sharing).
-func publishSegment(ck segContentKey, seg *segment) *segment {
+// first (both lowered identical kernels; keeping one maximizes sharing)
+// and the number of entries evicted to make room. When the prior entry
+// under the key has different discriminators — a collision discovered at
+// publish time — the caller's segment is returned unpublished.
+func publishSegment(ck segContentKey, disc segDiscriminators, seg *segment) (*segment, int64) {
 	segShareMu.Lock()
 	defer segShareMu.Unlock()
 	if prior := segShare[ck]; prior != nil {
-		return prior
+		if prior.disc != disc {
+			segCollisions.Add(1)
+			return seg, 0
+		}
+		return prior.seg, 0
 	}
-	segShare[ck] = seg
-	return seg
+	var evicted int64
+	if segCap > 0 {
+		for len(segShare) >= segCap {
+			evictLocked()
+			evicted++
+		}
+	}
+	e := &segEntry{seg: seg, disc: disc}
+	segShare[ck] = e
+	segRing = append(segRing, ck)
+	return seg, evicted
+}
+
+// evictLocked removes one entry chosen by the second-chance clock sweep:
+// advance the hand, clearing reference bits, until an unreferenced entry
+// is found. Ring slots whose key was already removed (stale after a
+// previous eviction swap) are compacted on the way. Caller holds the
+// write lock; the cache must be non-empty.
+func evictLocked() {
+	for {
+		if len(segRing) == 0 {
+			return
+		}
+		if segHand >= len(segRing) {
+			segHand = 0
+		}
+		k := segRing[segHand]
+		e := segShare[k]
+		if e == nil {
+			// Stale slot: the key was displaced earlier; drop the slot.
+			segRing[segHand] = segRing[len(segRing)-1]
+			segRing = segRing[:len(segRing)-1]
+			continue
+		}
+		if e.ref.Load() {
+			e.ref.Store(false)
+			segHand++
+			continue
+		}
+		delete(segShare, k)
+		segRing[segHand] = segRing[len(segRing)-1]
+		segRing = segRing[:len(segRing)-1]
+		segEvictions.Add(1)
+		return
+	}
 }
