@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race race-verify bench bench-json bench-regress alloc-gate verify verify-deep selftest fuzz-smoke metrics-smoke serve-smoke
+.PHONY: build vet test race race-verify bench bench-json bench-regress alloc-gate verify verify-deep selftest fuzz-smoke metrics-smoke serve-smoke trace-smoke
 
 build:
 	$(GO) build ./...
@@ -65,6 +65,18 @@ metrics-smoke: build
 	$(GO) run ./cmd/qsim -bench qv_n5d5 -trials 512 -mode both -metrics /tmp/qsim_metrics_smoke.json -prom-smoke -sample-interval 20ms
 	$(GO) run ./cmd/qsim -verify-metrics /tmp/qsim_metrics_smoke.json
 
+# End-to-end tracing check: run a fused QV circuit with span-trace
+# capture, then re-read the exported Chrome trace-event JSON and verify
+# it is Perfetto-loadable with exact span nesting (one root, every
+# parent resolvable, children contained in their parents). The serve
+# smoke (below, also under verify-deep) covers the HTTP side: traces
+# scraped from a live qsimd over /v1/traces with the traceparent header
+# propagated and segment-compile spans reconciled against segcache
+# misses.
+trace-smoke: build
+	$(GO) run ./cmd/qsim -bench qv_n5d5 -trials 512 -mode reordered -fuse exact -workers 2 -trace-out /tmp/qsim_trace_smoke.json
+	$(GO) run ./cmd/qsim -verify-trace /tmp/qsim_trace_smoke.json
+
 # Daemon smoke test: start a qsimd core on a loopback listener, drive it
 # with the client-side load generator (one cold job, then identical jobs
 # fanned out across tenants), and assert the daemon contract end to end —
@@ -87,6 +99,7 @@ fuzz-smoke:
 	$(GO) test -run ^$$ -fuzz FuzzCompileParity -fuzztime 10s ./internal/statevec
 	$(GO) test -run ^$$ -fuzz FuzzDaggerRoundTrip -fuzztime 10s ./internal/statevec
 	$(GO) test -run ^$$ -fuzz FuzzBatchedSweepParity -fuzztime 10s ./internal/statevec
+	$(GO) test -run ^$$ -fuzz FuzzParseTraceparent -fuzztime 10s ./internal/trace
 
 # The deep correctness gate: everything verify runs, plus vet, the race
 # detector over the whole tree (includes the -short-gated deep
@@ -100,6 +113,7 @@ verify-deep: build
 	$(MAKE) fuzz-smoke
 	$(MAKE) selftest
 	$(MAKE) alloc-gate
+	$(MAKE) trace-smoke
 	$(MAKE) serve-smoke
 	$(GO) run ./cmd/repro -exp batch
 	$(GO) run ./cmd/repro -exp uncompute

@@ -28,6 +28,7 @@ import (
 	"repro/internal/reorder"
 	"repro/internal/sim"
 	"repro/internal/statevec"
+	"repro/internal/trace"
 	"repro/internal/trial"
 )
 
@@ -278,6 +279,18 @@ func buildScenarios(c *circuit.Circuit, plan *reorder.Plan, trials []*trial.Tria
 		}},
 		{"fused-numeric", static, func() (int64, error) {
 			res, err := sim.ExecutePlan(c, plan, sim.Options{Fuse: statevec.FuseNumeric})
+			return opsOf(res), err
+		}},
+		// fused-traced runs the same fused plan with a live span tree
+		// attached. Benchmarked against fused-numeric under bench-regress,
+		// it pins the tracing overhead: spans open only at structural
+		// boundaries, so the two must stay statistically indistinguishable
+		// (and ops identical — tracing is an observer).
+		{"fused-traced", static, func() (int64, error) {
+			tracer := trace.New(trace.Config{Seed: 1})
+			root := tracer.Start("qbench", trace.SpanContext{})
+			res, err := sim.ExecutePlan(c, plan, sim.Options{Fuse: statevec.FuseNumeric, Span: root})
+			root.End()
 			return opsOf(res), err
 		}},
 		{fmt.Sprintf("subtree-parallel-%dw", workers), static, func() (int64, error) {

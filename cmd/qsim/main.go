@@ -54,6 +54,13 @@
 //	-trace file     write the plan-trace event stream (snapshot push/
 //	                drop/restore, task spawns, emits) as JSON to file
 //	-trace-summary  print a flame-style per-depth summary of the trace
+//	-trace-out file write the run's causal span trace (phases, executors,
+//	                segment compiles) as Chrome trace-event JSON; load it
+//	                in Perfetto or chrome://tracing
+//	-verify-trace file
+//	                validate a -trace-out file (well-formed JSON, one
+//	                root, exact span nesting) and exit; nonzero on any
+//	                violation
 //	-pprof addr     serve net/http/pprof, expvar, and Prometheus text
 //	                exposition on addr (e.g. localhost:6060); live
 //	                metrics appear at /debug/vars and /metrics
@@ -105,6 +112,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/statevec"
 	"repro/internal/stats"
+	qtrace "repro/internal/trace"
 	"repro/internal/trial"
 )
 
@@ -145,6 +153,8 @@ func run() error {
 	verifyPath := flag.String("verify-metrics", "", "validate a -metrics JSON file and exit")
 	tracePath := flag.String("trace", "", "write the plan-trace event stream as JSON to this file")
 	traceSummary := flag.Bool("trace-summary", false, "print a flame-style summary of the plan trace")
+	traceOut := flag.String("trace-out", "", "write the run's span trace as Chrome trace-event JSON (Perfetto-loadable) to this file")
+	verifyTracePath := flag.String("verify-trace", "", "validate a -trace-out trace file (JSON, span nesting) and exit")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof, expvar, and /metrics on this address")
 	sampleInterval := flag.Duration("sample-interval", 0, "runtime.MemStats sampling interval (0 = off)")
 	promSmoke := flag.Bool("prom-smoke", false, "scrape and validate the Prometheus exposition in-process after the run")
@@ -159,6 +169,13 @@ func run() error {
 
 	if *verifyPath != "" {
 		return verifyMetrics(*verifyPath)
+	}
+	if *verifyTracePath != "" {
+		if err := qtrace.ValidateChromeFile(*verifyTracePath); err != nil {
+			return err
+		}
+		fmt.Printf("trace ok: %s\n", *verifyTracePath)
+		return nil
 	}
 	if *selftest {
 		return difftest.SelfTest(os.Stdout, *seed, *selftestRuns)
@@ -283,6 +300,15 @@ func run() error {
 			obs.Multi(recorders...), *top)
 	}
 
+	// -trace-out: a span tracer with sampling forced to keep-all — a
+	// one-shot CLI run always keeps its single trace.
+	var rootSpan *qtrace.Span
+	if *traceOut != "" {
+		tracer := qtrace.New(qtrace.Config{SampleRate: 1})
+		rootSpan = tracer.Start("qsim", qtrace.SpanContext{},
+			qtrace.String("circuit", circ.Name()))
+	}
+
 	start := time.Now()
 	rep, err := core.Run(core.Config{
 		Circuit:         circ,
@@ -301,7 +327,21 @@ func run() error {
 		Policy:          policy,
 		MemProbe:        memProbe,
 		Recorder:        obs.Multi(recorders...),
+		Span:            rootSpan,
 	})
+	if rootSpan != nil {
+		// Failed runs export too: an errored trace is exactly what the
+		// flag is for.
+		if err != nil {
+			rootSpan.SetError(err)
+		}
+		rootSpan.End()
+		if werr := rootSpan.Trace().WriteChromeFile(*traceOut); werr != nil {
+			return fmt.Errorf("-trace-out: %v", werr)
+		}
+		logger.Info("span trace written", "path", *traceOut,
+			"trace_id", rootSpan.TraceIDString(), "spans", len(rootSpan.Trace().Spans()))
+	}
 	if err != nil {
 		return err
 	}

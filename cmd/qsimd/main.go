@@ -21,14 +21,21 @@
 //	-pool-retain n    idle buffers retained per size class (default 128,
 //	                  -1 = unbounded)
 //	-sample-interval d poll runtime.MemStats every d and export gauges
+//	-trace-ring n     kept request traces held in memory (default 64)
+//	-trace-sample f   keep rate for traces that are neither errored nor
+//	                  in the slow tail (default 1 = keep all; negative
+//	                  keeps only errored/slow)
 //	-log-level l      debug, info, warn, error (default info)
 //	-log-json         emit structured logs as JSON lines
 //
 // API (see internal/service):
 //
-//	POST /v1/jobs      submit {"bench": "bv5", "trials": 512, ...}
+//	POST /v1/jobs      submit {"bench": "bv5", "trials": 512, ...};
+//	                   honors a W3C traceparent header
 //	GET  /v1/jobs/{id} poll status; "done" carries the outcome histogram
-//	GET  /v1/stats     segment cache / pool / queue snapshot
+//	GET  /v1/stats     segment cache / pool / queue / tracer snapshot
+//	GET  /v1/traces    kept request-trace summaries (tail-sampled)
+//	GET  /v1/traces/{id} one trace as Perfetto-loadable Chrome JSON
 //	GET  /metrics      Prometheus exposition (job "qsimd" + per-tenant)
 //	GET  /healthz      liveness (503 once draining)
 //
@@ -68,6 +75,8 @@ func run() error {
 	segCacheCap := flag.Int("segcache-cap", 4096, "max cached compiled segments (0 = unbounded)")
 	poolRetain := flag.Int("pool-retain", 0, "idle buffers retained per pool size class (0 = default, -1 = unbounded)")
 	sampleInterval := flag.Duration("sample-interval", 0, "runtime.MemStats sampling interval (0 = off)")
+	traceRing := flag.Int("trace-ring", 0, "kept request traces held in memory (0 = default 64)")
+	traceSample := flag.Float64("trace-sample", 0, "keep rate for unremarkable finished traces (0 = keep all, negative = errored/slow only)")
 	drainTimeout := flag.Duration("drain-timeout", time.Minute, "max time to finish admitted jobs on shutdown")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	logJSON := flag.Bool("log-json", false, "emit logs as JSON")
@@ -83,6 +92,8 @@ func run() error {
 		QueueCap:    *queueCap,
 		SegCacheCap: *segCacheCap,
 		PoolRetain:  *poolRetain,
+		TraceRing:   *traceRing,
+		TraceSample: *traceSample,
 		Logger:      logger,
 	})
 	if *sampleInterval > 0 {

@@ -28,6 +28,7 @@ import (
 	"repro/internal/reorder"
 	"repro/internal/sim"
 	"repro/internal/statevec"
+	"repro/internal/trace"
 	"repro/internal/transpile"
 	"repro/internal/trial"
 )
@@ -143,6 +144,13 @@ type Config struct {
 	// the qsimd daemon — pass one pool across every job so buffers stay
 	// warm between requests. nil gives each run a private arena.
 	Pool *statevec.BufferPool
+	// Span, when non-nil, parents the run's causal trace: Run opens one
+	// child per pipeline phase (trial_gen, sort, plan_build, execute —
+	// mirroring the Recorder's phase timings) and threads the execute
+	// child into the sim executors, which hang their own spans and
+	// segment-compile children under it. nil disables tracing; like the
+	// Recorder, a span never changes any Result field.
+	Span *trace.Span
 }
 
 // Report is the outcome of Run.
@@ -199,9 +207,21 @@ func Run(cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Span != nil {
+		cfg.Span.SetAttr(
+			trace.Int("qubits", int64(rep.Circuit.NumQubits())),
+			trace.Int("trials", int64(cfg.Trials)),
+			trace.Int("seed", cfg.Seed),
+			trace.String("mode", cfg.Mode.String()),
+			trace.String("fuse", cfg.Fuse.String()),
+			trace.String("policy", cfg.Policy.String()),
+			trace.Int("workers", int64(cfg.Workers)))
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	genDone := obs.StartPhase(cfg.Recorder, obs.PhaseTrialGen)
+	genSpan := cfg.Span.Child("trial_gen")
 	rep.Trials = gen.Generate(rng, cfg.Trials)
+	genSpan.End()
 	genDone()
 	rep.TrialStats = trial.Summarize(rep.Trials)
 
@@ -209,7 +229,9 @@ func Run(cfg Config) (*Report, error) {
 	// from the presorted order is equivalent to BuildPlan/BuildPlanBudget
 	// over the raw trial set.
 	sortDone := obs.StartPhase(cfg.Recorder, obs.PhaseSort)
+	sortSpan := cfg.Span.Child("sort")
 	ordered := reorder.Sort(rep.Trials)
+	sortSpan.End()
 	sortDone()
 	budget := math.MaxInt
 	if cfg.SnapshotBudget > 0 && cfg.Policy == sim.PolicySnapshot {
@@ -218,13 +240,25 @@ func Run(cfg Config) (*Report, error) {
 		budget = cfg.SnapshotBudget
 	}
 	planDone := obs.StartPhase(cfg.Recorder, obs.PhasePlanBuild)
+	planSpan := cfg.Span.Child("plan_build")
 	rep.Plan, err = reorder.BuildPlanOrderedBudget(rep.Circuit, ordered, budget)
-	planDone()
 	if err != nil {
+		planSpan.SetError(err)
+		planSpan.End()
+		planDone()
 		return nil, err
 	}
 	rep.Analysis = rep.Plan.Analysis()
+	if planSpan != nil {
+		planSpan.SetAttr(
+			trace.Int("optimized_ops", rep.Analysis.OptimizedOps),
+			trace.Int("baseline_ops", rep.Analysis.BaselineOps),
+			trace.Int("msv", int64(rep.Analysis.MSV)))
+	}
+	planSpan.End()
+	planDone()
 
+	execSpan := cfg.Span.Child("execute")
 	opt := sim.Options{
 		KeepStates:     cfg.KeepStates,
 		SnapshotBudget: cfg.SnapshotBudget,
@@ -234,6 +268,7 @@ func Run(cfg Config) (*Report, error) {
 		Policy:         cfg.Policy,
 		MemProbe:       cfg.MemProbe,
 		Pool:           cfg.Pool,
+		Span:           execSpan,
 	}
 	runReordered := func() (*sim.Result, error) {
 		if cfg.BatchLanes > 1 {
@@ -267,9 +302,21 @@ func Run(cfg Config) (*Report, error) {
 			rep.Reordered, err = runReordered()
 		}
 	default:
+		execSpan.End()
 		execDone()
 		return nil, fmt.Errorf("core: unknown mode %v", cfg.Mode)
 	}
+	if execSpan != nil {
+		if err != nil {
+			execSpan.SetError(err)
+		} else if rep.Reordered != nil {
+			execSpan.SetAttr(
+				trace.Int("ops", rep.Reordered.Ops),
+				trace.Int("copies", rep.Reordered.Copies),
+				trace.Int("msv", int64(rep.Reordered.MSV)))
+		}
+	}
+	execSpan.End()
 	execDone()
 	if err != nil {
 		return nil, err

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/statevec"
+	"repro/internal/trace"
 )
 
 // Service runs the daemon end to end in-process — the serve-smoke
@@ -31,6 +33,10 @@ import (
 //     the shared buffer arena within its retention cap.
 //   - Observability: /metrics serves a valid Prometheus exposition with
 //     aggregate and per-tenant series.
+//   - Tracing: the cold job, submitted with a W3C traceparent header,
+//     joins the caller's trace ID; /v1/traces lists every finished job
+//     and the exported Chrome JSON validates with segment-compile spans
+//     reconciling exactly against the job's segcache misses.
 //   - Lifecycle: drain finishes every admitted job and subsequent
 //     submissions are refused.
 //
@@ -98,12 +104,21 @@ func Service(cfg Config) (*Table, error) {
 		return nil, fmt.Errorf("harness: service: "+format, args...)
 	}
 
-	// Cold: the first request pays compilation for everyone after it.
+	// Cold: the first request pays compilation for everyone after it. It
+	// carries a traceparent header, so its whole causal tree — admission,
+	// queue wait, pipeline phases, every segment compile — lands under
+	// the caller's trace ID.
+	const callerTrace = "6e1fd9f64e5cadceb44c9c44ee7c9c6e"
+	client.Traceparent = "00-" + callerTrace + "-0102030405060708-01"
 	coldReq := req
 	coldReq.Tenant = "cold"
 	cold, err := client.Run(ctx, coldReq)
+	client.Traceparent = ""
 	if err != nil {
 		return fail("cold job: %v", err)
+	}
+	if cold.TraceID != callerTrace {
+		return fail("cold job trace_id %q, want propagated %q", cold.TraceID, callerTrace)
 	}
 	if cold.State != service.StateDone {
 		return fail("cold job ended %q: %s", cold.State, cold.Error)
@@ -162,6 +177,47 @@ func Service(cfg Config) (*Table, error) {
 	if st.SegCache.Collisions != 0 {
 		return fail("unexpected digest collisions: %d", st.SegCache.Collisions)
 	}
+
+	// Tracing: every finished job's trace is kept (default sampling keeps
+	// all), the cold trace exports as valid Perfetto-loadable Chrome
+	// JSON, and its segment_compile span count reconciles exactly with
+	// the job's own segcache misses.
+	sums, err := client.Traces(ctx)
+	if err != nil {
+		return fail("traces listing: %v", err)
+	}
+	if len(sums) < 1+warmJobs {
+		return fail("kept ring lists %d traces, want >= %d", len(sums), 1+warmJobs)
+	}
+	chrome, err := client.TraceChrome(ctx, callerTrace)
+	if err != nil {
+		return fail("trace export: %v", err)
+	}
+	if err := trace.ValidateChrome(chrome); err != nil {
+		return fail("trace export invalid: %v", err)
+	}
+	var ct trace.ChromeTrace
+	if err := json.Unmarshal(chrome, &ct); err != nil {
+		return fail("trace export: %v", err)
+	}
+	spanNames := map[string]int{}
+	for _, ev := range ct.TraceEvents {
+		if ev.Ph == "X" {
+			spanNames[ev.Name]++
+		}
+	}
+	for _, name := range []string{"request", "queue_wait", "plan_build", "execute"} {
+		if spanNames[name] != 1 {
+			return fail("cold trace has %d %q spans, want 1", spanNames[name], name)
+		}
+	}
+	if got := int64(spanNames["segment_compile"]); got != cold.SegCacheMisses {
+		return fail("cold trace has %d segment_compile spans, job reported %d segcache misses",
+			got, cold.SegCacheMisses)
+	}
+	t.AddRow("trace", fmt.Sprintf("%d", len(sums)), "-",
+		"-", fmt.Sprintf("%d", spanNames["segment_compile"]),
+		fmt.Sprintf("chrome export valid; %d spans under trace %s…", len(ct.TraceEvents), callerTrace[:8]))
 
 	// Observability: the exposition must parse and carry per-tenant series.
 	body, err := client.Metrics(ctx)

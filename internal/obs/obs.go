@@ -118,6 +118,19 @@ const (
 	JobsCompleted
 	// JobsFailed counts service jobs that finished with an error.
 	JobsFailed
+	// TracesStarted counts root spans opened by a trace.Tracer (one per
+	// traced request or CLI run).
+	TracesStarted
+	// TracesKept counts finished traces retained by the tail sampler
+	// (errored, slow-tail, or rate-sampled).
+	TracesKept
+	// TracesDropped counts finished traces the tail sampler discarded.
+	TracesDropped
+	// SpansStarted counts spans opened across all traces (roots included).
+	SpansStarted
+	// SpansDropped counts child spans refused because their trace hit its
+	// per-trace span cap.
+	SpansDropped
 
 	numCounters
 )
@@ -151,6 +164,11 @@ var counterNames = [numCounters]string{
 	JobsRejected:             "jobs_rejected",
 	JobsCompleted:            "jobs_completed",
 	JobsFailed:               "jobs_failed",
+	TracesStarted:            "traces_started",
+	TracesKept:               "traces_kept",
+	TracesDropped:            "traces_dropped",
+	SpansStarted:             "spans_started",
+	SpansDropped:             "spans_dropped",
 }
 
 // String returns the counter's canonical (JSON) name.

@@ -6,9 +6,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
+	"math/rand"
 	"net/http"
 	"sync"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // Client talks to a qsimd daemon over HTTP. The zero value is unusable;
@@ -16,8 +20,20 @@ import (
 type Client struct {
 	base string
 	hc   *http.Client
-	// PollInterval paces Wait's status polling (default 10ms).
+	// PollInterval is Wait's first polling delay (default 10ms). Wait
+	// backs off exponentially from it up to PollMax, so a client of a
+	// long job does not hammer the daemon at the initial cadence.
 	PollInterval time.Duration
+	// PollMax caps the backed-off polling delay (default 64 x
+	// PollInterval).
+	PollMax time.Duration
+	// Traceparent, when non-empty, is sent as the traceparent header on
+	// every Submit, joining the submissions to the caller's W3C trace.
+	// The daemon's request spans adopt its trace ID.
+	Traceparent string
+	// jitter perturbs each polling delay (see waitDelay); tests inject a
+	// deterministic function. nil uses a seeded PRNG.
+	jitter func() float64
 }
 
 // NewClient returns a client for the daemon at base (e.g.
@@ -50,6 +66,9 @@ func (c *Client) Submit(ctx context.Context, req JobRequest) (string, error) {
 		return "", err
 	}
 	hr.Header.Set("Content-Type", "application/json")
+	if c.Traceparent != "" {
+		hr.Header.Set("traceparent", c.Traceparent)
+	}
 	resp, err := c.hc.Do(hr)
 	if err != nil {
 		return "", err
@@ -85,6 +104,33 @@ func (c *Client) Stats(ctx context.Context) (*Stats, error) {
 	return &st, nil
 }
 
+// Traces fetches the daemon's kept-trace summaries, oldest first.
+func (c *Client) Traces(ctx context.Context) ([]trace.Summary, error) {
+	var out []trace.Summary
+	if err := c.getJSON(ctx, "/v1/traces", &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// TraceChrome fetches one kept trace as raw Chrome trace-event JSON
+// (Perfetto-loadable; validate with trace.ValidateChrome).
+func (c *Client) TraceChrome(ctx context.Context, id string) ([]byte, error) {
+	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/traces/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(hr)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
 // Metrics fetches the raw Prometheus exposition.
 func (c *Client) Metrics(ctx context.Context) (string, error) {
 	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
@@ -103,15 +149,13 @@ func (c *Client) Metrics(ctx context.Context) (string, error) {
 	return string(b), err
 }
 
-// Wait polls until the job leaves the queued/running states.
+// Wait polls until the job leaves the queued/running states, pacing the
+// polls with capped exponential backoff: the first delay is
+// PollInterval, each subsequent delay doubles up to PollMax, and every
+// delay is jittered into [d/2, d) so a fleet of synchronized clients
+// (RunLoad's fan-out) spreads its polls instead of thundering together.
 func (c *Client) Wait(ctx context.Context, id string) (*JobView, error) {
-	interval := c.PollInterval
-	if interval <= 0 {
-		interval = 10 * time.Millisecond
-	}
-	t := time.NewTicker(interval)
-	defer t.Stop()
-	for {
+	for attempt := 0; ; attempt++ {
 		v, err := c.Job(ctx, id)
 		if err != nil {
 			return nil, err
@@ -119,12 +163,50 @@ func (c *Client) Wait(ctx context.Context, id string) (*JobView, error) {
 		if v.State == StateDone || v.State == StateFailed {
 			return v, nil
 		}
+		t := time.NewTimer(c.waitDelay(attempt))
 		select {
 		case <-ctx.Done():
+			t.Stop()
 			return nil, ctx.Err()
 		case <-t.C:
 		}
 	}
+}
+
+// waitDelay computes Wait's attempt'th polling delay: PollInterval <<
+// attempt, capped at PollMax (default 64 x PollInterval), then jittered
+// multiplicatively into [d/2, d).
+func (c *Client) waitDelay(attempt int) time.Duration {
+	base := c.PollInterval
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	ceil := c.PollMax
+	if ceil <= 0 {
+		ceil = 64 * base
+	}
+	if ceil < base {
+		ceil = base
+	}
+	d := base
+	for i := 0; i < attempt && d < ceil; i++ {
+		d *= 2
+	}
+	if d > ceil {
+		d = ceil
+	}
+	jitter := c.jitter
+	if jitter == nil {
+		jitter = rand.Float64
+	}
+	f := jitter()
+	if f < 0 {
+		f = 0
+	} else if f >= 1 {
+		f = math.Nextafter(1, 0)
+	}
+	half := d / 2
+	return half + time.Duration(float64(half)*f)
 }
 
 // Run submits a job and waits for its result.

@@ -44,6 +44,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/statevec"
+	"repro/internal/trace"
 	"repro/internal/trial"
 )
 
@@ -64,6 +65,16 @@ type Config struct {
 	// amplitude-buffer arena. 0 means statevec.DefaultPoolRetain;
 	// negative means unbounded.
 	PoolRetain int
+	// TraceRing bounds the in-memory ring of kept traces served at
+	// GET /v1/traces (0 → trace.DefaultRingCap).
+	TraceRing int
+	// TraceSample is the tail sampler's keep rate for finished traces
+	// that are neither errored nor in the slow tail: 0 means keep all,
+	// negative keeps only errored/slow traces (see trace.Config).
+	TraceSample float64
+	// TraceSeed fixes trace/span ID generation for deterministic tests
+	// (0 → from the wall clock).
+	TraceSeed uint64
 	// Logger receives job lifecycle events. nil discards them.
 	Logger *slog.Logger
 }
@@ -126,6 +137,10 @@ type JobView struct {
 	ID     string   `json:"id"`
 	Tenant string   `json:"tenant"`
 	State  JobState `json:"state"`
+	// TraceID is the job's causal trace (32 hex digits): the trace the
+	// submission's traceparent header joined, or a fresh one minted at
+	// admission. Fetch the tree at GET /v1/traces/{trace_id} once kept.
+	TraceID string `json:"trace_id,omitempty"`
 	// Error is set when State is "failed".
 	Error string `json:"error,omitempty"`
 	// Counts histograms measured bitstrings (fixed-width binary keys,
@@ -151,6 +166,7 @@ type Stats struct {
 	Pool     PoolStats     `json:"pool"`
 	Queue    QueueStats    `json:"queue"`
 	Jobs     JobCounts     `json:"jobs"`
+	Traces   trace.Stats   `json:"traces"`
 	Tenants  []string      `json:"tenants"`
 	Draining bool          `json:"draining"`
 }
@@ -203,6 +219,13 @@ type job struct {
 	segHits   int64
 	segMisses int64
 	done      chan struct{}
+
+	// span is the job's root "request" span; queueSpan is its
+	// "queue_wait" child, open from admission until a worker picks the
+	// job up. traceID is cached so view never touches the trace lock.
+	span      *trace.Span
+	queueSpan *trace.Span
+	traceID   string
 }
 
 // Server is the qsimd daemon core: admission queue, worker pool, shared
@@ -214,6 +237,7 @@ type Server struct {
 	pool     *statevec.BufferPool
 	metrics  *obs.Metrics
 	exporter *obs.Exporter
+	tracer   *trace.Tracer
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -258,6 +282,12 @@ func New(cfg Config) *Server {
 		tenantQs: make(map[string][]*job),
 		tenantMs: make(map[string]*obs.Metrics),
 	}
+	s.tracer = trace.New(trace.Config{
+		SampleRate: cfg.TraceSample,
+		RingCap:    cfg.TraceRing,
+		Seed:       cfg.TraceSeed,
+		Recorder:   s.metrics,
+	})
 	s.cond = sync.NewCond(&s.mu)
 	s.exporter.Register("qsimd", s.metrics)
 	return s
@@ -282,6 +312,9 @@ func (s *Server) Metrics() *obs.Metrics { return s.metrics }
 
 // Pool returns the shared amplitude-buffer arena (test hook).
 func (s *Server) Pool() *statevec.BufferPool { return s.pool }
+
+// Tracer returns the daemon's span tracer (test and harness hook).
+func (s *Server) Tracer() *trace.Tracer { return s.tracer }
 
 // RequestError marks a submission invalid (HTTP 400).
 type RequestError struct{ msg string }
@@ -398,21 +431,44 @@ func (s *Server) buildConfig(req *JobRequest) (core.Config, error) {
 // Submit admits a job: validate, enqueue under the tenant, wake a worker.
 // Returns the job id, or RequestError / ErrQueueFull / ErrDraining.
 func (s *Server) Submit(req JobRequest) (string, error) {
+	return s.submit(req, "")
+}
+
+// submit is Submit with an optional incoming W3C traceparent header. A
+// valid header joins the caller's distributed trace (the request span
+// records the remote parent); anything else — including a malformed
+// header — starts a fresh root trace. Rejected submissions end their
+// trace with Discard so admission-control floods (queue-full storms,
+// fuzzed bodies) can never wash the kept-trace ring.
+func (s *Server) submit(req JobRequest, traceparent string) (string, error) {
+	parent, _ := trace.ParseTraceparent(traceparent)
+	rsp := s.tracer.Start("request", parent,
+		trace.String("tenant", req.Tenant),
+		trace.String("bench", req.Bench),
+		trace.Int("trials", int64(req.Trials)))
+	asp := rsp.Child("admission")
+	reject := func(err error) (string, error) {
+		asp.SetError(err)
+		asp.End()
+		rsp.SetError(err)
+		rsp.Discard()
+		return "", err
+	}
 	cfg, err := s.buildConfig(&req)
 	if err != nil {
-		return "", err
+		return reject(err)
 	}
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
 		s.metrics.Add(obs.JobsRejected, 1)
-		return "", ErrDraining
+		return reject(ErrDraining)
 	}
 	if s.queued >= s.cfg.QueueCap {
 		s.mu.Unlock()
 		s.metrics.Add(obs.JobsRejected, 1)
 		s.tenantMetrics(req.Tenant).Add(obs.JobsRejected, 1)
-		return "", ErrQueueFull
+		return reject(ErrQueueFull)
 	}
 	s.seq++
 	j := &job{
@@ -423,7 +479,12 @@ func (s *Server) Submit(req JobRequest) (string, error) {
 		state:     StateQueued,
 		submitted: time.Now(),
 		done:      make(chan struct{}),
+		span:      rsp,
+		traceID:   rsp.TraceIDString(),
 	}
+	rsp.SetAttr(trace.String("job", j.id))
+	asp.End()
+	j.queueSpan = rsp.Child("queue_wait")
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	if _, ok := s.tenantQs[j.tenant]; !ok {
@@ -437,7 +498,8 @@ func (s *Server) Submit(req JobRequest) (string, error) {
 	s.metrics.Add(obs.JobsAccepted, 1)
 	tm.Add(obs.JobsAccepted, 1)
 	s.cond.Signal()
-	s.logger.Debug("job accepted", "id", j.id, "tenant", j.tenant, "trials", req.Trials)
+	s.logger.Debug("job accepted", "id", j.id, "tenant", j.tenant, "trials", req.Trials,
+		"trace_id", j.traceID)
 	return j.id, nil
 }
 
@@ -509,10 +571,12 @@ func (s *Server) worker(i int) {
 // runJob executes one admitted job against the shared arena and segment
 // cache, recording into both the aggregate and the tenant recorder.
 func (s *Server) runJob(j *job) {
+	j.queueSpan.End()
 	tm := s.tenantMetrics(j.tenant)
 	rec := obs.Multi(s.metrics, tm)
 	cfg := j.cfg
 	cfg.Recorder = rec
+	cfg.Span = j.span
 
 	h0 := tm.Counter(obs.SegCacheHits)
 	m0 := tm.Counter(obs.SegCacheMisses)
@@ -540,6 +604,17 @@ func (s *Server) runJob(j *job) {
 	}
 	s.mu.Unlock()
 
+	if sp := j.span; sp != nil {
+		if err != nil {
+			sp.SetError(err)
+		} else {
+			sp.SetAttr(
+				trace.Int("ops", j.ops),
+				trace.Int("segcache_hits", j.segHits),
+				trace.Int("segcache_misses", j.segMisses))
+		}
+		sp.End()
+	}
 	for _, m := range []*obs.Metrics{s.metrics, tm} {
 		m.Observe(obs.HistJobQueueWait, wait)
 		m.Observe(obs.HistJobLatency, total)
@@ -550,11 +625,13 @@ func (s *Server) runJob(j *job) {
 		}
 	}
 	if err != nil {
-		s.logger.Warn("job failed", "id", j.id, "tenant", j.tenant, "err", err)
+		s.logger.Warn("job failed", "id", j.id, "tenant", j.tenant, "err", err,
+			"trace_id", j.traceID, "span_id", j.span.IDString())
 	} else {
 		s.logger.Info("job done", "id", j.id, "tenant", j.tenant,
 			"ops", j.ops, "wait_ms", wait/1e6, "run_ms", (total-wait)/1e6,
-			"segcache_hits", j.segHits, "segcache_misses", j.segMisses)
+			"segcache_hits", j.segHits, "segcache_misses", j.segMisses,
+			"trace_id", j.traceID, "span_id", j.span.IDString())
 	}
 	close(j.done)
 }
@@ -625,6 +702,7 @@ func (s *Server) view(j *job) JobView {
 		ID:             j.id,
 		Tenant:         j.tenant,
 		State:          j.state,
+		TraceID:        j.traceID,
 		Trials:         j.req.Trials,
 		SegCacheHits:   j.segHits,
 		SegCacheMisses: j.segMisses,
@@ -681,6 +759,7 @@ func (s *Server) Stats() Stats {
 			Completed: s.metrics.Counter(obs.JobsCompleted),
 			Failed:    s.metrics.Counter(obs.JobsFailed),
 		},
+		Traces: s.tracer.Stats(),
 		Tenants:  tenants,
 		Draining: s.draining,
 	}
@@ -693,14 +772,23 @@ func (s *Server) Stats() Stats {
 //	GET  /v1/jobs/{id} job status and result
 //	GET  /v1/jobs      all jobs in admission order
 //	GET  /v1/stats     shared-state snapshot (segment cache, pool, queue)
+//	GET  /v1/traces      kept-trace summaries, oldest first
+//	GET  /v1/traces/{id} one kept trace as Chrome trace-event JSON
+//	                     (load in Perfetto / chrome://tracing)
 //	GET  /metrics      Prometheus text exposition (aggregate + per-tenant)
 //	GET  /healthz      200 ok; 503 once draining
+//
+// POST /v1/jobs honors an incoming W3C traceparent header: the job's
+// spans join the caller's trace ID, and the response's job record carries
+// it back as trace_id.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/traces", s.handleTraces)
+	mux.HandleFunc("GET /v1/traces/{id}", s.handleTrace)
 	mux.Handle("GET /metrics", s.exporter)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
@@ -717,7 +805,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("parse body: %v", err))
 		return
 	}
-	id, err := s.Submit(req)
+	id, err := s.submit(req, r.Header.Get("traceparent"))
 	switch {
 	case err == nil:
 	case err == ErrQueueFull:
@@ -761,6 +849,26 @@ func (s *Server) handleJobs(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, _ *http.Request) {
+	sums := s.tracer.Traces()
+	if sums == nil {
+		sums = []trace.Summary{}
+	}
+	writeJSON(w, http.StatusOK, sums)
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	tr, ok := s.tracer.Get(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no such trace %q", id))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = tr.WriteChrome(w)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/reorder"
 	"repro/internal/statevec"
+	"repro/internal/trace"
 )
 
 // Batch execution: run a shared variant-batch plan (reorder.BatchPlan)
@@ -117,6 +118,12 @@ func demuxBatch(bp *reorder.BatchPlan, res *Result, opt Options) (*BatchResult, 
 		for vi := 0; vi < bp.NumVariants(); vi++ {
 			rec.Observe(obs.HistBatchVariantOps, bp.VariantOps(vi))
 		}
+	}
+	if sp := opt.Span; sp != nil {
+		a := bp.Analysis()
+		sp.Event("batch_demux",
+			trace.Int("variants", int64(a.Variants)),
+			trace.Int("ops_saved", a.SavedOps))
 	}
 	return &BatchResult{Combined: res, PerVariant: per}, nil
 }

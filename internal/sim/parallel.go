@@ -9,6 +9,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/reorder"
 	"repro/internal/statevec"
+	"repro/internal/trace"
 	"repro/internal/trial"
 )
 
@@ -35,6 +36,15 @@ func Parallel(c *circuit.Circuit, trials []*trial.Trial, workers int, opt Option
 	}
 	if len(trials) == 0 {
 		return nil, fmt.Errorf("sim: empty trial set")
+	}
+	var psp *trace.Span
+	if opt.Span != nil {
+		psp = opt.Span.Child("execute_parallel",
+			trace.Int("workers", int64(workers)),
+			trace.Int("trials", int64(len(trials))))
+		// Chunk spans (execute_plan, one per worker) and the shared
+		// program's segment compiles nest under the parallel span.
+		opt.Span = psp
 	}
 	// Workers beyond the trial count simply get empty chunks (lo == hi
 	// below) and contribute nothing to the merge.
@@ -93,7 +103,7 @@ func Parallel(c *circuit.Circuit, trials []*trial.Trial, workers int, opt Option
 	for w := range results {
 		cr := results[w]
 		if cr.err != nil {
-			return nil, fmt.Errorf("sim: worker %d: %v", w, cr.err)
+			return traceDone(psp, nil, fmt.Errorf("sim: worker %d: %v", w, cr.err))
 		}
 		if cr.res == nil {
 			continue
@@ -120,5 +130,5 @@ func Parallel(c *circuit.Circuit, trials []*trial.Trial, workers int, opt Option
 	for _, o := range merged.Outcomes {
 		merged.Counts[o.Bits]++
 	}
-	return merged, nil
+	return traceDone(psp, merged, nil)
 }

@@ -28,6 +28,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/reorder"
 	"repro/internal/statevec"
+	"repro/internal/trace"
 	"repro/internal/trial"
 )
 
@@ -139,6 +140,15 @@ type Options struct {
 	// only by runs that own their arena, so a shared pool is counted by
 	// exactly one accountant.
 	Pool *statevec.BufferPool
+	// Span, when non-nil, parents this run's causal trace: executors
+	// open one child span per execution (execute_plan /
+	// execute_parallel / execute_subtree, plus trunk and per-group
+	// subtree_task spans), segment-cache misses compile under
+	// "segment_compile" spans, and snapshot pushes, restores, policy
+	// decisions and rollbacks become span events. nil disables tracing
+	// at one pointer check per site; like Recorder, a span never
+	// perturbs the Result (ops == plan.OptimizedOps() either way).
+	Span *trace.Span
 }
 
 // compileProgram returns the compiled program the options imply for the
@@ -152,6 +162,7 @@ func (o Options) compileProgram(c *circuit.Circuit) *statevec.Program {
 		Stripes:   o.Stripes,
 		StripeMin: o.StripeMin,
 		Recorder:  o.Recorder,
+		Span:      o.Span,
 	})
 }
 
@@ -370,7 +381,34 @@ func ExecutePlan(c *circuit.Circuit, plan *reorder.Plan, opt Options) (*Result, 
 // allocation churn of branch returns. wid labels this execution's
 // plan-trace events (0 for a sequential run, the chunk index under
 // Parallel).
+//
+// With a span attached it wraps the execution in one "execute_plan"
+// child (on the chunk's worker track under Parallel); all deeper trace
+// activity — segment compiles, snapshot events, policy decisions —
+// nests under that child.
 func executePlan(c *circuit.Circuit, plan *reorder.Plan, opt Options, tr *msvTracker, wid int) (*Result, error) {
+	if opt.Span == nil {
+		return executePlanInner(c, plan, opt, tr, wid)
+	}
+	esp := opt.Span.Child("execute_plan",
+		trace.String("policy", opt.Policy.String()),
+		trace.Int("steps", int64(len(plan.Steps))),
+		trace.Int("trials", int64(len(plan.Order))))
+	if wid > 0 {
+		esp.SetWorker(wid)
+	}
+	opt.Span = esp
+	res, err := executePlanInner(c, plan, opt, tr, wid)
+	if err != nil {
+		esp.SetError(err)
+	} else {
+		esp.SetAttr(trace.Int("ops", res.Ops), trace.Int("copies", res.Copies))
+	}
+	esp.End()
+	return res, err
+}
+
+func executePlanInner(c *circuit.Circuit, plan *reorder.Plan, opt Options, tr *msvTracker, wid int) (*Result, error) {
 	if opt.Policy != PolicySnapshot {
 		return executePlanPolicy(c, plan, opt, tr, wid)
 	}
@@ -433,6 +471,9 @@ func executePlan(c *circuit.Circuit, plan *reorder.Plan, opt Options, tr *msvTra
 				rec.Event(obs.EvPush, wid, len(stack))
 				pushTimes = append(pushTimes, time.Now())
 			}
+			if sp := opt.Span; sp != nil {
+				sp.Event("snapshot_push", trace.Int("depth", int64(len(stack))))
+			}
 		case reorder.StepInject:
 			work.ApplyPauli(s.Op, s.Qubit)
 			res.Ops++
@@ -485,6 +526,9 @@ func executePlan(c *circuit.Circuit, plan *reorder.Plan, opt Options, tr *msvTra
 				rec.Event(obs.EvRestore, wid, len(stack))
 				rec.Observe(obs.HistRestoreDepth, int64(len(stack)))
 			}
+			if sp := opt.Span; sp != nil {
+				sp.Event("snapshot_restore", trace.Int("depth", int64(len(stack))))
+			}
 		default:
 			return nil, fmt.Errorf("sim: unknown plan step %v", s.Kind)
 		}
@@ -510,6 +554,21 @@ func executePlan(c *circuit.Circuit, plan *reorder.Plan, opt Options, tr *msvTra
 	}
 	finish(res)
 	return res, nil
+}
+
+// traceDone closes an executor span with the run's outcome: the error
+// on failure, the executed ops/copies as attributes on success.
+// Nil-safe, so executors call it unconditionally on every return path.
+func traceDone(sp *trace.Span, res *Result, err error) (*Result, error) {
+	if sp != nil {
+		if err != nil {
+			sp.SetError(err)
+		} else if res != nil {
+			sp.SetAttr(trace.Int("ops", res.Ops), trace.Int("copies", res.Copies))
+		}
+		sp.End()
+	}
+	return res, err
 }
 
 // finish sorts outcomes by trial ID and fills the histogram.

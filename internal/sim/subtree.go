@@ -10,6 +10,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/reorder"
 	"repro/internal/statevec"
+	"repro/internal/trace"
 	"repro/internal/trial"
 )
 
@@ -245,6 +246,17 @@ func ExecuteSplitPlan(c *circuit.Circuit, sp *reorder.SplitPlan, workers int, op
 	if lanes < 1 {
 		lanes = 1
 	}
+	var esp *trace.Span
+	if opt.Span != nil {
+		esp = opt.Span.Child("execute_subtree",
+			trace.String("policy", opt.Policy.String()),
+			trace.Int("workers", int64(workers)),
+			trace.Int("lanes", int64(lanes)),
+			trace.Int("tasks", int64(len(sp.Subtrees))))
+		// The trunk span, per-group subtree_task spans and all segment
+		// compiles (the shared program included) nest under it.
+		opt.Span = esp
+	}
 	var tracker msvTracker
 	queue := newTaskQueue()
 	// Bound on cloned-but-unfinished entry states: the trunk blocks
@@ -291,7 +303,18 @@ func ExecuteSplitPlan(c *circuit.Circuit, sp *reorder.SplitPlan, workers int, op
 					break
 				}
 				if errs[w] == nil {
-					errs[w] = runTaskGroup(c, sp, prog, qt, opt, res, &tracker, pool, br, w)
+					wopt := opt
+					var tsp *trace.Span
+					if esp != nil {
+						tsp = esp.Child("subtree_task",
+							trace.Int("tasks", int64(len(qt.tasks))),
+							trace.Int("static_ops", qt.ops))
+						tsp.SetWorker(w)
+						wopt.Span = tsp
+					}
+					errs[w] = runTaskGroup(c, sp, prog, qt, wopt, res, &tracker, pool, br, w)
+					tsp.SetError(errs[w])
+					tsp.End()
 				} else {
 					// Already failed: drain so the trunk never blocks on
 					// the entry-state bound, dropping the queued clones.
@@ -309,15 +332,23 @@ func ExecuteSplitPlan(c *circuit.Circuit, sp *reorder.SplitPlan, workers int, op
 	}
 
 	trunkPool := newStatePool(c.NumQubits(), arena)
-	trunkRes, trunkErr := runTrunk(c, sp, prog, opt, queue, sem, &tracker, trunkPool)
+	topt := opt
+	var trunkSpan *trace.Span
+	if esp != nil {
+		trunkSpan = esp.Child("trunk")
+		topt.Span = trunkSpan
+	}
+	trunkRes, trunkErr := runTrunk(c, sp, prog, topt, queue, sem, &tracker, trunkPool)
+	trunkSpan.SetError(trunkErr)
+	trunkSpan.End()
 	queue.close()
 	wg.Wait()
 	if trunkErr != nil {
-		return nil, trunkErr
+		return traceDone(esp, nil, trunkErr)
 	}
 	for w, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("sim: worker %d: %v", w, err)
+			return traceDone(esp, nil, fmt.Errorf("sim: worker %d: %v", w, err))
 		}
 	}
 
@@ -334,7 +365,7 @@ func ExecuteSplitPlan(c *circuit.Circuit, sp *reorder.SplitPlan, workers int, op
 		}
 	}
 	if len(merged.Outcomes) != len(sp.Order) {
-		return nil, fmt.Errorf("sim: split plan emitted %d of %d trials", len(merged.Outcomes), len(sp.Order))
+		return traceDone(esp, nil, fmt.Errorf("sim: split plan emitted %d of %d trials", len(merged.Outcomes), len(sp.Order)))
 	}
 	merged.MSV = tracker.highWater()
 	if rec := opt.Recorder; rec != nil {
@@ -349,7 +380,7 @@ func ExecuteSplitPlan(c *circuit.Circuit, sp *reorder.SplitPlan, workers int, op
 		}
 	}
 	finish(merged)
-	return merged, nil
+	return traceDone(esp, merged, nil)
 }
 
 // runTrunk executes the sequential prefix program, feeding spawned tasks
@@ -441,6 +472,9 @@ func runTrunk(c *circuit.Circuit, sp *reorder.SplitPlan, prog *statevec.Program,
 				rec.Add(obs.TasksSpawned, 1)
 				rec.Event(obs.EvSpawn, -1, len(stack))
 			}
+			if tsp := opt.Span; tsp != nil {
+				tsp.Event("spawn", trace.Int("task", int64(s.Task)))
+			}
 			grp.add(sp.Subtrees[s.Task], entry)
 		default:
 			return nil, fmt.Errorf("sim: invalid trunk step %v", s.Kind)
@@ -519,6 +553,9 @@ func runSubtree(c *circuit.Circuit, sp *reorder.SplitPlan, prog *statevec.Progra
 				rec.Event(obs.EvPush, wid, len(stack))
 				pushTimes = append(pushTimes, time.Now())
 			}
+			if tsp := opt.Span; tsp != nil {
+				tsp.Event("snapshot_push", trace.Int("depth", int64(len(stack))))
+			}
 		case reorder.StepInject:
 			work.ApplyPauli(s.Op, s.Qubit)
 			res.Ops++
@@ -571,6 +608,9 @@ func runSubtree(c *circuit.Circuit, sp *reorder.SplitPlan, prog *statevec.Progra
 				rec.Add(obs.SnapshotRestores, 1)
 				rec.Event(obs.EvRestore, wid, len(stack))
 				rec.Observe(obs.HistRestoreDepth, int64(len(stack)))
+			}
+			if tsp := opt.Span; tsp != nil {
+				tsp.Event("snapshot_restore", trace.Int("depth", int64(len(stack))))
 			}
 		default:
 			return fmt.Errorf("sim: invalid subtree step %v", s.Kind)

@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/device"
+	"repro/internal/obs"
+	"repro/internal/reorder"
+	"repro/internal/statevec"
+	"repro/internal/trace"
+)
+
+// The tracing contract mirrors the observability contract: a span tree
+// attached to any executor never changes a Result, and the structural
+// spans it records reconcile exactly with the obs counters — one
+// "segment_compile" span per segment-cache miss, no spans for hits.
+
+// countSpans tallies span names across a finished trace.
+func countSpans(tr *trace.Trace) map[string]int {
+	out := make(map[string]int)
+	for _, sp := range tr.Spans() {
+		out[sp.Name()]++
+	}
+	return out
+}
+
+// TestSegmentCompileSpansMatchMisses is the agreement gate: the number
+// of segment_compile spans equals obs.SegCacheMisses exactly, on a cold
+// cache and (vacuously, zero == zero) on a warm one.
+func TestSegmentCompileSpansMatchMisses(t *testing.T) {
+	c := bench.QV(5, 3, rand.New(rand.NewSource(7)))
+	m := device.Yorktown().Model()
+	trials := genTrials(t, c, m, 300, 11)
+	plan, err := reorder.BuildPlan(c, trials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	statevec.ResetSegmentCache()
+	t.Cleanup(statevec.ResetSegmentCache)
+
+	run := func(policy RestorePolicy) (map[string]int, int64, *Result) {
+		t.Helper()
+		tracer := trace.New(trace.Config{Seed: 1})
+		rec := obs.NewMetrics()
+		root := tracer.Start("test", trace.SpanContext{})
+		res, err := ExecutePlan(c, plan, Options{
+			Fuse:     statevec.FuseExact,
+			Policy:   policy,
+			Recorder: rec,
+			Span:     root,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		root.End()
+		return countSpans(root.Trace()), rec.Counter(obs.SegCacheMisses), res
+	}
+
+	// Cold cache: every segment compile is a miss, and every miss opens
+	// exactly one span.
+	names, misses, cold := run(PolicySnapshot)
+	if misses == 0 {
+		t.Fatal("cold run recorded no segment-cache misses")
+	}
+	if got := int64(names["segment_compile"]); got != misses {
+		t.Fatalf("segment_compile spans = %d, segcache misses = %d", got, misses)
+	}
+
+	// Warm cache: all hits, so zero misses and zero compile spans.
+	names, misses, warm := run(PolicySnapshot)
+	if misses != 0 {
+		t.Fatalf("warm run recorded %d misses, want 0", misses)
+	}
+	if got := names["segment_compile"]; got != 0 {
+		t.Fatalf("warm run opened %d segment_compile spans, want 0", got)
+	}
+	if cold.Ops != warm.Ops || cold.Ops != plan.OptimizedOps() {
+		t.Fatalf("ops cold %d warm %d, want %d", cold.Ops, warm.Ops, plan.OptimizedOps())
+	}
+
+	// The uncompute policy compiles reverse segments too; the agreement
+	// must hold across both compile directions.
+	statevec.ResetSegmentCache()
+	names, misses, _ = run(PolicyUncompute)
+	if misses == 0 {
+		t.Fatal("uncompute run recorded no segment-cache misses")
+	}
+	if got := int64(names["segment_compile"]); got != misses {
+		t.Fatalf("uncompute: segment_compile spans = %d, segcache misses = %d", got, misses)
+	}
+}
+
+// TestTracedExecutorsInvariant attaches a live span tree to the
+// subtree-parallel executor at several worker counts: results must be
+// bit-identical to the untraced run, ops must stay at the static plan
+// count, and sibling workers creating spans concurrently must be clean
+// under -race.
+func TestTracedExecutorsInvariant(t *testing.T) {
+	c := bench.QV(5, 4, rand.New(rand.NewSource(3)))
+	m := device.Yorktown().Model()
+	trials := genTrials(t, c, m, 300, 5)
+	plan, err := reorder.BuildPlan(c, trials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	static := plan.OptimizedOps()
+
+	base, err := ExecutePlan(c, plan, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		tracer := trace.New(trace.Config{Seed: uint64(workers)})
+		root := tracer.Start("test", trace.SpanContext{})
+		res, err := ParallelSubtree(c, trials, workers, Options{Span: root})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		root.End()
+		if res.Ops != static {
+			t.Errorf("workers=%d: traced ops = %d, want %d", workers, res.Ops, static)
+		}
+		if len(res.Outcomes) != len(base.Outcomes) {
+			t.Fatalf("workers=%d: %d outcomes, want %d", workers, len(res.Outcomes), len(base.Outcomes))
+		}
+		for i := range res.Outcomes {
+			if res.Outcomes[i] != base.Outcomes[i] {
+				t.Fatalf("workers=%d: outcome %d differs with tracing attached", workers, i)
+			}
+		}
+		names := countSpans(root.Trace())
+		if workers > 1 {
+			if names["execute_subtree"] != 1 {
+				t.Errorf("workers=%d: %d execute_subtree spans, want 1", workers, names["execute_subtree"])
+			}
+			if names["subtree_task"] == 0 {
+				t.Errorf("workers=%d: no subtree_task spans", workers)
+			}
+		}
+		// Every span must carry a unique ID even when sibling workers
+		// race to create them.
+		seen := make(map[string]bool)
+		for _, sp := range root.Trace().Spans() {
+			id := sp.IDString()
+			if seen[id] {
+				t.Fatalf("workers=%d: duplicate span id %s", workers, id)
+			}
+			seen[id] = true
+		}
+	}
+}

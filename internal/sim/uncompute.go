@@ -10,6 +10,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/reorder"
 	"repro/internal/statevec"
+	"repro/internal/trace"
 )
 
 // Uncomputation as an alternative to snapshots. The paper's executor
@@ -122,6 +123,7 @@ func (o Options) policyProgram(c *circuit.Circuit) *statevec.Program {
 		Stripes:   o.Stripes,
 		StripeMin: o.StripeMin,
 		Recorder:  o.Recorder,
+		Span:      o.Span,
 	})
 }
 
@@ -244,12 +246,22 @@ func (bs *branchState) push() {
 			bs.rec.Event(obs.EvPush, bs.wid, len(bs.frames)+1)
 			f.pushT = time.Now()
 		}
+		if sp := bs.opt.Span; sp != nil {
+			sp.Event("policy_decision",
+				trace.String("decision", "snapshot"),
+				trace.Int("depth", int64(len(bs.frames)+1)))
+		}
 		bs.frames = append(bs.frames, f)
 		return
 	}
 	bs.frames = append(bs.frames, pframe{pos: len(bs.journal)})
 	if bs.rec != nil {
 		bs.rec.Add(obs.PolicyUncomputeDecisions, 1)
+	}
+	if sp := bs.opt.Span; sp != nil {
+		sp.Event("policy_decision",
+			trace.String("decision", "uncompute"),
+			trace.Int("depth", int64(len(bs.frames))))
 	}
 }
 
@@ -349,6 +361,9 @@ func (bs *branchState) rollbackTo(pos int) {
 			bs.rec.Add(obs.UncomputeOps, segOps)
 			bs.rec.Observe(obs.HistUncomputeDepth, segOps)
 			bs.rec.Event(obs.EvUncompute, bs.wid, len(bs.frames))
+		}
+		if sp := bs.opt.Span; sp != nil {
+			sp.Event("uncompute", trace.Int("ops", segOps))
 		}
 		return
 	}
@@ -508,6 +523,9 @@ func runTrunkPolicy(c *circuit.Circuit, sp *reorder.SplitPlan, prog *statevec.Pr
 			if rec != nil {
 				rec.Add(obs.TasksSpawned, 1)
 				rec.Event(obs.EvSpawn, -1, len(bs.frames))
+			}
+			if tsp := opt.Span; tsp != nil {
+				tsp.Event("spawn", trace.Int("task", int64(s.Task)))
 			}
 			grp.add(sp.Subtrees[s.Task], entry)
 		default:

@@ -9,6 +9,7 @@ import (
 	"repro/internal/gate"
 	"repro/internal/obs"
 	"repro/internal/qmath"
+	"repro/internal/trace"
 )
 
 // This file implements the kernel-compilation layer: a circuit is lowered
@@ -106,6 +107,13 @@ type CompileOptions struct {
 	// (obs.KernelSweeps, obs.StripeBarriers) at one Add per Run call.
 	// It never affects the logical-op counts Run returns.
 	Recorder obs.Recorder
+	// Span, when non-nil, parents one "segment_compile" span per
+	// segment-cache miss (tagged miss vs. collision, forward vs.
+	// reverse). Segments compile lazily during execution, so callers
+	// pass the span that covers the whole execute phase; cache hits
+	// open no span, keeping the span count reconcilable against
+	// obs.SegCacheMisses exactly.
+	Span *trace.Span
 }
 
 func (o CompileOptions) stripeMin() int {
@@ -351,6 +359,7 @@ func (p *Program) segment(from, to int) *segment {
 				rec.Add(obs.SegCacheCollisions, 1)
 			}
 		}
+		csp := compileSpan(p.opt.Span, "forward", from, to, collided)
 		ks, ops := lowerSegment(p.layers, from, to, p.opt.Fuse)
 		seg = &segment{kernels: ks, ops: ops}
 		if !collided {
@@ -360,6 +369,8 @@ func (p *Program) segment(from, to int) *segment {
 				rec.Add(obs.SegCacheEvictions, evicted)
 			}
 		}
+		csp.SetAttr(trace.Int("kernels", int64(len(seg.kernels))))
+		csp.End()
 	}
 	p.mu.Lock()
 	if prior := p.segs[key]; prior != nil {
@@ -369,6 +380,25 @@ func (p *Program) segment(from, to int) *segment {
 	p.segs[key] = seg
 	p.mu.Unlock()
 	return seg
+}
+
+// compileSpan opens one segment-compile span under the execute-phase
+// parent. Nil parent (tracing off) returns nil, which absorbs all use.
+// Called only on the miss path so that the number of "segment_compile"
+// spans in a trace equals the obs.SegCacheMisses the run recorded.
+func compileSpan(parent *trace.Span, dir string, from, to int, collided bool) *trace.Span {
+	if parent == nil {
+		return nil
+	}
+	cache := "miss"
+	if collided {
+		cache = "collision"
+	}
+	return parent.Child("segment_compile",
+		trace.String("dir", dir),
+		trace.Int("from", int64(from)),
+		trace.Int("to", int64(to)),
+		trace.String("cache", cache))
 }
 
 // SegmentOps returns the logical-op count of layers [from, to) without

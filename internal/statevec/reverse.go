@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/gate"
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 // Reverse execution: a compiled program can run a layer range backwards,
@@ -99,6 +100,7 @@ func (p *Program) reverseSegment(from, to int) *segment {
 				rec.Add(obs.SegCacheCollisions, 1)
 			}
 		}
+		csp := compileSpan(p.opt.Span, "reverse", from, to, collided)
 		rev := reverseLayers(p.layers[from:to])
 		ks, ops := lowerSegment(rev, 0, len(rev), p.opt.Fuse)
 		seg = &segment{kernels: ks, ops: ops}
@@ -109,6 +111,8 @@ func (p *Program) reverseSegment(from, to int) *segment {
 				rec.Add(obs.SegCacheEvictions, evicted)
 			}
 		}
+		csp.SetAttr(trace.Int("kernels", int64(len(seg.kernels))))
+		csp.End()
 	}
 	p.mu.Lock()
 	if prior := p.revSegs[key]; prior != nil {

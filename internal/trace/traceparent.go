@@ -1,0 +1,88 @@
+package trace
+
+// W3C Trace Context `traceparent` handling. The wire form is
+//
+//	version "-" trace-id "-" parent-id "-" trace-flags
+//	  00    -  32 lowhex -   16 lowhex -   2 lowhex
+//
+// Parsing is strict but total: any malformed header — wrong length,
+// uppercase hex, all-zero IDs, the forbidden version ff — degrades to
+// the invalid zero SpanContext (the caller mints a fresh root trace)
+// and never panics. A version above 00 is accepted with trailing
+// fields ignored, per the spec's forward-compatibility rule.
+
+// ParseTraceparent parses a traceparent header value. ok is false (and
+// the context zero) for any input that does not carry valid IDs.
+func ParseTraceparent(h string) (sc SpanContext, ok bool) {
+	if len(h) < 55 {
+		return SpanContext{}, false
+	}
+	if h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return SpanContext{}, false
+	}
+	ver, ok := hexByte(h[0], h[1])
+	if !ok || ver == 0xff {
+		return SpanContext{}, false
+	}
+	if ver == 0 && len(h) != 55 {
+		return SpanContext{}, false
+	}
+	if ver > 0 && len(h) > 55 && h[55] != '-' {
+		return SpanContext{}, false
+	}
+	var tid TraceID
+	for i := 0; i < 16; i++ {
+		b, ok := hexByte(h[3+2*i], h[4+2*i])
+		if !ok {
+			return SpanContext{}, false
+		}
+		tid[i] = b
+	}
+	var sid SpanID
+	for i := 0; i < 8; i++ {
+		b, ok := hexByte(h[36+2*i], h[37+2*i])
+		if !ok {
+			return SpanContext{}, false
+		}
+		sid[i] = b
+	}
+	flags, ok := hexByte(h[53], h[54])
+	if !ok {
+		return SpanContext{}, false
+	}
+	if tid.IsZero() || sid.IsZero() {
+		return SpanContext{}, false
+	}
+	return SpanContext{TraceID: tid, SpanID: sid, Sampled: flags&0x01 != 0}, true
+}
+
+// Traceparent renders the context as a version-00 header. An invalid
+// context renders as "" so callers can skip the header entirely.
+func (sc SpanContext) Traceparent() string {
+	if !sc.Valid() {
+		return ""
+	}
+	flags := "00"
+	if sc.Sampled {
+		flags = "01"
+	}
+	return "00-" + sc.TraceID.String() + "-" + sc.SpanID.String() + "-" + flags
+}
+
+// hexByte decodes two lowercase hex digits; ok is false on any other
+// byte (the spec forbids uppercase).
+func hexByte(hi, lo byte) (byte, bool) {
+	h, ok1 := hexNibble(hi)
+	l, ok2 := hexNibble(lo)
+	return h<<4 | l, ok1 && ok2
+}
+
+func hexNibble(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	}
+	return 0, false
+}

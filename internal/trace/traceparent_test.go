@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+const validTP = "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
+
+func TestParseTraceparentValid(t *testing.T) {
+	sc, ok := ParseTraceparent(validTP)
+	if !ok || !sc.Valid() {
+		t.Fatalf("valid header rejected: ok=%v sc=%+v", ok, sc)
+	}
+	if sc.TraceID.String() != "0af7651916cd43dd8448eb211c80319c" {
+		t.Fatalf("trace ID = %s", sc.TraceID)
+	}
+	if sc.SpanID.String() != "b7ad6b7169203331" {
+		t.Fatalf("span ID = %s", sc.SpanID)
+	}
+	if !sc.Sampled {
+		t.Fatal("flags 01 not parsed as sampled")
+	}
+	if got := sc.Traceparent(); got != validTP {
+		t.Fatalf("round trip = %q, want %q", got, validTP)
+	}
+}
+
+func TestParseTraceparentFutureVersion(t *testing.T) {
+	// A future version may append extra dash-separated fields.
+	sc, ok := ParseTraceparent("cc-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-extra-stuff")
+	if !ok || !sc.Valid() {
+		t.Fatalf("future-version header rejected: %+v", sc)
+	}
+}
+
+func TestParseTraceparentMalformed(t *testing.T) {
+	cases := map[string]string{
+		"empty":              "",
+		"short":              "00-abc",
+		"version ff":         strings.Replace(validTP, "00-", "ff-", 1),
+		"uppercase hex":      strings.ToUpper(validTP),
+		"bad separator":      strings.Replace(validTP, "-b7ad", "_b7ad", 1),
+		"all-zero trace id":  "00-00000000000000000000000000000000-b7ad6b7169203331-01",
+		"all-zero span id":   "00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01",
+		"nonhex version":     strings.Replace(validTP, "00-", "zz-", 1),
+		"nonhex trace id":    "00-0af7651916cd43dd8448eb211c8031zz-b7ad6b7169203331-01",
+		"nonhex span id":     "00-0af7651916cd43dd8448eb211c80319c-b7ad6b71692033zz-01",
+		"nonhex flags":       strings.Replace(validTP, "-01", "-zz", 1),
+		"v00 with trailer":   validTP + "-extra",
+		"future bad trailer": "cc-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01x",
+	}
+	for name, h := range cases {
+		if sc, ok := ParseTraceparent(h); ok || sc.Valid() {
+			t.Errorf("%s: %q parsed as valid (%+v)", name, h, sc)
+		}
+	}
+}
+
+func TestUnsampledFlags(t *testing.T) {
+	sc, ok := ParseTraceparent(strings.Replace(validTP, "-01", "-00", 1))
+	if !ok || sc.Sampled {
+		t.Fatalf("flags 00: ok=%v sampled=%v", ok, sc.Sampled)
+	}
+}
+
+func TestInvalidContextRenders(t *testing.T) {
+	if got := (SpanContext{}).Traceparent(); got != "" {
+		t.Fatalf("zero context rendered %q, want empty", got)
+	}
+}
+
+// FuzzParseTraceparent: malformed versions/flags/ids must degrade to
+// the invalid zero context — never panic — and anything accepted must
+// render back to a header that re-parses to the same IDs (the
+// fresh-root-trace degradation contract for the qsimd submit path).
+func FuzzParseTraceparent(f *testing.F) {
+	f.Add(validTP)
+	f.Add("")
+	f.Add("00-00000000000000000000000000000000-0000000000000000-00")
+	f.Add("ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01")
+	f.Add(validTP + "-tail")
+	f.Add(strings.ToUpper(validTP))
+	f.Fuzz(func(t *testing.T, h string) {
+		sc, ok := ParseTraceparent(h)
+		if !ok {
+			if sc.Valid() {
+				t.Fatalf("rejected input %q produced valid context %+v", h, sc)
+			}
+			// The service degrades to a fresh root trace: starting with
+			// the zero context must work.
+			tr := New(Config{Seed: 1})
+			sp := tr.Start("request", sc)
+			if sp == nil || sp.TraceIDString() == "" {
+				t.Fatalf("degraded start failed for input %q", h)
+			}
+			sp.End()
+			return
+		}
+		if !sc.Valid() {
+			t.Fatalf("accepted input %q has invalid IDs", h)
+		}
+		rt, ok2 := ParseTraceparent(sc.Traceparent())
+		if !ok2 || rt.TraceID != sc.TraceID || rt.SpanID != sc.SpanID || rt.Sampled != sc.Sampled {
+			t.Fatalf("render/re-parse mismatch for %q: %+v vs %+v", h, sc, rt)
+		}
+	})
+}
